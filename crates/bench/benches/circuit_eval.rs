@@ -1,0 +1,45 @@
+//! Benchmarks the circuit evaluators (the substitute for HSPICE): one full
+//! performance evaluation of each benchmark amplifier at a random process
+//! sample. Every number in Tables 1-4 is a multiple of this cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moheco_analog::{FoldedCascode, TelescopicTwoStage, Testbench};
+use moheco_process::ProcessSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_eval");
+    group.sample_size(40);
+
+    let fc = FoldedCascode::new();
+    let fc_x = fc.reference_design();
+    let fc_sampler = ProcessSampler::new(fc.technology().clone(), fc.num_devices());
+    let mut rng = StdRng::seed_from_u64(3);
+    let fc_samples: Vec<_> = (0..64).map(|_| fc_sampler.sample(&mut rng)).collect();
+    let mut i = 0usize;
+    group.bench_function("folded_cascode_035", |b| {
+        b.iter(|| {
+            i = (i + 1) % fc_samples.len();
+            black_box(fc.evaluate(black_box(&fc_x), &fc_samples[i]))
+        })
+    });
+
+    let ts = TelescopicTwoStage::new();
+    let ts_x = ts.reference_design();
+    let ts_sampler = ProcessSampler::new(ts.technology().clone(), ts.num_devices());
+    let ts_samples: Vec<_> = (0..64).map(|_| ts_sampler.sample(&mut rng)).collect();
+    let mut j = 0usize;
+    group.bench_function("telescopic_two_stage_90nm", |b| {
+        b.iter(|| {
+            j = (j + 1) % ts_samples.len();
+            black_box(ts.evaluate(black_box(&ts_x), &ts_samples[j]))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuits);
+criterion_main!(benches);

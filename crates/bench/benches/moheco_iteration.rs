@@ -1,0 +1,53 @@
+//! Benchmarks a complete (scaled-down) yield-optimization run of MOHECO
+//! against the fixed-budget baseline — the end-to-end cost behind the 7×
+//! speed-up claim of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moheco::{MohecoConfig, YieldOptimizer, YieldProblem};
+use moheco_analog::FoldedCascode;
+use moheco_sampling::SamplingPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn tiny_config() -> MohecoConfig {
+    MohecoConfig {
+        population_size: 8,
+        n0: 4,
+        sim_ave: 10,
+        delta: 6,
+        n_max: 40,
+        max_generations: 4,
+        stop_stagnation: 4,
+        nm_iterations: 3,
+        ..MohecoConfig::fast()
+    }
+}
+
+fn bench_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moheco_iteration");
+    group.sample_size(10);
+
+    group.bench_function("moheco_run", |b| {
+        let optimizer = YieldOptimizer::new(tiny_config());
+        b.iter(|| {
+            let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(optimizer.run(&problem, &mut rng))
+        })
+    });
+
+    group.bench_function("fixed_budget_run", |b| {
+        let optimizer = YieldOptimizer::new(tiny_config().as_fixed_budget(40));
+        b.iter(|| {
+            let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(optimizer.run(&problem, &mut rng))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

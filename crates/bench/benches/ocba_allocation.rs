@@ -1,0 +1,31 @@
+//! Benchmarks the OCBA allocation rule on population sizes used by MOHECO
+//! (supports Fig. 3: the allocation itself must be negligible next to the
+//! circuit simulations it saves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moheco_ocba::allocation::allocate;
+use std::hint::black_box;
+
+fn synthetic_population(size: usize) -> (Vec<f64>, Vec<f64>) {
+    let means: Vec<f64> = (0..size)
+        .map(|i| 0.2 + 0.75 * (i as f64 / size as f64))
+        .collect();
+    let variances: Vec<f64> = means.iter().map(|m| m * (1.0 - m)).collect();
+    (means, variances)
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocba_allocation");
+    group.sample_size(30);
+    for &size in &[10usize, 50, 200] {
+        let (means, vars) = synthetic_population(size);
+        let budget = 35 * size;
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| allocate(black_box(&means), black_box(&vars), black_box(budget)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

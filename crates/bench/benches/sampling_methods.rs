@@ -1,0 +1,28 @@
+//! Benchmarks the sampling-plan generators (primitive Monte Carlo vs Latin
+//! Hypercube) at the statistical dimensions of the two benchmark circuits
+//! (80 and 123 variables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moheco_sampling::{latin_hypercube, primitive_monte_carlo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_methods");
+    group.sample_size(30);
+    for &dim in &[80usize, 123] {
+        group.bench_with_input(BenchmarkId::new("pmc", dim), &dim, |b, &dim| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| primitive_monte_carlo(&mut rng, black_box(500), black_box(dim)))
+        });
+        group.bench_with_input(BenchmarkId::new("lhs", dim), &dim, |b, &dim| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| latin_hypercube(&mut rng, black_box(500), black_box(dim)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

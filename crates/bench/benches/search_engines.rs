@@ -1,0 +1,71 @@
+//! Benchmarks the search engines (DE, GA, memetic DE+NM) on the nominal
+//! sizing of example 1 — the comparison behind the paper's choice of DE and
+//! the §3.3 convergence discussion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moheco_analog::FoldedCascode;
+use moheco_bench::NominalSizingProblem;
+use moheco_optim::de::{DeConfig, DifferentialEvolution};
+use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
+use moheco_optim::memetic::{MemeticConfig, MemeticOptimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const POP: usize = 16;
+const GENS: usize = 10;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_engines");
+    group.sample_size(10);
+
+    group.bench_function("de_nominal_sizing", |b| {
+        let de = DifferentialEvolution::new(DeConfig {
+            population_size: POP,
+            max_generations: GENS,
+            stagnation_limit: None,
+            ..DeConfig::default()
+        });
+        b.iter(|| {
+            let mut problem = NominalSizingProblem::new(FoldedCascode::new());
+            let mut rng = StdRng::seed_from_u64(11);
+            black_box(de.run(&mut problem, &mut rng))
+        })
+    });
+
+    group.bench_function("memetic_nominal_sizing", |b| {
+        let memetic = MemeticOptimizer::new(MemeticConfig {
+            de: DeConfig {
+                population_size: POP,
+                max_generations: GENS,
+                stagnation_limit: None,
+                ..DeConfig::default()
+            },
+            ..MemeticConfig::default()
+        });
+        b.iter(|| {
+            let mut problem = NominalSizingProblem::new(FoldedCascode::new());
+            let mut rng = StdRng::seed_from_u64(11);
+            black_box(memetic.run(&mut problem, &mut rng))
+        })
+    });
+
+    group.bench_function("ga_nominal_sizing", |b| {
+        let ga = GeneticAlgorithm::new(GaConfig {
+            population_size: POP,
+            max_generations: GENS,
+            stagnation_limit: None,
+            ..GaConfig::default()
+        });
+        b.iter(|| {
+            let mut problem = NominalSizingProblem::new(FoldedCascode::new());
+            let mut rng = StdRng::seed_from_u64(11);
+            black_box(ga.run(&mut problem, &mut rng))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks the two yield-estimation strategies on one population of
+//! example 1: the OO/OCBA two-stage scheme of MOHECO versus the fixed
+//! per-candidate budget of the AS+LHS baseline. The wall-clock ratio mirrors
+//! the simulation-count ratio reported in Tables 2 and 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moheco::{estimate_fixed_budget, estimate_two_stage, Candidate, MohecoConfig, YieldProblem};
+use moheco_analog::{FoldedCascode, Testbench};
+use moheco_sampling::SamplingPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build_population(problem: &YieldProblem<FoldedCascode>, n: usize) -> Vec<Candidate> {
+    let reference = problem.testbench().reference_design();
+    (0..n)
+        .map(|i| {
+            let mut x = reference.clone();
+            x[8] = 130.0 + 4.0 * i as f64; // spread of tail currents = spread of yields
+            let rep = problem.feasibility(&x);
+            if rep.is_feasible() {
+                Candidate::feasible(x, rep.decision)
+            } else {
+                Candidate::infeasible(x, rep.violation)
+            }
+        })
+        .collect()
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yield_estimation");
+    group.sample_size(10);
+
+    let config = MohecoConfig {
+        n0: 8,
+        sim_ave: 20,
+        delta: 10,
+        n_max: 60,
+        ..MohecoConfig::fast()
+    };
+    let fixed_sims = 60;
+    let pop = 8;
+
+    group.bench_function("two_stage_oo_population", |b| {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let template = build_population(&problem, pop);
+        b.iter(|| {
+            let mut candidates = template.clone();
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(estimate_two_stage(
+                &problem,
+                &mut candidates,
+                &config,
+                &mut rng,
+            ))
+        })
+    });
+
+    group.bench_function("fixed_budget_population", |b| {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let template = build_population(&problem, pop);
+        b.iter(|| {
+            let mut candidates = template.clone();
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(estimate_fixed_budget(
+                &problem,
+                &mut candidates,
+                fixed_sims,
+                &mut rng,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Reproduces the nominal-sizing convergence observations of §3.3:
+//! without process variations, example 1 converges in a few tens of
+//! generations while example 2's severe specifications need hundreds of
+//! generations for GA-family engines — and the memetic DE converges fastest.
+//!
+//! Run with `--paper` for larger populations and generation budgets.
+
+use moheco_analog::{FoldedCascode, TelescopicTwoStage, Testbench};
+use moheco_bench::{ExperimentScale, NominalSizingProblem};
+use moheco_optim::de::{DeConfig, DifferentialEvolution};
+use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
+use moheco_optim::memetic::{MemeticConfig, MemeticOptimizer};
+use moheco_optim::penalty::PenaltyProblem;
+use moheco_optim::problem::Problem;
+use moheco_optim::result::OptimizationResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn report(label: &str, result: &OptimizationResult) {
+    // The objective is the negated worst normalised spec margin once feasible;
+    // "gens to feasible" is the generation at which a feasible sizing first
+    // appeared in the history.
+    let gens_to_feasible = result
+        .generations_to_reach(0.0)
+        .map(|g| g.to_string())
+        .unwrap_or_else(|| "never".to_string());
+    println!(
+        "{:<28} feasible: {:<5} gens to feasible: {:>6} best worst-margin: {:>8.3} evaluations: {:>6}",
+        label,
+        result.is_feasible(),
+        gens_to_feasible,
+        -result.best_objective(),
+        result.evaluations,
+    );
+}
+
+fn run_engines<T: Testbench + Clone>(name: &str, tb: T, population: usize, generations: usize) {
+    println!("\nNominal sizing of {name} (population {population}, up to {generations} generations)");
+    let de_cfg = DeConfig {
+        population_size: population,
+        max_generations: generations,
+        stagnation_limit: None,
+        // Target: every spec met with at least half a normalisation unit of
+        // margin, which requires genuine optimization rather than a lucky
+        // initial sample.
+        target_objective: Some(-0.5),
+        ..DeConfig::default()
+    };
+
+    let mut rng = StdRng::seed_from_u64(0x51E1);
+    let mut p = NominalSizingProblem::new(tb.clone());
+    let de = DifferentialEvolution::new(de_cfg).run(&mut p, &mut rng);
+    report("SBDE (DE + Deb rules)", &de);
+
+    let mut rng = StdRng::seed_from_u64(0x51E1);
+    let mut p = NominalSizingProblem::new(tb.clone());
+    let memetic = MemeticOptimizer::new(MemeticConfig {
+        de: de_cfg,
+        ..MemeticConfig::default()
+    })
+    .run(&mut p, &mut rng);
+    report("Memetic DE + NM (MSOEA-like)", &memetic);
+
+    let mut rng = StdRng::seed_from_u64(0x51E1);
+    let mut p = NominalSizingProblem::new(tb.clone());
+    let ga = GeneticAlgorithm::new(GaConfig {
+        population_size: population,
+        max_generations: generations,
+        stagnation_limit: None,
+        target_objective: Some(-0.5),
+        ..GaConfig::default()
+    })
+    .run(&mut p, &mut rng);
+    report("Genetic algorithm", &ga);
+
+    let mut rng = StdRng::seed_from_u64(0x51E1);
+    let tb_check = tb.clone();
+    let mut p = PenaltyProblem::new(NominalSizingProblem::new(tb), 100.0);
+    let pen = DifferentialEvolution::new(de_cfg).run(&mut p, &mut rng);
+    // Re-check real feasibility of the penalty solution.
+    let mut checker = NominalSizingProblem::new(tb_check);
+    let feasible = checker.evaluate(&pen.best.x).is_feasible();
+    println!(
+        "{:<28} feasible: {:<5} gens to feasible: {:>6} best worst-margin: {:>8} evaluations: {:>6}",
+        "DE + penalty function",
+        feasible,
+        pen.generations,
+        "n/a",
+        pen.evaluations
+    );
+}
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let (population, gens_easy, gens_hard) = if scale.reference_samples >= 50_000 {
+        (60, 120, 300)
+    } else {
+        (24, 40, 80)
+    };
+    run_engines("example 1 (folded cascode)", FoldedCascode::new(), population, gens_easy);
+    run_engines(
+        "example 2 (telescopic two-stage, severe specs)",
+        TelescopicTwoStage::new(),
+        population,
+        gens_hard,
+    );
+    println!("\nPaper observation: example 1 converges in 20-30 generations while example 2 needs");
+    println!("200-300 generations for the GA-family engines; only the DE-based engines succeed.");
+}

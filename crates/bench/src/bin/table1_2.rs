@@ -1,0 +1,55 @@
+//! Reproduces Tables 1 and 2 (and the Fig. 6 series) of the MOHECO paper:
+//! yield-estimate deviation and total simulation count for the folded-cascode
+//! amplifier (example 1), comparing the fixed-budget `AS + LHS` baselines,
+//! `OO + AS + LHS` and full MOHECO.
+//!
+//! Run with `--paper` for the full-scale settings (10 runs, population 50,
+//! 50 000-sample reference yields); the default settings are scaled down so
+//! the binary finishes in a few minutes.
+
+use moheco_analog::FoldedCascode;
+use moheco_bench::{
+    print_deviation_table, print_fig6_csv, print_simulation_table, run_method, ExperimentScale,
+    Method,
+};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!(
+        "Example 1 (folded cascode, 0.35um): {} runs per method, reference yield from {} samples",
+        scale.runs, scale.reference_samples
+    );
+
+    let budgets = scale.fixed_budgets();
+    let mut methods: Vec<Method> = budgets.iter().map(|&b| Method::FixedBudget(b)).collect();
+    methods.push(Method::OoOnly);
+    methods.push(Method::Moheco);
+
+    let outcomes: Vec<_> = methods
+        .iter()
+        .map(|&m| {
+            eprintln!("running {} ...", m.label());
+            (m, run_method(FoldedCascode::new, m, &scale, 0xE1A1))
+        })
+        .collect();
+    let rows: Vec<_> = outcomes.iter().map(|(m, o)| (*m, o)).collect();
+
+    print_deviation_table(
+        "Table 1: deviation of the reported yield from the reference yield (example 1)",
+        &rows,
+    );
+    print_simulation_table("Table 2: total number of simulations (example 1)", &rows);
+    print_fig6_csv(&rows);
+
+    // Headline ratio of the paper: MOHECO uses ~1/7 of the simulations of the
+    // AS+LHS-500 flow (the middle fixed budget here).
+    let mid_fixed = rows[1].1.simulation_summary();
+    let moheco = rows.last().expect("methods non-empty").1.simulation_summary();
+    if mid_fixed.mean > 0.0 {
+        println!(
+            "\nMOHECO uses {:.1}% of the simulations of the {} baseline (paper: ~14%)",
+            100.0 * moheco.mean / mid_fixed.mean,
+            rows[1].0.label()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Reproduces Tables 3 and 4 of the MOHECO paper: yield-estimate deviation
+//! and total simulation count for the two-stage telescopic-cascode amplifier
+//! in 90 nm (example 2), comparing the fixed-budget `AS + LHS` baselines and
+//! MOHECO.
+//!
+//! Run with `--paper` for the full-scale settings.
+
+use moheco_analog::TelescopicTwoStage;
+use moheco_bench::{
+    print_deviation_table, print_simulation_table, run_method, ExperimentScale, Method,
+};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!(
+        "Example 2 (two-stage telescopic cascode, 90nm): {} runs per method, reference yield from {} samples",
+        scale.runs, scale.reference_samples
+    );
+
+    let budgets = scale.fixed_budgets();
+    // The paper's Table 3/4 compares the 300- and 500-simulation baselines
+    // against MOHECO for this (more expensive) circuit.
+    let methods = vec![
+        Method::FixedBudget(budgets[0]),
+        Method::FixedBudget(budgets[1]),
+        Method::Moheco,
+    ];
+
+    let outcomes: Vec<_> = methods
+        .iter()
+        .map(|&m| {
+            eprintln!("running {} ...", m.label());
+            (m, run_method(TelescopicTwoStage::new, m, &scale, 0xE2A2))
+        })
+        .collect();
+    let rows: Vec<_> = outcomes.iter().map(|(m, o)| (*m, o)).collect();
+
+    print_deviation_table(
+        "Table 3: deviation of the reported yield from the reference yield (example 2)",
+        &rows,
+    );
+    print_simulation_table("Table 4: total number of simulations (example 2)", &rows);
+
+    let fixed = rows[1].1.simulation_summary();
+    let moheco = rows[2].1.simulation_summary();
+    if fixed.mean > 0.0 {
+        println!(
+            "\nMOHECO uses {:.1}% of the simulations of the {} baseline (paper: 14.16%)",
+            100.0 * moheco.mean / fixed.mean,
+            rows[1].0.label()
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! The MOHECO algorithm (Fig. 4 of the paper) and its baselines.
+//!
+//! One [`YieldOptimizer`] implements all compared methods; the
+//! [`MohecoConfig`] selects the variant:
+//!
+//! * **MOHECO** — two-stage OO estimation + memetic DE/NM search
+//!   ([`MohecoConfig::paper`]).
+//! * **OO + AS + LHS** — two-stage OO estimation, no memetic operator
+//!   ([`MohecoConfig::as_oo_without_memetic`]).
+//! * **AS + LHS with N simulations** — fixed per-candidate budget, no memetic
+//!   operator ([`MohecoConfig::as_fixed_budget`]).
+//!
+//! All variants share the DE engine, the selection-based constraint handling,
+//! the acceptance-sampling screen and the LHS sampling plan, exactly as in the
+//! paper's experimental setup.
+
+use crate::candidate::{best_candidate_index, Candidate};
+use crate::config::{MohecoConfig, YieldStrategy};
+use crate::problem::YieldProblem;
+use crate::trace::{GenerationRecord, Trace};
+use crate::two_stage::{estimate_fixed_budget, estimate_two_stage, AllocationRecord};
+use moheco_analog::Testbench;
+use moheco_optim::de::{de_crossover, de_mutant, DeConfig, DeStrategy};
+use moheco_optim::memetic::StagnationTracker;
+use moheco_optim::nelder_mead::{nelder_mead, NelderMeadConfig};
+use moheco_optim::population::{Individual, Population};
+use moheco_optim::problem::{random_point, Evaluation};
+use moheco_sampling::YieldEstimate;
+use rand::Rng;
+
+/// Result of one yield-optimization run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The best sizing found.
+    pub best_x: Vec<f64>,
+    /// The reported yield of the best sizing (stage-2 / `n_max`-sample estimate).
+    pub reported_yield: f64,
+    /// Total number of circuit simulations consumed by the run.
+    pub total_simulations: u64,
+    /// Number of generations executed.
+    pub generations: usize,
+    /// Number of times the Nelder–Mead local search was triggered.
+    pub local_searches: usize,
+    /// Per-generation trace.
+    pub trace: Trace,
+}
+
+impl RunResult {
+    /// Best-yield history over the generations.
+    pub fn history(&self) -> Vec<f64> {
+        self.trace.best_yield_history()
+    }
+}
+
+/// The configurable yield optimizer.
+#[derive(Debug, Clone)]
+pub struct YieldOptimizer {
+    config: MohecoConfig,
+}
+
+impl YieldOptimizer {
+    /// Creates an optimizer with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MohecoConfig::validate`]).
+    pub fn new(config: MohecoConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MohecoConfig {
+        &self.config
+    }
+
+    /// Runs the optimizer on `problem`.
+    pub fn run<T: Testbench, R: Rng + ?Sized>(
+        &self,
+        problem: &YieldProblem<T>,
+        rng: &mut R,
+    ) -> RunResult {
+        let cfg = &self.config;
+        let bounds = problem.bounds();
+        let sims_at_start = problem.simulations();
+
+        // Step 0: random initial population, screened for feasibility.
+        let mut population: Vec<Candidate> = (0..cfg.population_size)
+            .map(|_| {
+                let x = random_point(&bounds, rng);
+                self.screen(problem, x)
+            })
+            .collect();
+        let init_alloc = self.estimate_generation(problem, &mut population, rng);
+
+        let mut trace = Trace::new();
+        let mut best = population[best_candidate_index(&population).expect("non-empty")].clone();
+        trace.push(self.record(0, &population, &init_alloc, problem, sims_at_start));
+
+        let mut memetic_tracker = StagnationTracker::new(cfg.memetic_trigger);
+        let mut stop_stagnation = 0usize;
+        let mut generations = 1usize;
+        let mut local_searches = 0usize;
+
+        for gen in 1..cfg.max_generations {
+            generations = gen + 1;
+            // Steps 1-3: DE mutation + crossover + feasibility screen.
+            let view = candidate_population(&population);
+            let de_cfg = DeConfig {
+                population_size: cfg.population_size,
+                f: cfg.de_f,
+                cr: cfg.de_cr,
+                strategy: DeStrategy::Best1,
+                ..DeConfig::default()
+            };
+            let mut trials: Vec<Candidate> = (0..population.len())
+                .map(|i| {
+                    let mutant = de_mutant(&view, i, &de_cfg, &bounds, rng);
+                    let trial_x = de_crossover(&population[i].x, &mutant, cfg.de_cr, rng);
+                    self.screen(problem, trial_x)
+                })
+                .collect();
+
+            // Steps 4-7: yield estimation of the trial candidates.
+            let alloc = self.estimate_generation(problem, &mut trials, rng);
+
+            // Step 8: one-to-one selection.
+            for (parent, trial) in population.iter_mut().zip(trials.into_iter()) {
+                if trial.beats(parent) {
+                    *parent = trial;
+                }
+            }
+
+            // Track the best candidate.
+            let gen_best = population[best_candidate_index(&population).expect("non-empty")].clone();
+            let improved = gen_best.beats(&best)
+                && (gen_best.yield_value() > best.yield_value() + 1e-12
+                    || (!best.feasible && gen_best.feasible));
+            if improved {
+                best = gen_best.clone();
+                stop_stagnation = 0;
+            } else {
+                stop_stagnation += 1;
+            }
+
+            // Steps 9-10: adaptive memetic local search on the best member.
+            let trigger_value = if gen_best.feasible {
+                -gen_best.yield_value()
+            } else {
+                f64::INFINITY
+            };
+            if cfg.memetic_enabled && memetic_tracker.update(trigger_value) && gen_best.feasible {
+                local_searches += 1;
+                let refined = self.local_search(problem, &gen_best, &bounds, rng);
+                if let Some(refined) = refined {
+                    let idx = best_candidate_index(&population).expect("non-empty");
+                    if refined.beats(&population[idx]) {
+                        population[idx] = refined.clone();
+                    }
+                    if refined.beats(&best) && refined.yield_value() > best.yield_value() {
+                        best = refined;
+                        stop_stagnation = 0;
+                    }
+                }
+            }
+
+            trace.push(self.record(gen, &population, &alloc, problem, sims_at_start));
+
+            // Step 11: stopping criteria.
+            if best.feasible && best.yield_value() >= cfg.target_yield {
+                break;
+            }
+            if stop_stagnation >= cfg.stop_stagnation {
+                break;
+            }
+        }
+
+        // Final report: make sure the best candidate carries an n_max-sample
+        // estimate (it may still be a stage-1 estimate for the fixed variants).
+        if best.feasible && best.estimate.samples < cfg.n_max {
+            let missing = cfg.n_max - best.estimate.samples;
+            let outcomes = problem.simulate_outcomes(&best.x, missing, rng);
+            let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
+            best.estimate = best
+                .estimate
+                .merge(&YieldEstimate::new(passes, outcomes.len()));
+        }
+
+        RunResult {
+            best_x: best.x.clone(),
+            reported_yield: best.yield_value(),
+            total_simulations: problem.simulations() - sims_at_start,
+            generations,
+            local_searches,
+            trace,
+        }
+    }
+
+    /// Nominal feasibility screen (steps 3 and 7 of the flow).
+    fn screen<T: Testbench>(&self, problem: &YieldProblem<T>, x: Vec<f64>) -> Candidate {
+        let report = problem.feasibility(&x);
+        if report.is_feasible() {
+            Candidate::feasible(x, report.decision)
+        } else {
+            Candidate::infeasible(x, report.violation)
+        }
+    }
+
+    /// Steps 4-7: estimate the yields of one generation of candidates.
+    fn estimate_generation<T: Testbench, R: Rng + ?Sized>(
+        &self,
+        problem: &YieldProblem<T>,
+        candidates: &mut [Candidate],
+        rng: &mut R,
+    ) -> AllocationRecord {
+        match self.config.strategy {
+            YieldStrategy::TwoStageOo => {
+                estimate_two_stage(problem, candidates, &self.config, rng)
+            }
+            YieldStrategy::FixedBudget { sims_per_candidate } => {
+                estimate_fixed_budget(problem, candidates, sims_per_candidate, rng)
+            }
+        }
+    }
+
+    /// Step 10: Nelder–Mead refinement of the best member.
+    fn local_search<T: Testbench, R: Rng + ?Sized>(
+        &self,
+        problem: &YieldProblem<T>,
+        start: &Candidate,
+        bounds: &[(f64, f64)],
+        rng: &mut R,
+    ) -> Option<Candidate> {
+        let cfg = &self.config;
+        let nm_cfg = NelderMeadConfig {
+            max_iterations: cfg.nm_iterations,
+            ..NelderMeadConfig::memetic_default()
+        };
+        let objective = |x: &[f64]| {
+            let report = problem.feasibility(x);
+            if !report.is_feasible() {
+                return 1e6 + report.violation;
+            }
+            let est = problem.estimate_yield(x, cfg.n_max, report.decision, rng);
+            -est.value()
+        };
+        let result = nelder_mead(objective, &start.x, bounds, &nm_cfg);
+        // Re-screen and re-estimate the refined point so the candidate carries
+        // consistent data.
+        let report = problem.feasibility(&result.x);
+        if !report.is_feasible() {
+            return None;
+        }
+        let est = problem.estimate_yield(&result.x, cfg.n_max, report.decision, rng);
+        let mut refined = Candidate::feasible(result.x, report.decision);
+        refined.estimate = est;
+        refined.stage = crate::candidate::Stage::Two;
+        Some(refined)
+    }
+
+    fn record<T: Testbench>(
+        &self,
+        generation: usize,
+        population: &[Candidate],
+        alloc: &AllocationRecord,
+        problem: &YieldProblem<T>,
+        sims_at_start: u64,
+    ) -> GenerationRecord {
+        let best_idx = best_candidate_index(population).expect("non-empty");
+        GenerationRecord {
+            generation,
+            best_yield: population[best_idx].yield_value(),
+            num_feasible: population.iter().filter(|c| c.feasible).count(),
+            simulations_so_far: problem.simulations() - sims_at_start,
+            simulations_this_generation: alloc.total,
+            candidates: population
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    (
+                        c.x.clone(),
+                        c.yield_value(),
+                        alloc.samples.get(i).copied().unwrap_or(0),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Builds an `moheco-optim` population view of the candidates so the DE
+/// operators (and their best-member selection) can be reused unchanged.
+fn candidate_population(candidates: &[Candidate]) -> Population {
+    candidates
+        .iter()
+        .map(|c| {
+            let eval = if c.feasible {
+                Evaluation::feasible(-c.yield_value())
+            } else {
+                Evaluation::new(f64::INFINITY, c.violation.max(1e-12))
+            };
+            Individual::new(c.x.clone(), eval)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moheco_analog::FoldedCascode;
+    use moheco_sampling::SamplingPlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_config() -> MohecoConfig {
+        MohecoConfig {
+            population_size: 8,
+            n0: 4,
+            sim_ave: 10,
+            delta: 6,
+            n_max: 40,
+            max_generations: 6,
+            stop_stagnation: 5,
+            nm_iterations: 3,
+            ..MohecoConfig::fast()
+        }
+    }
+
+    #[test]
+    fn moheco_run_produces_a_feasible_design_with_decent_yield() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let optimizer = YieldOptimizer::new(tiny_config());
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = optimizer.run(&problem, &mut rng);
+        assert!(result.total_simulations > 0);
+        assert_eq!(result.total_simulations, problem.simulations());
+        assert!(result.generations >= 1 && result.generations <= 6);
+        assert!(!result.trace.is_empty());
+        assert!(result.reported_yield >= 0.0 && result.reported_yield <= 1.0);
+        assert_eq!(result.best_x.len(), problem.dimension());
+    }
+
+    #[test]
+    fn fixed_budget_variant_spends_more_simulations_than_two_stage() {
+        let mut sims_fixed = 0;
+        let mut sims_oo = 0;
+        for seed in 0..2u64 {
+            let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+            let fixed =
+                YieldOptimizer::new(tiny_config().as_fixed_budget(60)).run(&problem, &mut StdRng::seed_from_u64(seed));
+            sims_fixed += fixed.total_simulations;
+
+            let problem2 = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+            let oo = YieldOptimizer::new(tiny_config().as_oo_without_memetic())
+                .run(&problem2, &mut StdRng::seed_from_u64(seed));
+            sims_oo += oo.total_simulations;
+        }
+        assert!(
+            sims_oo < sims_fixed,
+            "OO variant should be cheaper: {sims_oo} vs {sims_fixed}"
+        );
+    }
+
+    #[test]
+    fn trace_contains_training_data() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let optimizer = YieldOptimizer::new(tiny_config());
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = optimizer.run(&problem, &mut rng);
+        let pairs = result.trace.training_pairs(result.generations - 1);
+        assert!(!pairs.is_empty());
+        for (x, y) in &pairs {
+            assert_eq!(x.len(), problem.dimension());
+            assert!((0.0..=1.0).contains(y));
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed: u64| {
+            let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+            let optimizer = YieldOptimizer::new(tiny_config());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = optimizer.run(&problem, &mut rng);
+            (r.best_x.clone(), r.total_simulations)
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let c = run(10);
+        assert!(a.0 != c.0 || a.1 != c.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_configuration_is_rejected() {
+        let mut cfg = tiny_config();
+        cfg.population_size = 2;
+        let _ = YieldOptimizer::new(cfg);
+    }
+}

@@ -1,0 +1,255 @@
+//! The yield-optimization problem: glue between a circuit testbench, the
+//! statistical process model and the Monte-Carlo machinery.
+//!
+//! A [`YieldProblem`] owns the testbench, a [`ProcessSampler`] matched to it,
+//! an [`AcceptanceSampler`] screen and a shared [`SimulationCounter`]. Every
+//! circuit evaluation — nominal feasibility checks and Monte-Carlo yield
+//! samples alike — goes through this type so that the simulation counts
+//! reported in Tables 2 and 4 are complete.
+
+use moheco_analog::Testbench;
+use moheco_process::ProcessSampler;
+use moheco_sampling::{AcceptanceSampler, AsDecision, SamplingPlan, SimulationCounter, YieldEstimate};
+use rand::Rng;
+
+/// Result of the nominal feasibility screen of one candidate sizing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityReport {
+    /// Normalised nominal specification margins (positive = pass).
+    pub margins: Vec<f64>,
+    /// Aggregate constraint violation (0 = feasible).
+    pub violation: f64,
+    /// Acceptance-sampling decision derived from the margins.
+    pub decision: AsDecision,
+}
+
+impl FeasibilityReport {
+    /// Returns `true` when the nominal design meets every specification.
+    pub fn is_feasible(&self) -> bool {
+        self.violation <= 0.0
+    }
+}
+
+/// The yield-optimization problem over a circuit testbench.
+pub struct YieldProblem<T> {
+    testbench: T,
+    sampler: ProcessSampler,
+    acceptance: AcceptanceSampler,
+    counter: SimulationCounter,
+    plan: SamplingPlan,
+}
+
+impl<T: Testbench> YieldProblem<T> {
+    /// Creates the yield problem for `testbench` with the given sampling plan.
+    pub fn new(testbench: T, plan: SamplingPlan) -> Self {
+        let sampler = ProcessSampler::new(testbench.technology().clone(), testbench.num_devices());
+        Self {
+            testbench,
+            sampler,
+            acceptance: AcceptanceSampler::default(),
+            counter: SimulationCounter::new(),
+            plan,
+        }
+    }
+
+    /// The underlying testbench.
+    pub fn testbench(&self) -> &T {
+        &self.testbench
+    }
+
+    /// The shared simulation counter (clone it to keep a handle).
+    pub fn counter(&self) -> SimulationCounter {
+        self.counter.clone()
+    }
+
+    /// Total number of circuit simulations spent so far.
+    pub fn simulations(&self) -> u64 {
+        self.counter.total()
+    }
+
+    /// Resets the simulation counter (used between experiment repetitions).
+    pub fn reset_counter(&self) {
+        self.counter.reset();
+    }
+
+    /// Design-space bounds of the testbench.
+    pub fn bounds(&self) -> Vec<(f64, f64)> {
+        self.testbench.bounds()
+    }
+
+    /// Number of design variables.
+    pub fn dimension(&self) -> usize {
+        self.testbench.dimension()
+    }
+
+    /// The process sampler matched to the testbench.
+    pub fn process_sampler(&self) -> &ProcessSampler {
+        &self.sampler
+    }
+
+    /// Nominal feasibility screen (costs exactly one circuit simulation).
+    pub fn feasibility(&self, x: &[f64]) -> FeasibilityReport {
+        self.counter.add(1);
+        let perf = self.testbench.evaluate_nominal(x);
+        let margins = self.testbench.specs().margins(&perf);
+        let violation = margins.iter().filter(|&&m| m < 0.0).map(|&m| -m).sum();
+        let decision = self.acceptance.screen(&margins);
+        FeasibilityReport {
+            margins,
+            violation,
+            decision,
+        }
+    }
+
+    /// Draws `n` fresh Monte-Carlo pass/fail outcomes (1.0 = all specs met)
+    /// for sizing `x`. Each outcome costs one circuit simulation.
+    pub fn simulate_outcomes<R: Rng + ?Sized>(&self, x: &[f64], n: usize, rng: &mut R) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.counter.add(n as u64);
+        let dim = self.sampler.dimension();
+        let points = self.plan.generate(rng, n, dim);
+        points
+            .iter()
+            .map(|u| {
+                let xi = self.sampler.from_unit_point(u);
+                let perf = self.testbench.evaluate(x, &xi);
+                if self.testbench.specs().all_met(&perf) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Estimates the yield of sizing `x` with `n` Monte-Carlo samples,
+    /// honouring the acceptance-sampling screen: candidates rejected by the
+    /// screen report zero yield without spending samples, deeply accepted
+    /// candidates spend a reduced confirmation budget.
+    pub fn estimate_yield<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        n: usize,
+        decision: AsDecision,
+        rng: &mut R,
+    ) -> YieldEstimate {
+        let budget = self.acceptance.budget_for(decision, n);
+        if budget == 0 {
+            return YieldEstimate::default();
+        }
+        let outcomes = self.simulate_outcomes(x, budget, rng);
+        let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
+        YieldEstimate::new(passes, outcomes.len())
+    }
+
+    /// High-accuracy reference yield of sizing `x` (used to fill the
+    /// "deviation from a 50 000-sample MC" columns of Tables 1 and 3).
+    ///
+    /// The samples spent here are *not* charged to the optimizer's counter:
+    /// they belong to the experimental methodology, not to the method under
+    /// test.
+    pub fn reference_yield<R: Rng + ?Sized>(&self, x: &[f64], n: usize, rng: &mut R) -> f64 {
+        let dim = self.sampler.dimension();
+        let mut passes = 0usize;
+        // Generate in chunks to bound the memory of the LHS permutation.
+        let chunk = 2000;
+        let mut remaining = n;
+        while remaining > 0 {
+            let m = remaining.min(chunk);
+            let points = self.plan.generate(rng, m, dim);
+            for u in &points {
+                let xi = self.sampler.from_unit_point(u);
+                let perf = self.testbench.evaluate(x, &xi);
+                if self.testbench.specs().all_met(&perf) {
+                    passes += 1;
+                }
+            }
+            remaining -= m;
+        }
+        passes as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moheco_analog::FoldedCascode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem() -> YieldProblem<FoldedCascode> {
+        YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube)
+    }
+
+    #[test]
+    fn feasibility_screen_counts_one_simulation() {
+        let p = problem();
+        let x = p.testbench().reference_design();
+        assert_eq!(p.simulations(), 0);
+        let rep = p.feasibility(&x);
+        assert!(rep.is_feasible(), "report {rep:?}");
+        assert_eq!(p.simulations(), 1);
+        assert_ne!(rep.decision, AsDecision::RejectWithoutSampling);
+    }
+
+    #[test]
+    fn infeasible_design_is_rejected_without_sampling() {
+        let p = problem();
+        let mut x = p.testbench().reference_design();
+        x[8] = 480.0; // far too much current: power spec violated
+        let rep = p.feasibility(&x);
+        assert!(!rep.is_feasible());
+        assert_eq!(rep.decision, AsDecision::RejectWithoutSampling);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = p.estimate_yield(&x, 100, rep.decision, &mut rng);
+        assert_eq!(est.samples, 0);
+        assert_eq!(est.value(), 0.0);
+        // Only the feasibility simulation was spent.
+        assert_eq!(p.simulations(), 1);
+    }
+
+    #[test]
+    fn yield_estimate_counts_samples() {
+        let p = problem();
+        let x = p.testbench().reference_design();
+        let rep = p.feasibility(&x);
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = p.estimate_yield(&x, 60, rep.decision, &mut rng);
+        assert!(est.samples > 0 && est.samples <= 60);
+        assert!(est.value() > 0.3, "yield {}", est.value());
+        assert_eq!(p.simulations(), 1 + est.samples as u64);
+    }
+
+    #[test]
+    fn reference_yield_does_not_touch_the_counter() {
+        let p = problem();
+        let x = p.testbench().reference_design();
+        let mut rng = StdRng::seed_from_u64(3);
+        let y = p.reference_yield(&x, 200, &mut rng);
+        assert!(y > 0.3 && y <= 1.0);
+        assert_eq!(p.simulations(), 0);
+    }
+
+    #[test]
+    fn counter_reset() {
+        let p = problem();
+        let x = p.testbench().reference_design();
+        let _ = p.feasibility(&x);
+        assert!(p.simulations() > 0);
+        p.reset_counter();
+        assert_eq!(p.simulations(), 0);
+    }
+
+    #[test]
+    fn simulate_outcomes_returns_requested_count() {
+        let p = problem();
+        let x = p.testbench().reference_design();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = p.simulate_outcomes(&x, 25, &mut rng);
+        assert_eq!(out.len(), 25);
+        assert!(out.iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(p.simulate_outcomes(&x, 0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! The two-stage yield-estimation flow (the first key idea of MOHECO).
+//!
+//! Stage 1 treats the feasible candidates of one generation as an
+//! ordinal-optimization problem: a total budget `T = sim_ave × N_fea` is
+//! distributed by the sequential OCBA loop so that promising candidates are
+//! ranked reliably while clearly bad ones receive only a few samples.
+//! Candidates whose stage-1 estimate exceeds the promotion threshold (97 %)
+//! are moved to stage 2, where their estimate is topped up to the maximum
+//! sample count `n_max` for an accurate final figure.
+//!
+//! The fixed-budget baseline (`AS + LHS with N simulations per candidate`)
+//! is implemented here too so all methods share the same plumbing.
+
+use crate::candidate::{Candidate, Stage};
+use crate::config::MohecoConfig;
+use crate::problem::YieldProblem;
+use moheco_analog::Testbench;
+use moheco_ocba::sequential::{run_sequential, SequentialConfig};
+use moheco_sampling::{AsDecision, YieldEstimate};
+use rand::Rng;
+
+/// Per-generation record of how the estimation budget was spent.
+#[derive(Debug, Clone, Default)]
+pub struct AllocationRecord {
+    /// Samples spent on each candidate of the generation (same order as the
+    /// candidate slice passed in; infeasible candidates receive 0).
+    pub samples: Vec<usize>,
+    /// Estimated yields after the allocation (0 for infeasible candidates).
+    pub yields: Vec<f64>,
+    /// Indices of candidates promoted to stage 2 this generation.
+    pub promoted: Vec<usize>,
+    /// Total samples spent this generation.
+    pub total: usize,
+}
+
+/// Estimates the yields of a generation of candidates with the two-stage
+/// OO scheme, updating the candidates in place.
+pub fn estimate_two_stage<T: Testbench, R: Rng + ?Sized>(
+    problem: &YieldProblem<T>,
+    candidates: &mut [Candidate],
+    config: &MohecoConfig,
+    rng: &mut R,
+) -> AllocationRecord {
+    let feasible_idx: Vec<usize> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.feasible && c.decision != AsDecision::RejectWithoutSampling)
+        .map(|(i, _)| i)
+        .collect();
+    let mut record = AllocationRecord {
+        samples: vec![0; candidates.len()],
+        yields: vec![0.0; candidates.len()],
+        promoted: Vec::new(),
+        total: 0,
+    };
+
+    match feasible_idx.len() {
+        0 => {}
+        1 => {
+            // A single feasible candidate: no ranking problem to solve, just
+            // give it the average budget.
+            let i = feasible_idx[0];
+            let outcomes = problem.simulate_outcomes(&candidates[i].x, config.sim_ave, rng);
+            let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
+            candidates[i].estimate = YieldEstimate::new(passes, outcomes.len());
+            record.samples[i] = outcomes.len();
+            record.total += outcomes.len();
+        }
+        _ => {
+            // Sequential OCBA over the feasible subset.
+            let total_budget = config.sim_ave * feasible_idx.len();
+            let seq = SequentialConfig {
+                n0: config.n0,
+                delta: config.delta,
+                total_budget,
+                per_design_cap: Some(config.n_max),
+            };
+            let xs: Vec<Vec<f64>> = feasible_idx
+                .iter()
+                .map(|&i| candidates[i].x.clone())
+                .collect();
+            let outcome = run_sequential(feasible_idx.len(), seq, |design, n| {
+                problem.simulate_outcomes(&xs[design], n, rng)
+            })
+            .expect("at least two designs");
+            for (k, &i) in feasible_idx.iter().enumerate() {
+                let stats = &outcome.stats[k];
+                let passes = (stats.mean * stats.count as f64).round() as usize;
+                candidates[i].estimate = YieldEstimate::new(passes.min(stats.count), stats.count);
+                record.samples[i] = outcome.spent[k];
+                record.total += outcome.spent[k];
+            }
+        }
+    }
+
+    // Stage-2 promotion: top up promising candidates to n_max samples.
+    for &i in &feasible_idx {
+        if candidates[i].estimate.value() >= config.stage2_threshold {
+            let missing = config.n_max.saturating_sub(candidates[i].estimate.samples);
+            if missing > 0 {
+                let outcomes = problem.simulate_outcomes(&candidates[i].x, missing, rng);
+                let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
+                candidates[i].estimate = candidates[i]
+                    .estimate
+                    .merge(&YieldEstimate::new(passes, outcomes.len()));
+                record.samples[i] += outcomes.len();
+                record.total += outcomes.len();
+            }
+            candidates[i].stage = Stage::Two;
+            record.promoted.push(i);
+        }
+    }
+
+    for (i, c) in candidates.iter().enumerate() {
+        record.yields[i] = c.yield_value();
+    }
+    record
+}
+
+/// Estimates the yields of a generation with the fixed-budget baseline
+/// (`sims` samples per feasible candidate, reduced for deeply accepted ones).
+pub fn estimate_fixed_budget<T: Testbench, R: Rng + ?Sized>(
+    problem: &YieldProblem<T>,
+    candidates: &mut [Candidate],
+    sims: usize,
+    rng: &mut R,
+) -> AllocationRecord {
+    let mut record = AllocationRecord {
+        samples: vec![0; candidates.len()],
+        yields: vec![0.0; candidates.len()],
+        promoted: Vec::new(),
+        total: 0,
+    };
+    for (i, c) in candidates.iter_mut().enumerate() {
+        if !c.feasible {
+            continue;
+        }
+        let est = problem.estimate_yield(&c.x, sims, c.decision, rng);
+        c.estimate = est;
+        c.stage = Stage::Two;
+        record.samples[i] = est.samples;
+        record.total += est.samples;
+        record.yields[i] = c.yield_value();
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MohecoConfig;
+    use moheco_analog::{FoldedCascode, Testbench};
+    use moheco_sampling::SamplingPlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_candidates(problem: &YieldProblem<FoldedCascode>) -> Vec<Candidate> {
+        // Reference design (good), a starved variant (infeasible) and a
+        // perturbed-but-feasible variant.
+        let reference = problem.testbench().reference_design();
+        let mut starved = reference.clone();
+        starved[8] = 55.0;
+        let mut warm = reference.clone();
+        warm[8] = 180.0;
+        [reference, starved, warm]
+            .into_iter()
+            .map(|x| {
+                let rep = problem.feasibility(&x);
+                if rep.is_feasible() {
+                    Candidate::feasible(x, rep.decision)
+                } else {
+                    Candidate::infeasible(x, rep.violation)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_stage_allocates_only_to_feasible_candidates() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let mut candidates = make_candidates(&problem);
+        let config = MohecoConfig {
+            n0: 6,
+            sim_ave: 15,
+            delta: 8,
+            n_max: 60,
+            ..MohecoConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        // The infeasible candidate received no samples.
+        for (c, &s) in candidates.iter().zip(&record.samples) {
+            if !c.feasible {
+                assert_eq!(s, 0);
+                assert_eq!(c.yield_value(), 0.0);
+            } else {
+                assert!(s > 0, "feasible candidates must be sampled");
+            }
+        }
+        assert_eq!(record.total, record.samples.iter().sum::<usize>());
+        assert_eq!(record.yields.len(), candidates.len());
+    }
+
+    #[test]
+    fn promotion_tops_up_to_n_max() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let mut candidates = make_candidates(&problem);
+        let config = MohecoConfig {
+            n0: 6,
+            sim_ave: 15,
+            delta: 8,
+            n_max: 80,
+            stage2_threshold: 0.5,
+            ..MohecoConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        assert!(
+            !record.promoted.is_empty(),
+            "the reference design should be promoted"
+        );
+        for &i in &record.promoted {
+            assert_eq!(candidates[i].stage, Stage::Two);
+            assert_eq!(candidates[i].estimate.samples, 80);
+        }
+    }
+
+    #[test]
+    fn single_feasible_candidate_gets_average_budget() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let reference = problem.testbench().reference_design();
+        let mut starved = reference.clone();
+        starved[8] = 55.0;
+        let mut candidates: Vec<Candidate> = [reference, starved]
+            .into_iter()
+            .map(|x| {
+                let rep = problem.feasibility(&x);
+                if rep.is_feasible() {
+                    Candidate::feasible(x, rep.decision)
+                } else {
+                    Candidate::infeasible(x, rep.violation)
+                }
+            })
+            .collect();
+        let config = MohecoConfig {
+            sim_ave: 20,
+            n0: 5,
+            n_max: 50,
+            stage2_threshold: 1.1, // disable promotion
+            ..MohecoConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        assert_eq!(record.samples[0], 20);
+        assert_eq!(record.samples[1], 0);
+    }
+
+    #[test]
+    fn fixed_budget_gives_every_feasible_candidate_the_same_samples() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let mut candidates = make_candidates(&problem);
+        let mut rng = StdRng::seed_from_u64(8);
+        let record = estimate_fixed_budget(&problem, &mut candidates, 40, &mut rng);
+        for (c, &s) in candidates.iter().zip(&record.samples) {
+            if c.feasible && c.decision == AsDecision::FullSampling {
+                assert_eq!(s, 40);
+            } else if !c.feasible {
+                assert_eq!(s, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ocba_spends_more_on_better_candidates_on_average() {
+        // This is the mechanism behind Fig. 3 of the paper.
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let reference = problem.testbench().reference_design();
+        // Construct several feasible candidates of varying quality by pushing
+        // the tail current towards the power limit (lower yield).
+        let currents = [150.0, 160.0, 168.0, 172.0];
+        let mut candidates: Vec<Candidate> = currents
+            .iter()
+            .map(|&i| {
+                let mut x = reference.clone();
+                x[8] = i;
+                let rep = problem.feasibility(&x);
+                if rep.is_feasible() {
+                    Candidate::feasible(x, rep.decision)
+                } else {
+                    Candidate::infeasible(x, rep.violation)
+                }
+            })
+            .collect();
+        let config = MohecoConfig {
+            n0: 10,
+            sim_ave: 35,
+            delta: 15,
+            n_max: 200,
+            stage2_threshold: 1.1,
+            ..MohecoConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        let feasible_total: usize = record.samples.iter().sum();
+        assert!(feasible_total > 0);
+        // Best-yield candidate should not be starved relative to the worst.
+        let yields = &record.yields;
+        let best = yields
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let worst_feasible = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.feasible)
+            .min_by(|a, b| a.1.yield_value().partial_cmp(&b.1.yield_value()).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            record.samples[best] + config.delta >= record.samples[worst_feasible],
+            "allocation {:?} yields {:?}",
+            record.samples,
+            yields
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! The optimal computing budget allocation (OCBA) rule.
+//!
+//! Given `S` candidate designs with estimated means `J_i` and variances
+//! `σ_i²`, and a total simulation budget `T`, OCBA (Chen et al. 2000 — the
+//! rule quoted as Eq. (1) in the MOHECO paper) asymptotically maximises the
+//! probability of correctly selecting the best design by allocating
+//!
+//! ```text
+//! n_i / n_j = (σ_i / δ_{b,i})² / (σ_j / δ_{b,j})²      i, j ≠ b
+//! n_b       = σ_b * sqrt( Σ_{i≠b} n_i² / σ_i² )
+//! ```
+//!
+//! where `b` is the current best design and `δ_{b,i} = J_b - J_i`.
+//!
+//! In MOHECO the "designs" are the feasible candidate circuit sizings of one
+//! population and the "simulations" are Monte-Carlo samples of the yield
+//! indicator; the best design is the one with the highest estimated yield.
+
+use std::fmt;
+
+/// Errors returned by the allocation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OcbaError {
+    /// Fewer than two designs were supplied.
+    TooFewDesigns {
+        /// Number supplied.
+        got: usize,
+    },
+    /// The statistics vectors have mismatched lengths.
+    LengthMismatch {
+        /// Length of the means vector.
+        means: usize,
+        /// Length of the variances vector.
+        variances: usize,
+    },
+    /// The total budget is zero.
+    ZeroBudget,
+    /// A variance was negative or not finite.
+    InvalidVariance {
+        /// Index of the offending design.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OcbaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OcbaError::TooFewDesigns { got } => {
+                write!(f, "ocba needs at least two designs, got {got}")
+            }
+            OcbaError::LengthMismatch { means, variances } => write!(
+                f,
+                "means ({means}) and variances ({variances}) must have the same length"
+            ),
+            OcbaError::ZeroBudget => write!(f, "total budget must be positive"),
+            OcbaError::InvalidVariance { index, value } => {
+                write!(f, "invalid variance {value} for design {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OcbaError {}
+
+/// Summary statistics of one design under simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignStats {
+    /// Sample mean of the performance (here: estimated yield).
+    pub mean: f64,
+    /// Sample variance of a *single* simulation replication.
+    pub variance: f64,
+    /// Number of replications already spent on this design.
+    pub samples: usize,
+}
+
+impl DesignStats {
+    /// Creates design statistics.
+    pub fn new(mean: f64, variance: f64, samples: usize) -> Self {
+        Self {
+            mean,
+            variance,
+            samples,
+        }
+    }
+}
+
+/// Computes the OCBA allocation ratios for a total budget of `total` new
+/// simulations, maximising the mean (use negated means to minimise).
+///
+/// Returns the *target cumulative* number of simulations for each design such
+/// that the targets sum to `total`. Degenerate situations are regularised:
+/// zero variances are floored at a small epsilon and zero mean-differences at
+/// a fraction of the smallest non-zero difference, matching common OCBA
+/// implementations.
+///
+/// # Errors
+///
+/// Returns [`OcbaError`] on invalid input (fewer than two designs, length
+/// mismatch, zero budget or negative variance).
+pub fn allocate(means: &[f64], variances: &[f64], total: usize) -> Result<Vec<usize>, OcbaError> {
+    if means.len() != variances.len() {
+        return Err(OcbaError::LengthMismatch {
+            means: means.len(),
+            variances: variances.len(),
+        });
+    }
+    if means.len() < 2 {
+        return Err(OcbaError::TooFewDesigns { got: means.len() });
+    }
+    if total == 0 {
+        return Err(OcbaError::ZeroBudget);
+    }
+    for (i, &v) in variances.iter().enumerate() {
+        if v < 0.0 || !v.is_finite() {
+            return Err(OcbaError::InvalidVariance { index: i, value: v });
+        }
+    }
+
+    let s = means.len();
+    // Best design: highest mean.
+    let b = means
+        .iter()
+        .enumerate()
+        .max_by(|a, c| a.1.partial_cmp(c.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    // Regularisation floors.
+    let var_floor = variances
+        .iter()
+        .cloned()
+        .filter(|v| *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let var_floor = if var_floor.is_finite() {
+        var_floor * 1e-3
+    } else {
+        1e-12
+    };
+    let mut deltas: Vec<f64> = means.iter().map(|&m| means[b] - m).collect();
+    let delta_floor = deltas
+        .iter()
+        .cloned()
+        .filter(|d| *d > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let delta_floor = if delta_floor.is_finite() {
+        delta_floor * 1e-2
+    } else {
+        1e-6
+    };
+    for (i, d) in deltas.iter_mut().enumerate() {
+        if i != b && *d <= 0.0 {
+            *d = delta_floor;
+        }
+    }
+
+    // Relative ratios w_i = (sigma_i / delta_i)^2 for i != b, w_ref for the
+    // first non-best design as reference.
+    let sigma = |i: usize| variances[i].max(var_floor).sqrt();
+    let mut weights = vec![0.0; s];
+    for i in 0..s {
+        if i == b {
+            continue;
+        }
+        let w = (sigma(i) / deltas[i]).powi(2);
+        weights[i] = w;
+    }
+    // n_b proportional to sigma_b * sqrt(sum_i (w_i / sigma_i)^2 * sigma_i^2)
+    //  = sigma_b * sqrt(sum_i w_i^2 / sigma_i^2)
+    let sum_sq: f64 = (0..s)
+        .filter(|&i| i != b)
+        .map(|i| (weights[i] * weights[i]) / variances[i].max(var_floor))
+        .sum();
+    weights[b] = sigma(b) * sum_sq.sqrt();
+
+    let weight_sum: f64 = weights.iter().sum();
+    if weight_sum <= 0.0 || !weight_sum.is_finite() {
+        // Fall back to uniform allocation.
+        let each = total / s;
+        let mut out = vec![each; s];
+        let mut rem = total - each * s;
+        let mut i = 0;
+        while rem > 0 {
+            out[i] += 1;
+            rem -= 1;
+            i = (i + 1) % s;
+        }
+        return Ok(out);
+    }
+
+    // Convert ratios to integer allocations summing to `total` (largest
+    // remainder method).
+    let raw: Vec<f64> = weights.iter().map(|w| w / weight_sum * total as f64).collect();
+    let mut alloc: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
+    let mut assigned: usize = alloc.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r - r.floor()))
+        .collect();
+    remainders.sort_by(|a, c| c.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut k = 0;
+    while assigned < total {
+        alloc[remainders[k % s].0] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    Ok(alloc)
+}
+
+/// Computes the incremental allocation given already-spent samples.
+///
+/// `stats[i].samples` simulations have already been spent on design `i`; the
+/// function allocates `delta` *additional* simulations so that the cumulative
+/// totals track the OCBA-optimal proportions as closely as possible (designs
+/// that already exceed their target receive nothing).
+///
+/// Returns the number of additional simulations for each design (sums to
+/// `delta`).
+///
+/// # Errors
+///
+/// Propagates the errors of [`allocate`].
+pub fn allocate_incremental(stats: &[DesignStats], delta: usize) -> Result<Vec<usize>, OcbaError> {
+    let means: Vec<f64> = stats.iter().map(|s| s.mean).collect();
+    let variances: Vec<f64> = stats.iter().map(|s| s.variance).collect();
+    let spent: usize = stats.iter().map(|s| s.samples).sum();
+    let total = spent + delta;
+    let target = allocate(&means, &variances, total)?;
+    // Additional samples: shortfall wrt target, then renormalise to `delta`.
+    let shortfall: Vec<usize> = target
+        .iter()
+        .zip(stats)
+        .map(|(&t, s)| t.saturating_sub(s.samples))
+        .collect();
+    let short_total: usize = shortfall.iter().sum();
+    if short_total == 0 {
+        // Everyone is at or above target; spread uniformly.
+        let s = stats.len();
+        let each = delta / s;
+        let mut out = vec![each; s];
+        let mut rem = delta - each * s;
+        let mut i = 0;
+        while rem > 0 {
+            out[i] += 1;
+            rem -= 1;
+            i = (i + 1) % s;
+        }
+        return Ok(out);
+    }
+    let mut out: Vec<usize> = shortfall
+        .iter()
+        .map(|&sf| ((sf as f64 / short_total as f64) * delta as f64).floor() as usize)
+        .collect();
+    let mut assigned: usize = out.iter().sum();
+    // Distribute the remainder to the designs with the largest shortfall.
+    let mut order: Vec<usize> = (0..stats.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(shortfall[i]));
+    let mut k = 0;
+    while assigned < delta {
+        out[order[k % order.len()]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            allocate(&[1.0], &[1.0], 10),
+            Err(OcbaError::TooFewDesigns { .. })
+        ));
+        assert!(matches!(
+            allocate(&[1.0, 2.0], &[1.0], 10),
+            Err(OcbaError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            allocate(&[1.0, 2.0], &[1.0, 1.0], 0),
+            Err(OcbaError::ZeroBudget)
+        ));
+        assert!(matches!(
+            allocate(&[1.0, 2.0], &[1.0, -1.0], 10),
+            Err(OcbaError::InvalidVariance { .. })
+        ));
+    }
+
+    #[test]
+    fn allocation_sums_to_total() {
+        let means = [0.9, 0.7, 0.5, 0.3];
+        let vars = [0.09, 0.21, 0.25, 0.21];
+        for total in [10, 100, 997] {
+            let a = allocate(&means, &vars, total).unwrap();
+            assert_eq!(a.iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn close_competitors_receive_more_budget() {
+        // Design 1 is close to the best (0.88 vs 0.9); design 3 is far away.
+        let means = [0.90, 0.88, 0.60, 0.30];
+        let vars = [0.1, 0.1, 0.1, 0.1];
+        let a = allocate(&means, &vars, 1000).unwrap();
+        assert!(
+            a[1] > a[2] && a[2] > a[3],
+            "closer competitors should get more: {a:?}"
+        );
+        // The best itself also receives a healthy share.
+        assert!(a[0] > a[3]);
+    }
+
+    #[test]
+    fn noisier_designs_receive_more_budget() {
+        let means = [0.9, 0.7, 0.7];
+        let vars = [0.05, 0.25, 0.05];
+        let a = allocate(&means, &vars, 1000).unwrap();
+        assert!(a[1] > a[2], "higher variance should get more: {a:?}");
+    }
+
+    #[test]
+    fn clearly_bad_designs_get_little() {
+        // Mirrors Fig. 3 of the paper qualitatively: good candidates hog the
+        // budget, bad candidates receive only a small share.
+        let means = [0.95, 0.90, 0.85, 0.30, 0.20, 0.10];
+        let vars = [0.05, 0.09, 0.13, 0.21, 0.16, 0.09];
+        let total = 6 * 35;
+        let a = allocate(&means, &vars, total).unwrap();
+        let good: usize = a[..3].iter().sum();
+        let bad: usize = a[3..].iter().sum();
+        assert!(
+            good as f64 / total as f64 > 0.6,
+            "good designs should receive most of the budget: {a:?}"
+        );
+        assert!(bad < good);
+    }
+
+    #[test]
+    fn ties_are_regularised_not_fatal() {
+        let means = [0.5, 0.5, 0.5];
+        let vars = [0.25, 0.25, 0.25];
+        let a = allocate(&means, &vars, 99).unwrap();
+        assert_eq!(a.iter().sum::<usize>(), 99);
+        // Roughly uniform under complete symmetry.
+        for &ai in &a {
+            assert!(ai > 10);
+        }
+    }
+
+    #[test]
+    fn zero_variance_designs_do_not_panic() {
+        let means = [1.0, 0.9, 0.5];
+        let vars = [0.0, 0.0, 0.0];
+        let a = allocate(&means, &vars, 30).unwrap();
+        assert_eq!(a.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn incremental_allocation_tops_up_underfunded_designs() {
+        let stats = vec![
+            DesignStats::new(0.9, 0.09, 50),
+            DesignStats::new(0.88, 0.10, 15),
+            DesignStats::new(0.3, 0.21, 15),
+        ];
+        let add = allocate_incremental(&stats, 60).unwrap();
+        assert_eq!(add.iter().sum::<usize>(), 60);
+        // The close competitor that is underfunded should receive the most.
+        assert!(add[1] >= add[2], "allocation {add:?}");
+    }
+
+    #[test]
+    fn incremental_handles_overfunded_population() {
+        // Everyone already has far more than the target for such a tiny delta.
+        let stats = vec![
+            DesignStats::new(0.9, 0.01, 1000),
+            DesignStats::new(0.2, 0.01, 1000),
+        ];
+        let add = allocate_incremental(&stats, 5).unwrap();
+        assert_eq!(add.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(OcbaError::ZeroBudget.to_string().contains("budget"));
+        assert!(OcbaError::TooFewDesigns { got: 1 }.to_string().contains("two"));
+    }
+}

@@ -1,0 +1,41 @@
+//! `moheco-ocba` — ordinal optimization and optimal computing budget
+//! allocation.
+//!
+//! MOHECO's first stage treats each population of feasible circuit sizings as
+//! an ordinal-optimization problem: the Monte-Carlo yield of every candidate
+//! is estimated just accurately enough to *rank* them, with the simulation
+//! budget distributed by the OCBA asymptotic rule (Eq. (1) of the paper, from
+//! Chen et al. 2000) so that promising candidates receive many samples and
+//! clearly bad candidates receive few.
+//!
+//! * [`allocation`] — the OCBA rule itself ([`allocation::allocate`]) and an
+//!   incremental variant that tops up designs already partially simulated.
+//! * [`sequential`] — the `n0`-then-`Δ`-increments loop used inside one
+//!   MOHECO generation ([`sequential::run_sequential`]).
+//! * [`ordinal`] — ranking helpers, good-enough subsets and alignment
+//!   probability estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use moheco_ocba::allocation::allocate;
+//!
+//! // Four candidate designs with estimated yields and per-sample variances.
+//! let means = [0.92, 0.88, 0.45, 0.20];
+//! let variances = [0.07, 0.10, 0.25, 0.16];
+//! let alloc = allocate(&means, &variances, 140)?;
+//! assert_eq!(alloc.iter().sum::<usize>(), 140);
+//! // The runner-up close to the best receives more budget than the stragglers.
+//! assert!(alloc[1] > alloc[3]);
+//! # Ok::<(), moheco_ocba::allocation::OcbaError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod ordinal;
+pub mod sequential;
+
+pub use allocation::{allocate, allocate_incremental, DesignStats, OcbaError};
+pub use ordinal::{alignment_level, alignment_probability, rank_descending, selected_subset};
+pub use sequential::{run_sequential, RunningStats, SequentialConfig, SequentialOutcome};

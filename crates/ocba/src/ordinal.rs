@@ -1,0 +1,157 @@
+//! Ordinal-optimization utilities: good-enough subsets and alignment
+//! probability.
+//!
+//! Ordinal optimization (Ho et al.) rests on two tenets quoted by the MOHECO
+//! paper: *order converges much faster than value*, and *a good-enough design
+//! is much cheaper to find than the exact best*. This module provides the
+//! order-level operations used by the first stage of MOHECO: ranking noisy
+//! yield estimates, selecting the observed top-`g` subset, and measuring how
+//! well the observed subset aligns with the true one (the alignment
+//! probability used in OO convergence analysis).
+
+/// Returns the indices of `values` sorted by decreasing value (best first).
+///
+/// NaNs are ordered last so that a failed estimate can never be ranked best.
+pub fn rank_descending(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let va = values[a];
+        let vb = values[b];
+        match (va.is_nan(), vb.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal),
+        }
+    });
+    idx
+}
+
+/// Returns the indices of the observed top-`g` designs (the *selected set*).
+///
+/// If `g` exceeds the number of designs, all indices are returned.
+pub fn selected_subset(values: &[f64], g: usize) -> Vec<usize> {
+    let ranked = rank_descending(values);
+    ranked.into_iter().take(g.min(values.len())).collect()
+}
+
+/// Alignment level between an observed selection and the true good-enough set:
+/// the number of members of `selected` that belong to `good_enough`.
+pub fn alignment_level(selected: &[usize], good_enough: &[usize]) -> usize {
+    selected
+        .iter()
+        .filter(|i| good_enough.contains(i))
+        .count()
+}
+
+/// Estimates the alignment probability `P(|S ∩ G| >= k)` by Monte-Carlo over
+/// noisy observations.
+///
+/// `true_values[i]` is the true performance of design `i`; observations are
+/// the true value plus zero-mean Gaussian noise with standard deviation
+/// `noise_sigma[i]`. The observed top-`g` designs are compared against the
+/// true top-`g` designs over `trials` replications using the supplied
+/// pseudo-random source `noise` (a closure returning standard-normal draws),
+/// so the routine stays independent of any particular RNG crate.
+pub fn alignment_probability(
+    true_values: &[f64],
+    noise_sigma: &[f64],
+    g: usize,
+    k: usize,
+    trials: usize,
+    mut noise: impl FnMut() -> f64,
+) -> f64 {
+    assert_eq!(
+        true_values.len(),
+        noise_sigma.len(),
+        "true values and noise sigmas must have the same length"
+    );
+    if trials == 0 {
+        return 0.0;
+    }
+    let good = selected_subset(true_values, g);
+    let mut hits = 0usize;
+    let mut observed = vec![0.0; true_values.len()];
+    for _ in 0..trials {
+        for (i, o) in observed.iter_mut().enumerate() {
+            *o = true_values[i] + noise_sigma[i] * noise();
+        }
+        let sel = selected_subset(&observed, g);
+        if alignment_level(&sel, &good) >= k {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_descending() {
+        let v = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(rank_descending(&v), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn nan_is_ranked_last() {
+        let v = [0.5, f64::NAN, 0.9];
+        let r = rank_descending(&v);
+        assert_eq!(r[0], 2);
+        assert_eq!(r[2], 1);
+    }
+
+    #[test]
+    fn selected_subset_respects_g() {
+        let v = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(selected_subset(&v, 2), vec![1, 3]);
+        assert_eq!(selected_subset(&v, 10).len(), 4);
+        assert!(selected_subset(&v, 0).is_empty());
+    }
+
+    #[test]
+    fn alignment_level_counts_intersection() {
+        assert_eq!(alignment_level(&[1, 3, 5], &[3, 5, 7]), 2);
+        assert_eq!(alignment_level(&[], &[1, 2]), 0);
+        assert_eq!(alignment_level(&[1], &[]), 0);
+    }
+
+    #[test]
+    fn alignment_probability_is_one_without_noise() {
+        let truth = [0.9, 0.8, 0.4, 0.1];
+        let sigma = [0.0; 4];
+        let p = alignment_probability(&truth, &sigma, 2, 2, 100, || 0.0);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn alignment_probability_degrades_with_noise() {
+        // Deterministic pseudo-noise via a simple LCG so the test is stable.
+        let mut state = 12345u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Map the top bits to an approximately standard normal value by
+            // summing 12 uniforms (Irwin-Hall).
+            let mut acc = 0.0;
+            for _ in 0..12 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                acc += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            acc - 6.0
+        };
+        let truth = [0.52, 0.50, 0.48, 0.46];
+        let small = alignment_probability(&truth, &[0.001; 4], 2, 2, 400, &mut lcg);
+        let large = alignment_probability(&truth, &[0.5; 4], 2, 2, 400, &mut lcg);
+        assert!(small > large, "small noise {small} vs large noise {large}");
+        assert!(small > 0.95);
+    }
+
+    #[test]
+    fn zero_trials_returns_zero() {
+        let p = alignment_probability(&[1.0, 0.0], &[0.1, 0.1], 1, 1, 0, || 0.0);
+        assert_eq!(p, 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Sequential OCBA allocation loop.
+//!
+//! This is the procedure the first stage of MOHECO runs on each population of
+//! feasible candidates:
+//!
+//! 1. spend `n0` replications on every design to obtain initial mean/variance
+//!    estimates;
+//! 2. repeatedly ask the OCBA rule for the next increment of `delta`
+//!    replications and spend them on the designs the rule selects;
+//! 3. stop when the total budget `T` is exhausted.
+//!
+//! The simulator is abstracted as a closure `FnMut(design, n) -> Vec<f64>`
+//! returning the outcomes of `n` fresh replications of the given design (in
+//! MOHECO, Bernoulli pass/fail outcomes of Monte-Carlo yield samples).
+
+use crate::allocation::{allocate_incremental, DesignStats, OcbaError};
+
+/// Running statistics of one design maintained with Welford's algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    /// Number of replications accumulated.
+    pub count: usize,
+    /// Running mean.
+    pub mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Adds many observations.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Sample variance of a single replication (unbiased); zero with fewer
+    /// than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Converts to the [`DesignStats`] consumed by the allocation rule.
+    pub fn to_design_stats(self) -> DesignStats {
+        DesignStats::new(self.mean, self.variance(), self.count)
+    }
+}
+
+/// Configuration of the sequential allocation loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialConfig {
+    /// Initial number of replications per design (`n0` in the paper; 15).
+    pub n0: usize,
+    /// Increment of replications allocated per OCBA round (`Δ`).
+    pub delta: usize,
+    /// Total replication budget `T` across all designs.
+    pub total_budget: usize,
+    /// Optional per-design cap on replications (`n_max`); `None` = unlimited.
+    pub per_design_cap: Option<usize>,
+}
+
+impl SequentialConfig {
+    /// Paper-default configuration for a population of `num_designs` feasible
+    /// candidates: `n0 = 15`, `Δ = 20`, `T = sim_ave * num_designs` with
+    /// `sim_ave = 35`.
+    pub fn paper_default(num_designs: usize) -> Self {
+        Self {
+            n0: 15,
+            delta: 20,
+            total_budget: 35 * num_designs.max(1),
+            per_design_cap: None,
+        }
+    }
+}
+
+/// Result of a sequential allocation run.
+#[derive(Debug, Clone)]
+pub struct SequentialOutcome {
+    /// Final running statistics per design.
+    pub stats: Vec<RunningStats>,
+    /// Number of replications spent on each design.
+    pub spent: Vec<usize>,
+    /// Total number of replications spent.
+    pub total_spent: usize,
+    /// Number of OCBA rounds executed after the initial `n0` phase.
+    pub rounds: usize,
+}
+
+impl SequentialOutcome {
+    /// Index of the design with the best (highest) estimated mean.
+    pub fn best_design(&self) -> usize {
+        self.stats
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.mean
+                    .partial_cmp(&b.1.mean)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Estimated means per design.
+    pub fn means(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.mean).collect()
+    }
+}
+
+/// Runs the sequential OCBA loop over `num_designs` designs.
+///
+/// `simulate(design, n)` must return exactly `n` fresh replication outcomes of
+/// the design.
+///
+/// # Errors
+///
+/// Propagates [`OcbaError`] from the allocation rule (only possible with
+/// fewer than two designs).
+pub fn run_sequential<F>(
+    num_designs: usize,
+    config: SequentialConfig,
+    mut simulate: F,
+) -> Result<SequentialOutcome, OcbaError>
+where
+    F: FnMut(usize, usize) -> Vec<f64>,
+{
+    if num_designs < 2 {
+        return Err(OcbaError::TooFewDesigns { got: num_designs });
+    }
+    let mut stats = vec![RunningStats::new(); num_designs];
+    let mut spent = vec![0usize; num_designs];
+    let cap = config.per_design_cap.unwrap_or(usize::MAX);
+
+    // Phase 1: n0 replications each (bounded by the cap and the budget).
+    let mut total_spent = 0usize;
+    for d in 0..num_designs {
+        let n = config.n0.min(cap);
+        if n == 0 {
+            continue;
+        }
+        let outcomes = simulate(d, n);
+        stats[d].extend(&outcomes);
+        spent[d] += outcomes.len();
+        total_spent += outcomes.len();
+    }
+
+    // Phase 2: incremental OCBA rounds.
+    let mut rounds = 0usize;
+    while total_spent < config.total_budget {
+        let remaining = config.total_budget - total_spent;
+        let delta = config.delta.min(remaining).max(1);
+        let design_stats: Vec<DesignStats> =
+            stats.iter().map(|s| s.to_design_stats()).collect();
+        let add = allocate_incremental(&design_stats, delta)?;
+        let mut progressed = false;
+        for (d, &n_add) in add.iter().enumerate() {
+            if n_add == 0 {
+                continue;
+            }
+            let room = cap.saturating_sub(spent[d]);
+            let n = n_add.min(room);
+            if n == 0 {
+                continue;
+            }
+            let outcomes = simulate(d, n);
+            stats[d].extend(&outcomes);
+            spent[d] += outcomes.len();
+            total_spent += outcomes.len();
+            progressed = true;
+        }
+        rounds += 1;
+        if !progressed {
+            // All designs are capped; nothing more to do.
+            break;
+        }
+    }
+
+    Ok(SequentialOutcome {
+        stats,
+        spent,
+        total_spent,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random Bernoulli simulator for tests.
+    struct FakeBernoulli {
+        probs: Vec<f64>,
+        state: u64,
+    }
+
+    impl FakeBernoulli {
+        fn new(probs: Vec<f64>) -> Self {
+            Self { probs, state: 0x9E3779B97F4A7C15 }
+        }
+        fn next_uniform(&mut self) -> f64 {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.state >> 11) as f64 / (1u64 << 53) as f64
+        }
+        fn simulate(&mut self, design: usize, n: usize) -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    if self.next_uniform() < self.probs[design] {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn running_stats_mean_and_variance() {
+        let mut s = RunningStats::new();
+        s.extend(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!(s.std_error() > 0.0);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn running_stats_degenerate_cases() {
+        let s = RunningStats::new();
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        let mut s1 = RunningStats::new();
+        s1.push(3.0);
+        assert_eq!(s1.variance(), 0.0);
+        assert_eq!(s1.mean, 3.0);
+    }
+
+    #[test]
+    fn sequential_respects_total_budget() {
+        let probs = vec![0.9, 0.7, 0.5, 0.3, 0.1];
+        let mut sim = FakeBernoulli::new(probs.clone());
+        let config = SequentialConfig {
+            n0: 10,
+            delta: 20,
+            total_budget: 200,
+            per_design_cap: None,
+        };
+        let out = run_sequential(probs.len(), config, |d, n| sim.simulate(d, n)).unwrap();
+        assert_eq!(out.total_spent, 200);
+        assert_eq!(out.spent.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn sequential_identifies_the_best_design() {
+        let probs = vec![0.55, 0.95, 0.40, 0.30];
+        let mut sim = FakeBernoulli::new(probs);
+        let config = SequentialConfig::paper_default(4);
+        let out = run_sequential(4, config, |d, n| sim.simulate(d, n)).unwrap();
+        assert_eq!(out.best_design(), 1);
+        assert_eq!(out.means().len(), 4);
+    }
+
+    #[test]
+    fn good_designs_receive_more_samples_than_bad_ones() {
+        // Mirrors the Fig. 3 claim: promising designs get most of the budget.
+        let probs = vec![0.92, 0.88, 0.85, 0.2, 0.15, 0.1];
+        let mut sim = FakeBernoulli::new(probs.clone());
+        let config = SequentialConfig {
+            n0: 15,
+            delta: 20,
+            total_budget: 35 * probs.len(),
+            per_design_cap: None,
+        };
+        let out = run_sequential(probs.len(), config, |d, n| sim.simulate(d, n)).unwrap();
+        let good: usize = out.spent[..3].iter().sum();
+        let bad: usize = out.spent[3..].iter().sum();
+        assert!(good > bad, "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn per_design_cap_is_enforced() {
+        let probs = vec![0.9, 0.8, 0.1];
+        let mut sim = FakeBernoulli::new(probs);
+        let config = SequentialConfig {
+            n0: 10,
+            delta: 30,
+            total_budget: 500,
+            per_design_cap: Some(40),
+        };
+        let out = run_sequential(3, config, |d, n| sim.simulate(d, n)).unwrap();
+        for &s in &out.spent {
+            assert!(s <= 40, "spent {s} exceeds cap");
+        }
+        // Budget cannot be fully spent because of the cap.
+        assert!(out.total_spent <= 120);
+    }
+
+    #[test]
+    fn too_few_designs_is_an_error() {
+        let res = run_sequential(1, SequentialConfig::paper_default(1), |_, n| vec![1.0; n]);
+        assert!(matches!(res, Err(OcbaError::TooFewDesigns { .. })));
+    }
+
+    #[test]
+    fn paper_default_budget_matches_sim_ave_times_population() {
+        let c = SequentialConfig::paper_default(50);
+        assert_eq!(c.n0, 15);
+        assert_eq!(c.total_budget, 35 * 50);
+    }
+}

@@ -1,0 +1,139 @@
+//! Selection-based constraint handling (Deb's feasibility rules).
+//!
+//! The paper handles circuit performance specifications with the
+//! selection-based method of Deb (2000), as combined with DE for analog
+//! sizing in the authors' earlier work: when two candidates are compared,
+//!
+//! 1. a feasible candidate beats an infeasible one,
+//! 2. two feasible candidates are compared on the objective,
+//! 3. two infeasible candidates are compared on constraint violation.
+//!
+//! No penalty coefficients are needed, which is why the technique is popular
+//! for simulation-based sizing where the objective and violation scales are
+//! incommensurate.
+
+use crate::problem::Evaluation;
+use std::cmp::Ordering;
+
+/// Compares two evaluations under Deb's feasibility rules, for minimisation.
+///
+/// Returns `Ordering::Less` when `a` is strictly better than `b`.
+pub fn feasibility_compare(a: &Evaluation, b: &Evaluation) -> Ordering {
+    match (a.is_feasible(), b.is_feasible()) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (true, true) => a
+            .objective
+            .partial_cmp(&b.objective)
+            .unwrap_or(Ordering::Equal),
+        (false, false) => a
+            .constraint_violation
+            .partial_cmp(&b.constraint_violation)
+            .unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Returns `true` when `a` is better than or equivalent to `b` under the
+/// feasibility rules (the acceptance test of DE's one-to-one selection).
+pub fn is_better_or_equal(a: &Evaluation, b: &Evaluation) -> bool {
+    feasibility_compare(a, b) != Ordering::Greater
+}
+
+/// Returns the index of the best evaluation in a slice under the feasibility
+/// rules, or `None` for an empty slice.
+pub fn best_index(evals: &[Evaluation]) -> Option<usize> {
+    if evals.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for i in 1..evals.len() {
+        if feasibility_compare(&evals[i], &evals[best]) == Ordering::Less {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Aggregates a set of individual constraint violations (each non-negative,
+/// 0 = satisfied) into the scalar violation used by the comparator.
+///
+/// Violations are summed; any NaN is treated as an infinite violation so a
+/// failed simulation can never look feasible.
+pub fn aggregate_violations<I: IntoIterator<Item = f64>>(violations: I) -> f64 {
+    let mut total = 0.0;
+    for v in violations {
+        if v.is_nan() {
+            return f64::INFINITY;
+        }
+        total += v.max(0.0);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_beats_infeasible() {
+        let f = Evaluation::feasible(100.0);
+        let i = Evaluation::infeasible(0.001);
+        assert_eq!(feasibility_compare(&f, &i), Ordering::Less);
+        assert_eq!(feasibility_compare(&i, &f), Ordering::Greater);
+        assert!(is_better_or_equal(&f, &i));
+        assert!(!is_better_or_equal(&i, &f));
+    }
+
+    #[test]
+    fn two_feasible_compare_on_objective() {
+        let a = Evaluation::feasible(1.0);
+        let b = Evaluation::feasible(2.0);
+        assert_eq!(feasibility_compare(&a, &b), Ordering::Less);
+        assert_eq!(feasibility_compare(&b, &a), Ordering::Greater);
+        assert_eq!(feasibility_compare(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn two_infeasible_compare_on_violation() {
+        let a = Evaluation::infeasible(0.5);
+        let b = Evaluation::infeasible(2.0);
+        assert_eq!(feasibility_compare(&a, &b), Ordering::Less);
+        assert!(is_better_or_equal(&a, &b));
+    }
+
+    #[test]
+    fn equal_evaluations_accepted_by_selection() {
+        let a = Evaluation::feasible(3.0);
+        assert!(is_better_or_equal(&a, &a));
+    }
+
+    #[test]
+    fn best_index_picks_feasible_minimum() {
+        let evals = vec![
+            Evaluation::infeasible(0.1),
+            Evaluation::feasible(5.0),
+            Evaluation::feasible(2.0),
+            Evaluation::infeasible(0.001),
+        ];
+        assert_eq!(best_index(&evals), Some(2));
+        assert_eq!(best_index(&[]), None);
+    }
+
+    #[test]
+    fn best_index_among_all_infeasible() {
+        let evals = vec![
+            Evaluation::infeasible(3.0),
+            Evaluation::infeasible(0.5),
+            Evaluation::infeasible(1.0),
+        ];
+        assert_eq!(best_index(&evals), Some(1));
+    }
+
+    #[test]
+    fn aggregation_sums_positive_parts() {
+        assert_eq!(aggregate_violations([0.0, 1.0, 2.0]), 3.0);
+        assert_eq!(aggregate_violations([-5.0, 0.0]), 0.0);
+        assert!(aggregate_violations([1.0, f64::NAN]).is_infinite());
+        assert_eq!(aggregate_violations(std::iter::empty::<f64>()), 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The Nelder–Mead simplex method.
+//!
+//! MOHECO uses Nelder–Mead as the *local* search operator of its memetic
+//! engine: when DE stalls, the simplex is started from the best member of the
+//! population to refine it (exploitation), then control returns to DE. The
+//! method is derivative-free, which matters because the objective (Monte-Carlo
+//! yield) is noisy and has no useful gradients.
+
+use crate::problem::clamp_to_bounds;
+
+/// Configuration of the Nelder–Mead search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum number of simplex iterations (paper: roughly 10 when used as a
+    /// memetic operator).
+    pub max_iterations: usize,
+    /// Initial simplex step as a fraction of each variable's range.
+    pub initial_step: f64,
+    /// Convergence tolerance on the objective spread across the simplex.
+    pub ftol: f64,
+    /// Reflection coefficient (standard: 1).
+    pub alpha: f64,
+    /// Expansion coefficient (standard: 2).
+    pub gamma: f64,
+    /// Contraction coefficient (standard: 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (standard: 0.5).
+    pub sigma: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            initial_step: 0.05,
+            ftol: 1e-10,
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+        }
+    }
+}
+
+impl NelderMeadConfig {
+    /// The short local-refinement budget used inside the memetic engine
+    /// (about 10 iterations, as in the paper).
+    pub fn memetic_default() -> Self {
+        Self {
+            max_iterations: 10,
+            initial_step: 0.05,
+            ftol: 1e-9,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective at the best point.
+    pub objective: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// Minimises `f` starting from `x0`, keeping all points inside `bounds`.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != bounds.len()` or `x0` is empty.
+pub fn nelder_mead<F>(
+    mut f: F,
+    x0: &[f64],
+    bounds: &[(f64, f64)],
+    config: &NelderMeadConfig,
+) -> NelderMeadResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    assert!(n > 0, "cannot optimise a zero-dimensional point");
+    assert_eq!(n, bounds.len(), "bounds must match the dimension");
+
+    let mut evaluations = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Build the initial simplex: x0 plus one perturbed vertex per dimension.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for j in 0..n {
+        let mut v = x0.to_vec();
+        let span = bounds[j].1 - bounds[j].0;
+        let step = (config.initial_step * span).max(1e-12);
+        v[j] = if v[j] + step <= bounds[j].1 {
+            v[j] + step
+        } else {
+            v[j] - step
+        };
+        clamp_to_bounds(&mut v, bounds);
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evaluations)).collect();
+
+    let mut iterations = 0usize;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Order the simplex: best first.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let reorder: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
+        let revalues: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        simplex = reorder;
+        values = revalues;
+
+        if (values[n] - values[0]).abs() < config.ftol {
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for v in simplex.iter().take(n) {
+            for j in 0..n {
+                centroid[j] += v[j] / n as f64;
+            }
+        }
+
+        // Reflection.
+        let mut reflected: Vec<f64> = (0..n)
+            .map(|j| centroid[j] + config.alpha * (centroid[j] - simplex[n][j]))
+            .collect();
+        clamp_to_bounds(&mut reflected, bounds);
+        let f_reflected = eval(&reflected, &mut evaluations);
+
+        if f_reflected < values[0] {
+            // Expansion.
+            let mut expanded: Vec<f64> = (0..n)
+                .map(|j| centroid[j] + config.gamma * (reflected[j] - centroid[j]))
+                .collect();
+            clamp_to_bounds(&mut expanded, bounds);
+            let f_expanded = eval(&expanded, &mut evaluations);
+            if f_expanded < f_reflected {
+                simplex[n] = expanded;
+                values[n] = f_expanded;
+            } else {
+                simplex[n] = reflected;
+                values[n] = f_reflected;
+            }
+        } else if f_reflected < values[n - 1] {
+            simplex[n] = reflected;
+            values[n] = f_reflected;
+        } else {
+            // Contraction (outside or inside depending on the reflected value).
+            let towards = if f_reflected < values[n] {
+                &reflected
+            } else {
+                &simplex[n]
+            };
+            let mut contracted: Vec<f64> = (0..n)
+                .map(|j| centroid[j] + config.rho * (towards[j] - centroid[j]))
+                .collect();
+            clamp_to_bounds(&mut contracted, bounds);
+            let f_contracted = eval(&contracted, &mut evaluations);
+            if f_contracted < values[n].min(f_reflected) {
+                simplex[n] = contracted;
+                values[n] = f_contracted;
+            } else {
+                // Shrink towards the best vertex.
+                let best = simplex[0].clone();
+                for i in 1..=n {
+                    for j in 0..n {
+                        simplex[i][j] = best[j] + config.sigma * (simplex[i][j] - best[j]);
+                    }
+                    clamp_to_bounds(&mut simplex[i], bounds);
+                    values[i] = eval(&simplex[i], &mut evaluations);
+                }
+            }
+        }
+    }
+
+    // Final ordering to report the best vertex.
+    let best_idx = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    NelderMeadResult {
+        x: simplex[best_idx].clone(),
+        objective: values[best_idx],
+        iterations,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        let f = |x: &[f64]| (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2);
+        let bounds = vec![(-5.0, 5.0); 2];
+        let res = nelder_mead(f, &[0.0, 0.0], &bounds, &NelderMeadConfig {
+            max_iterations: 200,
+            ..NelderMeadConfig::default()
+        });
+        assert!(res.objective < 1e-6, "objective {}", res.objective);
+        assert!((res.x[0] - 1.5).abs() < 1e-3);
+        assert!((res.x[1] + 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // Unconstrained optimum at (3, 3) but the box is [0, 1]^2.
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] - 3.0).powi(2);
+        let bounds = vec![(0.0, 1.0); 2];
+        let res = nelder_mead(f, &[0.5, 0.5], &bounds, &NelderMeadConfig {
+            max_iterations: 300,
+            ..NelderMeadConfig::default()
+        });
+        assert!(res.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((res.x[0] - 1.0).abs() < 1e-2 && (res.x[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn improves_rosenbrock_from_offset_start() {
+        let f = |x: &[f64]| {
+            let a = 1.0 - x[0];
+            let b = x[1] - x[0] * x[0];
+            a * a + 100.0 * b * b
+        };
+        let bounds = vec![(-2.0, 2.0); 2];
+        let start = [-1.0, 1.0];
+        let f_start = f(&start);
+        let res = nelder_mead(f, &start, &bounds, &NelderMeadConfig {
+            max_iterations: 500,
+            ..NelderMeadConfig::default()
+        });
+        assert!(res.objective < f_start * 0.01, "objective {}", res.objective);
+    }
+
+    #[test]
+    fn memetic_budget_is_short_but_still_improves() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let bounds = vec![(-5.0, 5.0); 4];
+        let start = [2.0, -2.0, 1.0, 3.0];
+        let res = nelder_mead(f, &start, &bounds, &NelderMeadConfig::memetic_default());
+        assert!(res.iterations <= 10);
+        assert!(res.objective < f(&start));
+    }
+
+    #[test]
+    fn iteration_and_evaluation_counts_are_reported() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let bounds = vec![(-1.0, 1.0)];
+        let res = nelder_mead(f, &[0.9], &bounds, &NelderMeadConfig::default());
+        assert!(res.evaluations >= res.iterations);
+        assert!(res.evaluations >= 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let f = |x: &[f64]| x[0];
+        let _ = nelder_mead(f, &[0.0, 0.0], &[(-1.0, 1.0)], &NelderMeadConfig::default());
+    }
+
+    #[test]
+    fn converges_immediately_on_flat_function() {
+        let f = |_x: &[f64]| 7.0;
+        let bounds = vec![(-1.0, 1.0); 2];
+        let res = nelder_mead(f, &[0.0, 0.0], &bounds, &NelderMeadConfig::default());
+        assert_eq!(res.objective, 7.0);
+        assert!(res.iterations <= 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Penalty-function constraint handling (baseline).
+//!
+//! The paper mentions "differential evolution plus penalty function" as one of
+//! the engines that fails to meet the severe specifications of example 2.
+//! The wrapper here converts a constrained [`Problem`] into an unconstrained
+//! one by adding `k * violation` to the objective, so any engine can be run
+//! in "penalty mode" and compared against the selection-based handling.
+
+use crate::problem::{Evaluation, Problem};
+
+/// Wraps a constrained problem, folding the constraint violation into the
+/// objective with a fixed penalty coefficient.
+pub struct PenaltyProblem<P> {
+    inner: P,
+    coefficient: f64,
+}
+
+impl<P: Problem> PenaltyProblem<P> {
+    /// Wraps `inner` with penalty coefficient `coefficient`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient is not strictly positive.
+    pub fn new(inner: P, coefficient: f64) -> Self {
+        assert!(coefficient > 0.0, "penalty coefficient must be positive");
+        Self { inner, coefficient }
+    }
+
+    /// Returns the wrapped problem.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// The penalty coefficient.
+    pub fn coefficient(&self) -> f64 {
+        self.coefficient
+    }
+}
+
+impl<P: Problem> Problem for PenaltyProblem<P> {
+    fn dimension(&self) -> usize {
+        self.inner.dimension()
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        self.inner.bounds()
+    }
+
+    fn evaluate(&mut self, x: &[f64]) -> Evaluation {
+        let e = self.inner.evaluate(x);
+        if e.is_feasible() {
+            Evaluation::feasible(e.objective)
+        } else {
+            // The raw objective may be infinite for infeasible candidates
+            // (see `Evaluation::infeasible`); penalise from zero in that case
+            // so the penalty landscape stays finite and searchable.
+            let base = if e.objective.is_finite() { e.objective } else { 0.0 };
+            Evaluation::feasible(base + self.coefficient * e.constraint_violation)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::de::{DeConfig, DifferentialEvolution};
+    use crate::problem::FnProblem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn constrained() -> FnProblem<impl FnMut(&[f64]) -> Evaluation> {
+        // Minimise x0 + x1 subject to x0 * x1 >= 1 on [0, 10]^2 (optimum 2).
+        FnProblem::new(2, vec![(0.0, 10.0); 2], |x: &[f64]| {
+            let violation = (1.0 - x[0] * x[1]).max(0.0);
+            Evaluation::new(x[0] + x[1], violation)
+        })
+    }
+
+    #[test]
+    fn wrapper_reports_always_feasible() {
+        let mut p = PenaltyProblem::new(constrained(), 100.0);
+        let e = p.evaluate(&[0.1, 0.1]);
+        assert!(e.is_feasible());
+        assert!(e.objective > 0.2, "penalty must be added: {}", e.objective);
+        assert_eq!(p.dimension(), 2);
+        assert_eq!(p.coefficient(), 100.0);
+    }
+
+    #[test]
+    fn feasible_points_are_not_penalised() {
+        let mut p = PenaltyProblem::new(constrained(), 100.0);
+        let e = p.evaluate(&[2.0, 2.0]);
+        assert!((e.objective - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_raw_objective_is_regularised() {
+        let inner = FnProblem::new(1, vec![(0.0, 1.0)], |x: &[f64]| {
+            Evaluation::infeasible(x[0] + 1.0)
+        });
+        let mut p = PenaltyProblem::new(inner, 10.0);
+        let e = p.evaluate(&[0.5]);
+        assert!(e.objective.is_finite());
+        assert!((e.objective - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn de_with_penalty_solves_the_constrained_problem() {
+        let mut p = PenaltyProblem::new(constrained(), 1e3);
+        let de = DifferentialEvolution::new(DeConfig {
+            population_size: 30,
+            max_generations: 200,
+            stagnation_limit: None,
+            ..DeConfig::default()
+        });
+        let result = de.run(&mut p, &mut StdRng::seed_from_u64(31));
+        // Check the unpenalised feasibility of the found point.
+        let x = &result.best.x;
+        assert!(x[0] * x[1] >= 0.95, "constraint nearly satisfied: {x:?}");
+        assert!((x[0] + x[1] - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_coefficient_is_rejected() {
+        let _ = PenaltyProblem::new(constrained(), 0.0);
+    }
+}

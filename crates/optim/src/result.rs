@@ -1,0 +1,54 @@
+//! Common result type returned by all search engines.
+
+use crate::population::Individual;
+
+/// Outcome of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult {
+    /// The best individual found.
+    pub best: Individual,
+    /// Number of generations (outer iterations) executed.
+    pub generations: usize,
+    /// Total number of objective evaluations consumed.
+    pub evaluations: usize,
+    /// Best objective value after each generation (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+impl OptimizationResult {
+    /// Returns `true` when the best individual is feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.best.eval.is_feasible()
+    }
+
+    /// The best objective value found.
+    pub fn best_objective(&self) -> f64 {
+        self.best.eval.objective
+    }
+
+    /// Number of generations needed to first reach an objective at or below
+    /// `target`, or `None` if the target was never reached.
+    pub fn generations_to_reach(&self, target: f64) -> Option<usize> {
+        self.history.iter().position(|&v| v <= target).map(|g| g + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    #[test]
+    fn accessors() {
+        let r = OptimizationResult {
+            best: Individual::new(vec![1.0], Evaluation::feasible(0.5)),
+            generations: 10,
+            evaluations: 200,
+            history: vec![5.0, 2.0, 1.0, 0.5],
+        };
+        assert!(r.is_feasible());
+        assert_eq!(r.best_objective(), 0.5);
+        assert_eq!(r.generations_to_reach(1.0), Some(3));
+        assert_eq!(r.generations_to_reach(0.1), None);
+    }
+}

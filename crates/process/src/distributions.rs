@@ -1,0 +1,351 @@
+//! Probability distributions used for process-variation sampling.
+//!
+//! Only the distributions the yield flow needs are implemented: the normal
+//! distribution (Box–Muller sampling plus an inverse-CDF used to map Latin
+//! Hypercube points), a uniform distribution and a truncated normal. Keeping
+//! them in-tree avoids an external `rand_distr` dependency.
+
+use rand::Rng;
+
+/// A one-dimensional distribution that can be sampled and inverse-transformed.
+pub trait Distribution1d {
+    /// Draws one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+    /// Maps a uniform variate `u` in `(0, 1)` through the inverse CDF.
+    fn inverse_cdf(&self, u: f64) -> f64;
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+    /// Distribution standard deviation.
+    fn std_dev(&self) -> f64;
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (non-negative).
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Standard normal distribution (mean 0, sigma 1).
+    pub const STANDARD: Normal = Normal { mean: 0.0, sigma: 1.0 };
+
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        Self { mean, sigma }
+    }
+}
+
+impl Distribution1d for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sigma * standard_normal(rng)
+    }
+
+    fn inverse_cdf(&self, u: f64) -> f64 {
+        self.mean + self.sigma * standard_normal_inverse_cdf(u)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (exclusive).
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(hi > lo, "uniform distribution requires hi > lo");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution1d for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+
+    fn inverse_cdf(&self, u: f64) -> f64 {
+        self.lo + (self.hi - self.lo) * u.clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn std_dev(&self) -> f64 {
+        (self.hi - self.lo) / 12f64.sqrt()
+    }
+}
+
+/// Normal distribution truncated to `[mean - k*sigma, mean + k*sigma]`
+/// by rejection (sampling) or clamping (inverse CDF).
+///
+/// Foundry statistical models typically truncate at 3–4 sigma so that
+/// physically impossible parameter values (negative oxide thickness, …)
+/// cannot be generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    /// The underlying normal distribution.
+    pub normal: Normal,
+    /// Truncation half-width in sigmas.
+    pub k: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not strictly positive.
+    pub fn new(mean: f64, sigma: f64, k: f64) -> Self {
+        assert!(k > 0.0, "truncation width must be positive");
+        Self {
+            normal: Normal::new(mean, sigma),
+            k,
+        }
+    }
+}
+
+impl Distribution1d for TruncatedNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let lo = self.normal.mean - self.k * self.normal.sigma;
+        let hi = self.normal.mean + self.k * self.normal.sigma;
+        // Rejection sampling: acceptance probability is > 99% for k >= 3.
+        for _ in 0..1000 {
+            let x = self.normal.sample(rng);
+            if x >= lo && x <= hi {
+                return x;
+            }
+        }
+        self.normal.mean
+    }
+
+    fn inverse_cdf(&self, u: f64) -> f64 {
+        let x = self.normal.inverse_cdf(u);
+        let lo = self.normal.mean - self.k * self.normal.sigma;
+        let hi = self.normal.mean + self.k * self.normal.sigma;
+        x.clamp(lo, hi)
+    }
+
+    fn mean(&self) -> f64 {
+        self.normal.mean
+    }
+
+    fn std_dev(&self) -> f64 {
+        self.normal.sigma
+    }
+}
+
+/// Draws a standard-normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// Uses Acklam's rational approximation, accurate to about 1.15e-9 over the
+/// open interval (0, 1); inputs are clamped away from 0 and 1.
+pub fn standard_normal_inverse_cdf(p: f64) -> f64 {
+    let p = p.clamp(1e-15, 1.0 - 1e-15);
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// CDF of the standard normal distribution (via `erf`-free Abramowitz–Stegun
+/// style approximation built on the complementary error function expansion).
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    // Hart/West-style approximation via the logistic of a polynomial would be
+    // too crude; use the A&S 26.2.17 rational approximation (|err| < 7.5e-8).
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let tail = pdf * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_sample_statistics() {
+        let d = Normal::new(2.0, 0.5);
+        let mut r = rng();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_inverse_cdf_known_quantiles() {
+        let d = Normal::STANDARD;
+        assert!((d.inverse_cdf(0.5)).abs() < 1e-8);
+        assert!((d.inverse_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((d.inverse_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((d.inverse_cdf(0.84134) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_cdf_and_cdf_are_inverses() {
+        for &x in &[-2.5, -1.0, -0.3, 0.0, 0.7, 1.5, 3.0] {
+            let p = standard_normal_cdf(x);
+            let back = standard_normal_inverse_cdf(p);
+            assert!((back - x).abs() < 2e-4, "x {x} -> p {p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn normal_scaling() {
+        let d = Normal::new(10.0, 2.0);
+        assert!((d.inverse_cdf(0.975) - (10.0 + 2.0 * 1.959964)).abs() < 1e-3);
+        assert_eq!(d.mean(), 10.0);
+        assert_eq!(d.std_dev(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn normal_rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn uniform_sample_within_bounds() {
+        let d = Uniform::new(-1.0, 3.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!(x >= -1.0 && x < 3.0);
+        }
+        assert_eq!(d.mean(), 1.0);
+        assert!((d.std_dev() - 4.0 / 12f64.sqrt()).abs() < 1e-12);
+        assert_eq!(d.inverse_cdf(0.0), -1.0);
+        assert_eq!(d.inverse_cdf(1.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_rejects_empty_interval() {
+        let _ = Uniform::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let d = TruncatedNormal::new(0.0, 1.0, 3.0);
+        let mut r = rng();
+        for _ in 0..5000 {
+            let x = d.sample(&mut r);
+            assert!(x.abs() <= 3.0 + 1e-12);
+        }
+        assert!(d.inverse_cdf(0.9999999) <= 3.0);
+        assert!(d.inverse_cdf(1e-9) >= -3.0);
+    }
+
+    #[test]
+    fn standard_normal_has_unit_variance() {
+        let mut r = rng();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.0] {
+            let s = standard_normal_cdf(x) + standard_normal_cdf(-x);
+            assert!((s - 1.0).abs() < 1e-7);
+        }
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,177 @@
+//! Acceptance sampling (AS).
+//!
+//! The original acceptance-sampling method (Elias 1994) avoids spending
+//! Monte-Carlo simulations on candidates (or regions of the statistical
+//! space) that are far from the acceptance boundary: designs whose nominal
+//! performances fail a specification outright are rejected without MC, and
+//! designs whose nominal performances clear every specification by a margin
+//! much larger than the observed performance spread are accepted with only a
+//! small confirmation budget. Only candidates *near the border* of the
+//! acceptance region receive the full Monte-Carlo treatment. The MOHECO
+//! paper integrates AS (together with LHS) into every compared method.
+//!
+//! The implementation here works on *normalised specification margins*: for
+//! each specification the circuit evaluator reports
+//! `margin = (performance - bound) / scale` with the sign arranged so that
+//! positive means pass. The classifier then compares the worst margin
+//! against configurable thresholds.
+
+/// Decision of the acceptance-sampling screen for one candidate design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsDecision {
+    /// The nominal design violates at least one specification: yield is
+    /// reported as 0 without any Monte-Carlo sampling.
+    RejectWithoutSampling,
+    /// The nominal design clears every specification by a wide margin:
+    /// a reduced confirmation budget is sufficient.
+    AcceptWithReducedSampling,
+    /// The nominal design is near the acceptance boundary: full Monte-Carlo
+    /// sampling is required.
+    FullSampling,
+}
+
+/// Configuration of the acceptance-sampling screen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptanceSampler {
+    /// Margin (in normalised units) above which a candidate is treated as
+    /// deep inside the acceptance region.
+    pub accept_margin: f64,
+    /// Fraction of the full budget spent on candidates accepted with reduced
+    /// sampling (confirmation samples), in `(0, 1]`.
+    pub reduced_fraction: f64,
+}
+
+impl Default for AcceptanceSampler {
+    fn default() -> Self {
+        Self {
+            accept_margin: 6.0,
+            reduced_fraction: 0.2,
+        }
+    }
+}
+
+impl AcceptanceSampler {
+    /// Creates a sampler with the given deep-acceptance margin and reduced
+    /// budget fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accept_margin <= 0` or `reduced_fraction` is outside `(0, 1]`.
+    pub fn new(accept_margin: f64, reduced_fraction: f64) -> Self {
+        assert!(accept_margin > 0.0, "accept margin must be positive");
+        assert!(
+            reduced_fraction > 0.0 && reduced_fraction <= 1.0,
+            "reduced fraction must be in (0, 1]"
+        );
+        Self {
+            accept_margin,
+            reduced_fraction,
+        }
+    }
+
+    /// Classifies one candidate from its normalised nominal specification
+    /// margins (positive = pass).
+    ///
+    /// An empty margin slice is classified as [`AsDecision::FullSampling`],
+    /// since nothing is known about the candidate.
+    pub fn screen(&self, nominal_margins: &[f64]) -> AsDecision {
+        if nominal_margins.is_empty() {
+            return AsDecision::FullSampling;
+        }
+        if nominal_margins.iter().any(|m| m.is_nan()) {
+            return AsDecision::RejectWithoutSampling;
+        }
+        let worst = nominal_margins
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        if worst < 0.0 {
+            AsDecision::RejectWithoutSampling
+        } else if worst > self.accept_margin {
+            AsDecision::AcceptWithReducedSampling
+        } else {
+            AsDecision::FullSampling
+        }
+    }
+
+    /// Number of Monte-Carlo samples to spend on a candidate given the screen
+    /// decision and the full per-candidate budget.
+    pub fn budget_for(&self, decision: AsDecision, full_budget: usize) -> usize {
+        match decision {
+            AsDecision::RejectWithoutSampling => 0,
+            AsDecision::AcceptWithReducedSampling => {
+                ((full_budget as f64) * self.reduced_fraction).ceil() as usize
+            }
+            AsDecision::FullSampling => full_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reasonable() {
+        let a = AcceptanceSampler::default();
+        assert!(a.accept_margin > 0.0);
+        assert!(a.reduced_fraction > 0.0 && a.reduced_fraction <= 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_margin_panics() {
+        let _ = AcceptanceSampler::new(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fraction_panics() {
+        let _ = AcceptanceSampler::new(3.0, 1.5);
+    }
+
+    #[test]
+    fn failing_nominal_design_is_rejected() {
+        let a = AcceptanceSampler::default();
+        assert_eq!(
+            a.screen(&[2.0, -0.5, 4.0]),
+            AsDecision::RejectWithoutSampling
+        );
+        assert_eq!(a.budget_for(AsDecision::RejectWithoutSampling, 500), 0);
+    }
+
+    #[test]
+    fn nan_margin_is_rejected() {
+        let a = AcceptanceSampler::default();
+        assert_eq!(a.screen(&[f64::NAN, 2.0]), AsDecision::RejectWithoutSampling);
+    }
+
+    #[test]
+    fn deeply_feasible_design_gets_reduced_budget() {
+        let a = AcceptanceSampler::new(6.0, 0.2);
+        assert_eq!(
+            a.screen(&[8.0, 10.0, 7.5]),
+            AsDecision::AcceptWithReducedSampling
+        );
+        assert_eq!(a.budget_for(AsDecision::AcceptWithReducedSampling, 500), 100);
+    }
+
+    #[test]
+    fn border_design_gets_full_budget() {
+        let a = AcceptanceSampler::new(6.0, 0.2);
+        assert_eq!(a.screen(&[1.2, 8.0]), AsDecision::FullSampling);
+        assert_eq!(a.budget_for(AsDecision::FullSampling, 500), 500);
+    }
+
+    #[test]
+    fn empty_margins_require_full_sampling() {
+        let a = AcceptanceSampler::default();
+        assert_eq!(a.screen(&[]), AsDecision::FullSampling);
+    }
+
+    #[test]
+    fn reduced_budget_rounds_up() {
+        let a = AcceptanceSampler::new(6.0, 0.33);
+        assert_eq!(a.budget_for(AsDecision::AcceptWithReducedSampling, 10), 4);
+    }
+}

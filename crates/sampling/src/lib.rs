@@ -1,0 +1,40 @@
+//! `moheco-sampling` — Monte-Carlo yield-estimation substrate.
+//!
+//! The paper keeps Monte-Carlo simulation as the yield estimator (for its
+//! generality and accuracy) and accelerates it with two standard techniques
+//! that this crate provides, alongside the estimator itself:
+//!
+//! * [`lhs`] — Latin Hypercube Sampling and primitive Monte-Carlo generation
+//!   of unit-hypercube points ([`lhs::SamplingPlan`]).
+//! * [`acceptance`] — the acceptance-sampling screen that skips Monte-Carlo
+//!   sampling for candidates far from the acceptance-region border.
+//! * [`yield_est`] — the Bernoulli yield estimator, standard errors and
+//!   Wilson confidence intervals.
+//! * [`stream`] — reproducible RNG streams and the shared simulation counter
+//!   used to fill Tables 2 and 4.
+//!
+//! # Example
+//!
+//! ```
+//! use moheco_sampling::{estimate_yield, SamplingPlan};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // A toy "circuit" passes when the sum of two uniform variates is below 1.5.
+//! let est = estimate_yield(&mut rng, SamplingPlan::LatinHypercube, 2000, 2, |u| {
+//!     u[0] + u[1] < 1.5
+//! });
+//! assert!((est.value() - 0.875).abs() < 0.03);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod acceptance;
+pub mod lhs;
+pub mod stream;
+pub mod yield_est;
+
+pub use acceptance::{AcceptanceSampler, AsDecision};
+pub use lhs::{latin_hypercube, primitive_monte_carlo, SamplingPlan};
+pub use stream::{RngStreams, SimulationCounter};
+pub use yield_est::{deviation_pp, estimate_yield, YieldEstimate};

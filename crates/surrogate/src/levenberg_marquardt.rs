@@ -1,0 +1,195 @@
+//! Levenberg–Marquardt training of the MLP regressor.
+//!
+//! LM minimises the sum of squared residuals by solving the damped normal
+//! equations `(JᵀJ + λI) δ = Jᵀ r` at each step, adapting the damping λ so the
+//! iteration interpolates between Gauss–Newton (fast near the optimum) and
+//! gradient descent (robust far from it). This is the trainer named in §3.4
+//! of the paper.
+
+use crate::mlp::Mlp;
+use spicelite::linalg::Matrix;
+
+/// Configuration of the Levenberg–Marquardt trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmConfig {
+    /// Maximum number of LM iterations.
+    pub max_iterations: usize,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplicative factor applied to λ on success / failure.
+    pub lambda_factor: f64,
+    /// Stop when the relative improvement of the SSE drops below this value.
+    pub tolerance: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 60,
+            initial_lambda: 1e-2,
+            lambda_factor: 10.0,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmReport {
+    /// Final sum of squared errors over the training set.
+    pub sse: f64,
+    /// Final root-mean-square error.
+    pub rmse: f64,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+/// Sum of squared errors of `net` on a dataset.
+pub fn sse(net: &Mlp, inputs: &[Vec<f64>], targets: &[f64]) -> f64 {
+    inputs
+        .iter()
+        .zip(targets)
+        .map(|(x, &t)| {
+            let e = net.predict(x) - t;
+            e * e
+        })
+        .sum()
+}
+
+/// Trains `net` in place on `(inputs, targets)` with Levenberg–Marquardt.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `inputs.len() != targets.len()`.
+pub fn train(net: &mut Mlp, inputs: &[Vec<f64>], targets: &[f64], config: &LmConfig) -> LmReport {
+    assert!(!inputs.is_empty(), "training set must not be empty");
+    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+
+    let n = inputs.len();
+    let p = net.num_parameters();
+    let mut lambda = config.initial_lambda;
+    let mut current_sse = sse(net, inputs, targets);
+    let mut iterations = 0usize;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Assemble JtJ and Jtr from per-sample gradient rows.
+        let mut jtj = Matrix::zeros(p, p);
+        let mut jtr = vec![0.0; p];
+        for (x, &t) in inputs.iter().zip(targets) {
+            let (y, grad) = net.predict_with_gradient(x);
+            let r = t - y;
+            for i in 0..p {
+                jtr[i] += grad[i] * r;
+                let gi = grad[i];
+                if gi == 0.0 {
+                    continue;
+                }
+                for j in 0..p {
+                    jtj[(i, j)] += gi * grad[j];
+                }
+            }
+        }
+
+        // Try steps with increasing damping until the SSE improves.
+        let mut improved = false;
+        for _ in 0..8 {
+            let mut damped = jtj.clone();
+            damped.add_diagonal(lambda);
+            let Ok(delta) = damped.solve(&jtr) else {
+                lambda *= config.lambda_factor;
+                continue;
+            };
+            let mut candidate = net.clone();
+            let mut params = candidate.parameters();
+            for (pk, dk) in params.iter_mut().zip(&delta) {
+                *pk += dk;
+            }
+            candidate.set_parameters(&params);
+            let candidate_sse = sse(&candidate, inputs, targets);
+            if candidate_sse < current_sse {
+                let relative = (current_sse - candidate_sse) / current_sse.max(1e-300);
+                *net = candidate;
+                current_sse = candidate_sse;
+                lambda = (lambda / config.lambda_factor).max(1e-12);
+                improved = true;
+                if relative < config.tolerance {
+                    return LmReport {
+                        sse: current_sse,
+                        rmse: (current_sse / n as f64).sqrt(),
+                        iterations,
+                    };
+                }
+                break;
+            } else {
+                lambda *= config.lambda_factor;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    LmReport {
+        sse: current_sse,
+        rmse: (current_sse / n as f64).sqrt(),
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset<F: Fn(&[f64]) -> f64>(
+        f: F,
+        dim: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
+            .collect();
+        let targets = inputs.iter().map(|x| f(x)).collect();
+        (inputs, targets)
+    }
+
+    #[test]
+    fn lm_fits_a_linear_function_accurately() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (inputs, targets) = dataset(|x| 0.3 * x[0] - 0.7 * x[1] + 0.1, 2, 80, &mut rng);
+        let mut net = Mlp::new(2, 6, &mut rng);
+        let report = train(&mut net, &inputs, &targets, &LmConfig::default());
+        assert!(report.rmse < 0.02, "rmse {}", report.rmse);
+        assert!(report.iterations >= 1);
+    }
+
+    #[test]
+    fn lm_fits_a_smooth_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (inputs, targets) = dataset(|x| (x[0] * 1.5).tanh() * 0.5 + 0.2 * x[1], 2, 150, &mut rng);
+        let mut net = Mlp::new(2, 10, &mut rng);
+        let report = train(&mut net, &inputs, &targets, &LmConfig::default());
+        assert!(report.rmse < 0.05, "rmse {}", report.rmse);
+    }
+
+    #[test]
+    fn training_reduces_the_initial_error() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (inputs, targets) = dataset(|x| x[0] * x[1], 2, 100, &mut rng);
+        let mut net = Mlp::new(2, 8, &mut rng);
+        let before = sse(&net, &inputs, &targets);
+        let report = train(&mut net, &inputs, &targets, &LmConfig::default());
+        assert!(report.sse < before, "sse {} -> {}", before, report.sse);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = Mlp::new(2, 4, &mut rng);
+        let _ = train(&mut net, &[], &[], &LmConfig::default());
+    }
+}

@@ -1,0 +1,201 @@
+//! A single-hidden-layer multilayer perceptron (MLP).
+//!
+//! §3.4 of the paper compares MOHECO against a response-surface-based (RSB)
+//! method that regresses the yield with a backward-propagation neural network
+//! of 20 hidden neurons trained with the Levenberg–Marquardt algorithm. This
+//! module provides that regressor: `tanh` hidden units and a linear output.
+
+use rand::Rng;
+
+/// A feed-forward network with one hidden layer of `tanh` units and a linear
+/// output neuron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden: usize,
+    /// Hidden-layer weights, row-major `[hidden x (input_dim + 1)]`
+    /// (the final column is the bias).
+    w1: Vec<f64>,
+    /// Output weights `[hidden + 1]` (the final entry is the bias).
+    w2: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates an MLP with small random initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` or `hidden` is zero.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "network dimensions must be positive");
+        let scale = 1.0 / (input_dim as f64).sqrt();
+        let w1 = (0..hidden * (input_dim + 1))
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+            .collect();
+        let w2 = (0..hidden + 1)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 / (hidden as f64).sqrt())
+            .collect();
+        Self {
+            input_dim,
+            hidden,
+            w1,
+            w2,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of hidden neurons.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.w1.len() + self.w2.len()
+    }
+
+    /// Returns all parameters as a flat vector (hidden weights then output weights).
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut p = self.w1.clone();
+        p.extend_from_slice(&self.w2);
+        p
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_parameters()`.
+    pub fn set_parameters(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_parameters(), "parameter count mismatch");
+        let n1 = self.w1.len();
+        self.w1.copy_from_slice(&params[..n1]);
+        self.w2.copy_from_slice(&params[n1..]);
+    }
+
+    /// Hidden-layer activations for input `x`.
+    fn hidden_activations(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        let cols = self.input_dim + 1;
+        (0..self.hidden)
+            .map(|h| {
+                let row = &self.w1[h * cols..(h + 1) * cols];
+                let mut acc = row[self.input_dim]; // bias
+                for (wi, xi) in row[..self.input_dim].iter().zip(x) {
+                    acc += wi * xi;
+                }
+                acc.tanh()
+            })
+            .collect()
+    }
+
+    /// Network output for input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let a = self.hidden_activations(x);
+        let mut out = self.w2[self.hidden]; // bias
+        for (w, ai) in self.w2[..self.hidden].iter().zip(&a) {
+            out += w * ai;
+        }
+        out
+    }
+
+    /// Output and the gradient of the output with respect to every parameter
+    /// (the Jacobian row used by Levenberg–Marquardt).
+    pub fn predict_with_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let a = self.hidden_activations(x);
+        let mut out = self.w2[self.hidden];
+        for (w, ai) in self.w2[..self.hidden].iter().zip(&a) {
+            out += w * ai;
+        }
+        let cols = self.input_dim + 1;
+        let mut grad = vec![0.0; self.num_parameters()];
+        // d out / d w1[h][j] = w2[h] * (1 - a_h^2) * x_j   (bias: x_j = 1)
+        for h in 0..self.hidden {
+            let sech2 = 1.0 - a[h] * a[h];
+            let factor = self.w2[h] * sech2;
+            for j in 0..self.input_dim {
+                grad[h * cols + j] = factor * x[j];
+            }
+            grad[h * cols + self.input_dim] = factor;
+        }
+        // d out / d w2[h] = a_h ; bias = 1
+        let base = self.w1.len();
+        for h in 0..self.hidden {
+            grad[base + h] = a[h];
+        }
+        grad[base + self.hidden] = 1.0;
+        (out, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_parameter_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Mlp::new(3, 5, &mut rng);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.hidden(), 5);
+        assert_eq!(net.num_parameters(), 5 * 4 + 6);
+        let p = net.parameters();
+        let mut p2 = p.clone();
+        p2[0] += 1.0;
+        net.set_parameters(&p2);
+        assert_eq!(net.parameters(), p2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_dimension_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Mlp::new(3, 4, &mut rng);
+        let _ = net.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Mlp::new(4, 6, &mut rng);
+        let x = [0.3, -0.8, 1.2, 0.05];
+        let (y, grad) = net.predict_with_gradient(&x);
+        assert!((y - net.predict(&x)).abs() < 1e-12);
+        let params = net.parameters();
+        let h = 1e-6;
+        for k in (0..net.num_parameters()).step_by(7) {
+            let mut plus = net.clone();
+            let mut p = params.clone();
+            p[k] += h;
+            plus.set_parameters(&p);
+            let mut minus = net.clone();
+            p[k] -= 2.0 * h;
+            minus.set_parameters(&p);
+            let fd = (plus.predict(&x) - minus.predict(&x)) / (2.0 * h);
+            assert!(
+                (fd - grad[k]).abs() < 1e-5,
+                "param {k}: fd {fd} vs analytic {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn output_changes_with_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Mlp::new(2, 8, &mut rng);
+        let a = net.predict(&[0.0, 0.0]);
+        let b = net.predict(&[1.0, -1.0]);
+        assert!((a - b).abs() > 1e-9);
+    }
+}

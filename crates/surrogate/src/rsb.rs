@@ -1,0 +1,205 @@
+//! Response-surface-based (RSB) yield model.
+//!
+//! §3.4 of the paper trains a neural network on the `(design point, yield)`
+//! data generated during a MOHECO run and measures how well it predicts the
+//! yields of the *next* iteration's candidates. The conclusion — an RMS error
+//! of several percent even when 50 iterations of training data are available —
+//! motivates why MOHECO keeps Monte-Carlo in the loop instead of a surrogate.
+//!
+//! This module packages the MLP + Levenberg–Marquardt regressor with the
+//! input/output normalisation needed to reproduce that experiment.
+
+use crate::levenberg_marquardt::{train, LmConfig};
+use crate::mlp::Mlp;
+use rand::Rng;
+
+/// A trained yield surrogate.
+#[derive(Debug, Clone)]
+pub struct RsbYieldModel {
+    net: Mlp,
+    input_lo: Vec<f64>,
+    input_hi: Vec<f64>,
+}
+
+/// Error returned when a surrogate cannot be trained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsbError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Training points do not all share the same dimension.
+    InconsistentDimensions,
+}
+
+impl std::fmt::Display for RsbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsbError::EmptyTrainingSet => write!(f, "training set is empty"),
+            RsbError::InconsistentDimensions => {
+                write!(f, "training points have inconsistent dimensions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsbError {}
+
+impl RsbYieldModel {
+    /// Trains a yield surrogate with `hidden` hidden neurons on the
+    /// `(design point, yield)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsbError`] when the training set is empty or inconsistent.
+    pub fn fit<R: Rng + ?Sized>(
+        pairs: &[(Vec<f64>, f64)],
+        hidden: usize,
+        config: &LmConfig,
+        rng: &mut R,
+    ) -> Result<Self, RsbError> {
+        if pairs.is_empty() {
+            return Err(RsbError::EmptyTrainingSet);
+        }
+        let dim = pairs[0].0.len();
+        if pairs.iter().any(|(x, _)| x.len() != dim) {
+            return Err(RsbError::InconsistentDimensions);
+        }
+        // Min-max normalisation of the inputs to [-1, 1].
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for (x, _) in pairs {
+            for (j, &v) in x.iter().enumerate() {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+        }
+        for j in 0..dim {
+            if hi[j] - lo[j] < 1e-12 {
+                hi[j] = lo[j] + 1.0;
+            }
+        }
+        let model = Self {
+            net: Mlp::new(dim, hidden, rng),
+            input_lo: lo,
+            input_hi: hi,
+        };
+        let inputs: Vec<Vec<f64>> = pairs.iter().map(|(x, _)| model.normalise(x)).collect();
+        let targets: Vec<f64> = pairs.iter().map(|(_, y)| *y).collect();
+        let mut trained = model;
+        train(&mut trained.net, &inputs, &targets, config);
+        Ok(trained)
+    }
+
+    fn normalise(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(j, &v)| 2.0 * (v - self.input_lo[j]) / (self.input_hi[j] - self.input_lo[j]) - 1.0)
+            .collect()
+    }
+
+    /// Predicts the yield of a design point, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension of `x` does not match the training data.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_lo.len(), "dimension mismatch");
+        self.net.predict(&self.normalise(x)).clamp(0.0, 1.0)
+    }
+
+    /// Root-mean-square prediction error on a test set, in yield fraction
+    /// (multiply by 100 for the percentage the paper quotes).
+    pub fn rms_error(&self, test: &[(Vec<f64>, f64)]) -> f64 {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = test
+            .iter()
+            .map(|(x, y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum();
+        (sse / test.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_yield(x: &[f64]) -> f64 {
+        // A smooth, saturating yield-like surface in [0, 1].
+        let d2: f64 = x.iter().map(|v| (v - 0.6).powi(2)).sum();
+        (-3.0 * d2).exp()
+    }
+
+    fn make_pairs(n: usize, dim: usize, rng: &mut StdRng) -> Vec<(Vec<f64>, f64)> {
+        (0..n)
+            .map(|_| {
+                let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let y = toy_yield(&x);
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_and_predict_on_a_smooth_surface() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let train_set = make_pairs(250, 3, &mut rng);
+        let test_set = make_pairs(60, 3, &mut rng);
+        let model = RsbYieldModel::fit(&train_set, 12, &LmConfig::default(), &mut rng).unwrap();
+        let err = model.rms_error(&test_set);
+        assert!(err < 0.1, "rms error {err}");
+        // Predictions stay within [0, 1].
+        for (x, _) in &test_set {
+            let y = model.predict(x);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn sparse_training_data_gives_larger_error_than_dense() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dense = make_pairs(300, 4, &mut rng);
+        let sparse = make_pairs(15, 4, &mut rng);
+        let test_set = make_pairs(80, 4, &mut rng);
+        let dense_model = RsbYieldModel::fit(&dense, 12, &LmConfig::default(), &mut rng).unwrap();
+        let sparse_model = RsbYieldModel::fit(&sparse, 12, &LmConfig::default(), &mut rng).unwrap();
+        assert!(
+            sparse_model.rms_error(&test_set) > dense_model.rms_error(&test_set),
+            "sparse {} dense {}",
+            sparse_model.rms_error(&test_set),
+            dense_model.rms_error(&test_set)
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(
+            RsbYieldModel::fit(&[], 5, &LmConfig::default(), &mut rng).unwrap_err(),
+            RsbError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn inconsistent_dimensions_are_an_error() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pairs = vec![(vec![1.0, 2.0], 0.5), (vec![1.0], 0.2)];
+        assert_eq!(
+            RsbYieldModel::fit(&pairs, 5, &LmConfig::default(), &mut rng).unwrap_err(),
+            RsbError::InconsistentDimensions
+        );
+    }
+
+    #[test]
+    fn rms_error_of_empty_test_set_is_zero() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let pairs = make_pairs(30, 2, &mut rng);
+        let model = RsbYieldModel::fit(&pairs, 6, &LmConfig::default(), &mut rng).unwrap();
+        assert_eq!(model.rms_error(&[]), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Nominal (variation-free) sizing of the folded-cascode amplifier with the
+//! search engines compared in the paper: DE with selection-based constraint
+//! handling, the memetic DE+NM engine and a genetic algorithm.
+//!
+//! ```text
+//! cargo run --release --example nominal_sizing
+//! ```
+
+use moheco_analog::{FoldedCascode, Testbench};
+use moheco_optim::de::{DeConfig, DifferentialEvolution};
+use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
+use moheco_optim::memetic::{MemeticConfig, MemeticOptimizer};
+use moheco_optim::problem::{Evaluation, FnProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the nominal sizing problem: minimise the aggregate spec violation,
+/// then maximise the worst margin once feasible.
+fn sizing_problem() -> FnProblem<impl FnMut(&[f64]) -> Evaluation> {
+    let tb = FoldedCascode::new();
+    let bounds = tb.bounds();
+    FnProblem::new(tb.dimension(), bounds, move |x: &[f64]| {
+        let margins = tb.nominal_margins(x);
+        let violation: f64 = margins.iter().filter(|&&m| m < 0.0).map(|&m| -m).sum();
+        if violation > 0.0 {
+            Evaluation::new(violation, violation)
+        } else {
+            let worst = margins.iter().cloned().fold(f64::INFINITY, f64::min);
+            Evaluation::feasible(-worst)
+        }
+    })
+}
+
+fn main() {
+    let population = 24;
+    let generations = 40;
+    println!("Nominal sizing of the folded-cascode amplifier (no process variation)\n");
+
+    let de_cfg = DeConfig {
+        population_size: population,
+        max_generations: generations,
+        stagnation_limit: None,
+        ..DeConfig::default()
+    };
+
+    let de = DifferentialEvolution::new(de_cfg)
+        .run(&mut sizing_problem(), &mut StdRng::seed_from_u64(1));
+    println!(
+        "DE + Deb rules     : feasible {:>5}, best worst-margin {:>7.3}, {} evaluations",
+        de.is_feasible(),
+        -de.best_objective(),
+        de.evaluations
+    );
+
+    let memetic = MemeticOptimizer::new(MemeticConfig {
+        de: de_cfg,
+        ..MemeticConfig::default()
+    })
+    .run(&mut sizing_problem(), &mut StdRng::seed_from_u64(1));
+    println!(
+        "Memetic DE + NM    : feasible {:>5}, best worst-margin {:>7.3}, {} evaluations",
+        memetic.is_feasible(),
+        -memetic.best_objective(),
+        memetic.evaluations
+    );
+
+    let ga = GeneticAlgorithm::new(GaConfig {
+        population_size: population,
+        max_generations: generations,
+        stagnation_limit: None,
+        ..GaConfig::default()
+    })
+    .run(&mut sizing_problem(), &mut StdRng::seed_from_u64(1));
+    println!(
+        "Genetic algorithm  : feasible {:>5}, best worst-margin {:>7.3}, {} evaluations",
+        ga.is_feasible(),
+        -ga.best_objective(),
+        ga.evaluations
+    );
+
+    println!("\nAs in the paper, the DE-based engines find fully feasible sizings quickly;");
+    println!("the memetic variant refines the margins further for the same budget.");
+}

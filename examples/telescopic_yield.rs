@@ -1,0 +1,55 @@
+//! Example 2 workload: yield optimization of the two-stage telescopic-cascode
+//! amplifier in 90 nm under its severe specification set (gain, GBW, phase
+//! margin, swing, power, area and offset), as in §3.3 of the paper.
+//!
+//! ```text
+//! cargo run --release --example telescopic_yield
+//! ```
+
+use moheco::{MohecoConfig, YieldOptimizer, YieldProblem};
+use moheco_analog::{TelescopicTwoStage, Testbench};
+use moheco_sampling::SamplingPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let testbench = TelescopicTwoStage::new();
+    println!("circuit: {}", testbench.name());
+    println!(
+        "{} design variables, {} transistors, {} statistical variables, {} specifications",
+        testbench.dimension(),
+        testbench.num_devices(),
+        testbench.technology().num_variables(testbench.num_devices()),
+        testbench.specs().len()
+    );
+
+    // Show how tight the specifications are at the hand-crafted reference
+    // sizing before optimizing.
+    let reference_perf = testbench.evaluate_nominal(&testbench.reference_design());
+    println!("\nreference sizing nominal performances:");
+    println!("  A0    = {:>8.1} dB", reference_perf.a0_db);
+    println!("  GBW   = {:>8.1} MHz", reference_perf.gbw_hz / 1e6);
+    println!("  PM    = {:>8.1} deg", reference_perf.pm_deg);
+    println!("  OS    = {:>8.2} V", reference_perf.output_swing_v);
+    println!("  power = {:>8.2} mW", reference_perf.power_w * 1e3);
+    println!("  area  = {:>8.1} um^2", reference_perf.area_um2);
+
+    let problem = YieldProblem::new(testbench, SamplingPlan::LatinHypercube);
+    let optimizer = YieldOptimizer::new(MohecoConfig::fast());
+    let mut rng = StdRng::seed_from_u64(90);
+    let result = optimizer.run(&problem, &mut rng);
+
+    println!("\n=== MOHECO on example 2 ===");
+    println!("reported yield    : {:.1}%", 100.0 * result.reported_yield);
+    println!("total simulations : {}", result.total_simulations);
+    println!("generations       : {}", result.generations);
+    println!("best sizing:");
+    for (var, value) in problem
+        .testbench()
+        .design_variables()
+        .iter()
+        .zip(&result.best_x)
+    {
+        println!("  {:<8} = {:>9.3} {}", var.name, value, var.unit);
+    }
+}

@@ -1,0 +1,26 @@
+//! `moheco-repro` — umbrella crate of the MOHECO (DATE 2010) reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it simply re-exports the
+//! workspace crates so the examples can use one coherent namespace:
+//!
+//! * [`moheco`] — the MOHECO yield optimizer and its baselines.
+//! * [`moheco_analog`] — the two benchmark amplifiers of the paper.
+//! * [`moheco_process`] — statistical process models (0.35 µm and 90 nm).
+//! * [`moheco_sampling`] — Monte-Carlo / LHS / acceptance-sampling machinery.
+//! * [`moheco_ocba`] — ordinal optimization and computing-budget allocation.
+//! * [`moheco_optim`] — DE, Nelder–Mead, memetic coupling and baselines.
+//! * [`moheco_surrogate`] — the §3.4 response-surface and PSWCD baselines.
+//! * [`spicelite`] — the lightweight circuit-simulation substrate.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the mapping
+//! between the paper and the code.
+
+pub use moheco;
+pub use moheco_analog;
+pub use moheco_ocba;
+pub use moheco_optim;
+pub use moheco_process;
+pub use moheco_sampling;
+pub use moheco_surrogate;
+pub use spicelite;
