@@ -65,7 +65,13 @@ impl FoldedCascode {
         let specs = SpecSet::new(vec![
             Specification::new("A0", SpecTarget::GainDb, SpecKind::AtLeast, 70.0, 5.0),
             Specification::new("GBW", SpecTarget::GbwHz, SpecKind::AtLeast, 40e6, 10e6),
-            Specification::new("PM", SpecTarget::PhaseMarginDeg, SpecKind::AtLeast, 60.0, 5.0),
+            Specification::new(
+                "PM",
+                SpecTarget::PhaseMarginDeg,
+                SpecKind::AtLeast,
+                60.0,
+                5.0,
+            ),
             Specification::new("OS", SpecTarget::OutputSwingV, SpecKind::AtLeast, 4.6, 0.3),
             Specification::new(
                 "power",
@@ -204,14 +210,22 @@ impl Testbench for FoldedCascode {
             let vgs = m.vgs_for_current(id, vds, 0.0).ok()?;
             Some(m.operating_point(vgs, vds, 0.0))
         };
-        let (Some(op_in), Some(op_tail), Some(op_psrc), Some(op_pcas), Some(op_ncas), Some(op_nmir)) = (
+        let (
+            Some(op_in),
+            Some(op_tail),
+            Some(op_psrc),
+            Some(op_pcas),
+            Some(op_ncas),
+            Some(op_nmir),
+        ) = (
             op(&m_in, id_in, 1.0),
             op(&m_tail, i_tail, 0.4),
             op(&m_psrc, i_psrc, 0.5),
             op(&m_pcas, i_fold, vdd / 2.0),
             op(&m_ncas, i_fold, 0.7),
             op(&m_nmir, i_fold, 0.5),
-        ) else {
+        )
+        else {
             return AmplifierPerformance::failed();
         };
 
@@ -225,8 +239,7 @@ impl Testbench for FoldedCascode {
             op_nmir.vov,
         ];
         let vov_ok = overdrives.iter().all(|&v| (0.04..=0.7).contains(&v));
-        let stack_drop =
-            op_psrc.vov + op_pcas.vov + op_ncas.vov + op_nmir.vov + 2.0 * SWING_MARGIN;
+        let stack_drop = op_psrc.vov + op_pcas.vov + op_ncas.vov + op_nmir.vov + 2.0 * SWING_MARGIN;
         let swing = 2.0 * (vdd - stack_drop).max(0.0);
         let input_headroom = op_in.vgs_headroom(vdd, op_tail.vov);
         let all_saturated = vov_ok && swing > 0.2 && input_headroom;
@@ -307,10 +320,8 @@ impl Testbench for FoldedCascode {
         let d_psrc = mm(dev::M4_PSRC_P, g_psrc) - mm(dev::M5_PSRC_N, g_psrc);
         let d_nmir = mm(dev::M10_NMIR_P, g_nmir) - mm(dev::M11_NMIR_N, g_nmir);
         let _ = mm(dev::M12_BIAS0, g_bias);
-        let offset_v = (d_in
-            + d_psrc * op_psrc.gm / op_in.gm
-            + d_nmir * op_nmir.gm / op_in.gm)
-            .abs();
+        let offset_v =
+            (d_in + d_psrc * op_psrc.gm / op_in.gm + d_nmir * op_nmir.gm / op_in.gm).abs();
 
         AmplifierPerformance {
             a0_db,
@@ -368,8 +379,16 @@ mod tests {
         );
         // Sanity on the magnitudes.
         assert!(perf.a0_db > 70.0 && perf.a0_db < 110.0, "A0 {}", perf.a0_db);
-        assert!(perf.gbw_hz > 40e6 && perf.gbw_hz < 1e9, "GBW {}", perf.gbw_hz);
-        assert!(perf.pm_deg > 60.0 && perf.pm_deg < 95.0, "PM {}", perf.pm_deg);
+        assert!(
+            perf.gbw_hz > 40e6 && perf.gbw_hz < 1e9,
+            "GBW {}",
+            perf.gbw_hz
+        );
+        assert!(
+            perf.pm_deg > 60.0 && perf.pm_deg < 95.0,
+            "PM {}",
+            perf.pm_deg
+        );
         assert!(perf.power_w < 1.07e-3, "power {}", perf.power_w);
         assert!(perf.output_swing_v >= 4.6, "swing {}", perf.output_swing_v);
         assert!(perf.all_saturated);
@@ -430,9 +449,17 @@ mod tests {
             let m = v.iter().sum::<f64>() / v.len() as f64;
             (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt() / m.abs()
         };
-        assert!(spread(&powers) > 0.002, "power must vary: {}", spread(&powers));
+        assert!(
+            spread(&powers) > 0.002,
+            "power must vary: {}",
+            spread(&powers)
+        );
         assert!(spread(&powers) < 0.2);
-        assert!(spread(&gains) > 0.0005, "gain must vary: {}", spread(&gains));
+        assert!(
+            spread(&gains) > 0.0005,
+            "gain must vary: {}",
+            spread(&gains)
+        );
         // Offsets are mismatch-driven and therefore non-zero in general.
         assert!(offsets.iter().any(|&o| o > 1e-5));
     }

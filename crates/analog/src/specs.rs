@@ -221,7 +221,13 @@ mod tests {
     }
 
     fn power_spec() -> Specification {
-        Specification::new("power", SpecTarget::PowerW, SpecKind::AtMost, 1.07e-3, 0.1e-3)
+        Specification::new(
+            "power",
+            SpecTarget::PowerW,
+            SpecKind::AtMost,
+            1.07e-3,
+            0.1e-3,
+        )
     }
 
     #[test]

@@ -72,11 +72,23 @@ impl TelescopicTwoStage {
         let specs = SpecSet::new(vec![
             Specification::new("A0", SpecTarget::GainDb, SpecKind::AtLeast, 60.0, 5.0),
             Specification::new("GBW", SpecTarget::GbwHz, SpecKind::AtLeast, 300e6, 50e6),
-            Specification::new("PM", SpecTarget::PhaseMarginDeg, SpecKind::AtLeast, 60.0, 5.0),
+            Specification::new(
+                "PM",
+                SpecTarget::PhaseMarginDeg,
+                SpecKind::AtLeast,
+                60.0,
+                5.0,
+            ),
             Specification::new("OS", SpecTarget::OutputSwingV, SpecKind::AtLeast, 1.8, 0.1),
             Specification::new("power", SpecTarget::PowerW, SpecKind::AtMost, 10e-3, 1e-3),
             Specification::new("area", SpecTarget::AreaUm2, SpecKind::AtMost, 180.0, 10.0),
-            Specification::new("offset", SpecTarget::OffsetV, SpecKind::AtMost, 3e-3, 0.5e-3),
+            Specification::new(
+                "offset",
+                SpecTarget::OffsetV,
+                SpecKind::AtMost,
+                3e-3,
+                0.5e-3,
+            ),
         ]);
         let variables = vec![
             DesignVariable::new("w_in", 20.0, 300.0, "um"),
@@ -227,12 +239,8 @@ impl Testbench for TelescopicTwoStage {
         ];
         let vov_ok = overdrives.iter().all(|&v| (0.03..=0.5).contains(&v));
         // Telescopic first-stage stack must fit in the supply.
-        let stack1 = op_tail.vov
-            + op_in.vov
-            + op_ncas.vov
-            + op_pcas.vov
-            + op_pload.vov
-            + 4.0 * 0.05;
+        let stack1 =
+            op_tail.vov + op_in.vov + op_ncas.vov + op_pcas.vov + op_pload.vov + 4.0 * 0.05;
         let swing = 2.0 * (vdd - op_p2.vov - op_n2.vov - 2.0 * SWING_MARGIN).max(0.0);
         let all_saturated = vov_ok && stack1 < vdd && swing > 0.2;
 
@@ -414,7 +422,10 @@ mod tests {
         };
         let small = spread(30.0, 9);
         let large = spread(250.0, 9);
-        assert!(large < small, "offset rms: small-dev {small}, large-dev {large}");
+        assert!(
+            large < small,
+            "offset rms: small-dev {small}, large-dev {large}"
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl DesignVariable {
 }
 
 /// A benchmark circuit with its evaluation map.
-pub trait Testbench {
+///
+/// `Send + Sync` is a supertrait: testbenches play the role HSPICE plays in
+/// the paper, and the evaluation engine (`moheco-runtime`) dispatches them
+/// from worker threads. Implementations are plain data + pure functions, so
+/// this costs nothing.
+pub trait Testbench: Send + Sync {
     /// Short identifier of the circuit (e.g. `"folded_cascode_035"`).
     fn name(&self) -> &str;
 

@@ -35,7 +35,10 @@ pub struct PolarityShift {
 /// # Panics
 ///
 /// Panics if the sample's inter-die vector does not match the technology.
-pub fn inter_die_shifts(tech: &Technology, sample: &ProcessSample) -> (PolarityShift, PolarityShift) {
+pub fn inter_die_shifts(
+    tech: &Technology,
+    sample: &ProcessSample,
+) -> (PolarityShift, PolarityShift) {
     assert_eq!(
         sample.inter.len(),
         tech.num_inter_die(),

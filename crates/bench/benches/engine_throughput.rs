@@ -1,0 +1,159 @@
+//! Throughput benchmark of the `moheco-runtime` evaluation engine:
+//! serial vs parallel batch evaluation, and cache-miss vs cache-hit paths,
+//! on the folded-cascode testbench of example 1.
+//!
+//! Runs as a plain `harness = false` benchmark (the environment has no real
+//! criterion) and emits a machine-readable `BENCH_runtime.json` at the
+//! workspace root alongside the human-readable report.
+//!
+//! Pass `--samples <n>` / `--designs <n>` / `--reps <n>` to change the load.
+
+use moheco::runtime::{EngineConfig, McRequest, ParallelEngine, SerialEngine};
+use moheco::YieldProblem;
+use moheco_analog::{FoldedCascode, Testbench};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed pass: evaluate `designs × samples` Monte-Carlo outcomes as one
+/// batch. Returns wall nanoseconds.
+fn timed_batch(problem: &YieldProblem<FoldedCascode>, designs: &[Vec<f64>], samples: usize) -> u64 {
+    let requests: Vec<McRequest> = designs
+        .iter()
+        .map(|x| McRequest::new(x.clone(), 0, samples))
+        .collect();
+    let start = Instant::now();
+    let outcomes = problem.outcomes_batch(&requests);
+    let elapsed = start.elapsed().as_nanos() as u64;
+    assert_eq!(outcomes.len(), designs.len());
+    elapsed
+}
+
+fn build_designs(n: usize) -> Vec<Vec<f64>> {
+    let reference = FoldedCascode::new().reference_design();
+    (0..n)
+        .map(|i| {
+            let mut x = reference.clone();
+            x[8] = 120.0 + 3.0 * i as f64; // spread of tail currents
+            x
+        })
+        .collect()
+}
+
+fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let designs_n = arg("--designs", 8);
+    let samples = arg("--samples", 150);
+    let reps = arg("--reps", 5);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let designs = build_designs(designs_n);
+    let total = designs_n * samples;
+
+    // Cold-cache passes use a fresh engine per repetition so every sample is
+    // a cache miss; the immediate second pass on the same engine is the pure
+    // cache-hit path.
+    let mut serial_cold = Vec::new();
+    let mut parallel_cold = Vec::new();
+    let mut serial_warm = Vec::new();
+    let mut parallel_warm = Vec::new();
+    for _ in 0..reps {
+        let problem = YieldProblem::with_engine(
+            FoldedCascode::new(),
+            Arc::new(SerialEngine::new(EngineConfig::default())),
+        );
+        serial_cold.push(timed_batch(&problem, &designs, samples));
+        serial_warm.push(timed_batch(&problem, &designs, samples));
+
+        let problem = YieldProblem::with_engine(
+            FoldedCascode::new(),
+            Arc::new(ParallelEngine::new(EngineConfig::default())),
+        );
+        parallel_cold.push(timed_batch(&problem, &designs, samples));
+        parallel_warm.push(timed_batch(&problem, &designs, samples));
+    }
+
+    // A final instrumented pass for the stats block.
+    let instrumented = YieldProblem::with_engine(
+        FoldedCascode::new(),
+        Arc::new(ParallelEngine::new(EngineConfig::default())),
+    );
+    let _ = timed_batch(&instrumented, &designs, samples);
+    let _ = timed_batch(&instrumented, &designs, samples);
+    let stats = instrumented.engine_stats();
+
+    let s_cold = median(serial_cold);
+    let p_cold = median(parallel_cold);
+    let s_warm = median(serial_warm);
+    let p_warm = median(parallel_warm);
+    let speedup = s_cold as f64 / p_cold.max(1) as f64;
+    let hit_speedup = s_cold as f64 / s_warm.max(1) as f64;
+
+    println!(
+        "engine_throughput: {designs_n} designs x {samples} samples = {total} simulations/batch, {reps} reps, {cores} core(s)"
+    );
+    println!(
+        "  serial   cold {:>10.3} ms   warm {:>10.3} ms",
+        s_cold as f64 / 1e6,
+        s_warm as f64 / 1e6
+    );
+    println!(
+        "  parallel cold {:>10.3} ms   warm {:>10.3} ms",
+        p_cold as f64 / 1e6,
+        p_warm as f64 / 1e6
+    );
+    println!("  parallel/serial speedup (cold): {speedup:.2}x  (machine has {cores} core(s))");
+    println!("  cache hit/miss speedup (serial): {hit_speedup:.2}x");
+    println!("  instrumented pass: {stats}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"engine_throughput\",\n",
+            "  \"circuit\": \"folded_cascode_035\",\n",
+            "  \"cores\": {},\n",
+            "  \"designs\": {},\n",
+            "  \"samples_per_design\": {},\n",
+            "  \"simulations_per_batch\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"serial_cold_ns\": {},\n",
+            "  \"parallel_cold_ns\": {},\n",
+            "  \"serial_warm_ns\": {},\n",
+            "  \"parallel_warm_ns\": {},\n",
+            "  \"parallel_speedup\": {:.4},\n",
+            "  \"cache_hit_speedup\": {:.4},\n",
+            "  \"engine_stats\": {}\n",
+            "}}\n"
+        ),
+        cores,
+        designs_n,
+        samples,
+        total,
+        reps,
+        s_cold,
+        p_cold,
+        s_warm,
+        p_warm,
+        speedup,
+        hit_speedup,
+        stats.to_json(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -7,8 +7,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use moheco::{estimate_fixed_budget, estimate_two_stage, Candidate, MohecoConfig, YieldProblem};
 use moheco_analog::{FoldedCascode, Testbench};
 use moheco_sampling::SamplingPlan;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn build_population(problem: &YieldProblem<FoldedCascode>, n: usize) -> Vec<Candidate> {
@@ -45,14 +43,11 @@ fn bench_estimation(c: &mut Criterion) {
         let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
         let template = build_population(&problem, pop);
         b.iter(|| {
+            // Reset so every sample is re-simulated: this measures the
+            // estimation flow, not the engine cache.
+            problem.reset_counter();
             let mut candidates = template.clone();
-            let mut rng = StdRng::seed_from_u64(5);
-            black_box(estimate_two_stage(
-                &problem,
-                &mut candidates,
-                &config,
-                &mut rng,
-            ))
+            black_box(estimate_two_stage(&problem, &mut candidates, &config))
         })
     });
 
@@ -60,14 +55,9 @@ fn bench_estimation(c: &mut Criterion) {
         let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
         let template = build_population(&problem, pop);
         b.iter(|| {
+            problem.reset_counter();
             let mut candidates = template.clone();
-            let mut rng = StdRng::seed_from_u64(5);
-            black_box(estimate_fixed_budget(
-                &problem,
-                &mut candidates,
-                fixed_sims,
-                &mut rng,
-            ))
+            black_box(estimate_fixed_budget(&problem, &mut candidates, fixed_sims))
         })
     });
 

@@ -14,7 +14,6 @@ use moheco::{estimate_fixed_budget, estimate_two_stage, Candidate, MohecoConfig,
 use moheco_analog::{FoldedCascode, Testbench};
 use moheco_bench::ExperimentScale;
 use moheco_optim::problem::random_point;
-use moheco_sampling::SamplingPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,7 +33,8 @@ fn main() {
         ..scale.config
     };
     let fixed_budget = scale.fixed_budgets()[1];
-    let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+    let problem =
+        YieldProblem::with_engine(FoldedCascode::new(), scale.engine.build_seeded(0xF163));
     let mut rng = StdRng::seed_from_u64(0xF163);
     let bounds = problem.bounds();
     let reference = problem.testbench().reference_design();
@@ -61,7 +61,7 @@ fn main() {
     }
 
     let before = problem.simulations();
-    let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+    let record = estimate_two_stage(&problem, &mut candidates, &config);
     let oo_sims = problem.simulations() - before;
 
     // Bin the feasible candidates by estimated yield.
@@ -100,7 +100,11 @@ fn main() {
         100.0 * infeasible as f64 / population
     );
 
-    // Compare against the fixed-budget flow on the same population.
+    // Compare against the fixed-budget flow on the same population. A fresh
+    // problem (fresh engine cache) keeps the comparison honest: the
+    // fixed-budget flow must not be served from the OO run's sample cache.
+    let problem_fixed =
+        YieldProblem::with_engine(FoldedCascode::new(), scale.engine.build_seeded(0xF163));
     let mut fixed_candidates: Vec<Candidate> = candidates
         .iter()
         .map(|c| {
@@ -111,9 +115,9 @@ fn main() {
             }
         })
         .collect();
-    let before = problem.simulations();
-    let _ = estimate_fixed_budget(&problem, &mut fixed_candidates, fixed_budget, &mut rng);
-    let fixed_sims = problem.simulations() - before;
+    let before = problem_fixed.simulations();
+    let _ = estimate_fixed_budget(&problem_fixed, &mut fixed_candidates, fixed_budget);
+    let fixed_sims = problem_fixed.simulations() - before;
     println!(
         "\nOO population budget: {oo_sims} simulations = {:.1}% of the AS+LHS-{fixed_budget} budget ({fixed_sims}) (paper: ~11%)",
         100.0 * oo_sims as f64 / fixed_sims.max(1) as f64

@@ -6,7 +6,7 @@
 //! Run with `--paper` for larger populations and generation budgets.
 
 use moheco_analog::{FoldedCascode, TelescopicTwoStage, Testbench};
-use moheco_bench::{ExperimentScale, NominalSizingProblem};
+use moheco_bench::{EngineKind, ExperimentScale, NominalSizingProblem};
 use moheco_optim::de::{DeConfig, DifferentialEvolution};
 use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
 use moheco_optim::memetic::{MemeticConfig, MemeticOptimizer};
@@ -34,8 +34,16 @@ fn report(label: &str, result: &OptimizationResult) {
     );
 }
 
-fn run_engines<T: Testbench + Clone>(name: &str, tb: T, population: usize, generations: usize) {
-    println!("\nNominal sizing of {name} (population {population}, up to {generations} generations)");
+fn run_engines<T: Testbench + Clone>(
+    name: &str,
+    tb: T,
+    population: usize,
+    generations: usize,
+    engine: EngineKind,
+) {
+    println!(
+        "\nNominal sizing of {name} (population {population}, up to {generations} generations)"
+    );
     let de_cfg = DeConfig {
         population_size: population,
         max_generations: generations,
@@ -48,12 +56,12 @@ fn run_engines<T: Testbench + Clone>(name: &str, tb: T, population: usize, gener
     };
 
     let mut rng = StdRng::seed_from_u64(0x51E1);
-    let mut p = NominalSizingProblem::new(tb.clone());
+    let mut p = NominalSizingProblem::with_engine(tb.clone(), engine.build());
     let de = DifferentialEvolution::new(de_cfg).run(&mut p, &mut rng);
     report("SBDE (DE + Deb rules)", &de);
 
     let mut rng = StdRng::seed_from_u64(0x51E1);
-    let mut p = NominalSizingProblem::new(tb.clone());
+    let mut p = NominalSizingProblem::with_engine(tb.clone(), engine.build());
     let memetic = MemeticOptimizer::new(MemeticConfig {
         de: de_cfg,
         ..MemeticConfig::default()
@@ -62,7 +70,7 @@ fn run_engines<T: Testbench + Clone>(name: &str, tb: T, population: usize, gener
     report("Memetic DE + NM (MSOEA-like)", &memetic);
 
     let mut rng = StdRng::seed_from_u64(0x51E1);
-    let mut p = NominalSizingProblem::new(tb.clone());
+    let mut p = NominalSizingProblem::with_engine(tb.clone(), engine.build());
     let ga = GeneticAlgorithm::new(GaConfig {
         population_size: population,
         max_generations: generations,
@@ -75,7 +83,7 @@ fn run_engines<T: Testbench + Clone>(name: &str, tb: T, population: usize, gener
 
     let mut rng = StdRng::seed_from_u64(0x51E1);
     let tb_check = tb.clone();
-    let mut p = PenaltyProblem::new(NominalSizingProblem::new(tb), 100.0);
+    let mut p = PenaltyProblem::new(NominalSizingProblem::with_engine(tb, engine.build()), 100.0);
     let pen = DifferentialEvolution::new(de_cfg).run(&mut p, &mut rng);
     // Re-check real feasibility of the penalty solution.
     let mut checker = NominalSizingProblem::new(tb_check);
@@ -97,12 +105,19 @@ fn main() {
     } else {
         (24, 40, 80)
     };
-    run_engines("example 1 (folded cascode)", FoldedCascode::new(), population, gens_easy);
+    run_engines(
+        "example 1 (folded cascode)",
+        FoldedCascode::new(),
+        population,
+        gens_easy,
+        scale.engine,
+    );
     run_engines(
         "example 2 (telescopic two-stage, severe specs)",
         TelescopicTwoStage::new(),
         population,
         gens_hard,
+        scale.engine,
     );
     println!("\nPaper observation: example 1 converges in 20-30 generations while example 2 needs");
     println!("200-300 generations for the GA-family engines; only the DE-based engines succeed.");

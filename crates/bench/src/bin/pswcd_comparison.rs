@@ -15,10 +15,18 @@ use rand::SeedableRng;
 fn main() {
     let scale = ExperimentScale::from_args();
     let tb = FoldedCascode::new();
-    let mc_samples = if scale.reference_samples >= 50_000 { 2_000 } else { 400 };
+    let mc_samples = if scale.reference_samples >= 50_000 {
+        2_000
+    } else {
+        400
+    };
     let config = PswcdConfig {
         k_sigma: 3.0,
-        probes: if scale.reference_samples >= 50_000 { 200 } else { 60 },
+        probes: if scale.reference_samples >= 50_000 {
+            200
+        } else {
+            60
+        },
     };
 
     // Designs of decreasing robustness: the reference sizing, a power-tight
@@ -47,12 +55,14 @@ fn main() {
             "{:<22} {:>13.1}% {:>18}",
             label,
             100.0 * mc_yield,
-            if accepted { "accept" } else { "reject (over-design)" }
+            if accepted {
+                "accept"
+            } else {
+                "reject (over-design)"
+            }
         );
     }
-    println!(
-        "\nA rejection of a design whose MC yield is high demonstrates the over-design of"
-    );
+    println!("\nA rejection of a design whose MC yield is high demonstrates the over-design of");
     println!("spec-wise worst-case methods: the per-spec worst-case process points cannot occur");
     println!("simultaneously, so their combination is overly pessimistic (paper, section 3.4).");
 }

@@ -10,7 +10,7 @@
 //! Run with `--paper` for paper-scale settings.
 
 use moheco_analog::FoldedCascode;
-use moheco_bench::{run_single, ExperimentScale};
+use moheco_bench::{run_single_with_engine, ExperimentScale};
 use moheco_surrogate::{LmConfig, RsbYieldModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +18,8 @@ use rand::SeedableRng;
 fn main() {
     let scale = ExperimentScale::from_args();
     eprintln!("running MOHECO on example 1 to collect trajectory data ...");
-    let (result, _problem) = run_single(FoldedCascode::new(), scale.config, 0x35B4);
+    let (result, _problem) =
+        run_single_with_engine(FoldedCascode::new(), scale.config, 0x35B4, scale.engine);
     let trace = &result.trace;
     println!(
         "MOHECO converged to a reported yield of {:.1}% in {} generations ({} simulations)",
@@ -60,9 +61,7 @@ fn main() {
         println!(
             "\nRMS error with all available training data: {last_err:.2} percentage points (paper: 6.86%)"
         );
-        println!(
-            "Conclusion (as in the paper): the surrogate's error remains far larger than the"
-        );
+        println!("Conclusion (as in the paper): the surrogate's error remains far larger than the");
         println!("0.3-0.5 pp accuracy MOHECO achieves for the same simulation budget.");
     } else {
         println!("\nNot enough trajectory data to train the surrogate; rerun with --paper.");

@@ -44,7 +44,11 @@ fn main() {
     // Headline ratio of the paper: MOHECO uses ~1/7 of the simulations of the
     // AS+LHS-500 flow (the middle fixed budget here).
     let mid_fixed = rows[1].1.simulation_summary();
-    let moheco = rows.last().expect("methods non-empty").1.simulation_summary();
+    let moheco = rows
+        .last()
+        .expect("methods non-empty")
+        .1
+        .simulation_summary();
     if mid_fixed.mean > 0.0 {
         println!(
             "\nMOHECO uses {:.1}% of the simulations of the {} baseline (paper: ~14%)",

@@ -20,7 +20,7 @@ fn main() {
     let budgets = scale.fixed_budgets();
     // The paper's Table 3/4 compares the 300- and 500-simulation baselines
     // against MOHECO for this (more expensive) circuit.
-    let methods = vec![
+    let methods = [
         Method::FixedBudget(budgets[0]),
         Method::FixedBudget(budgets[1]),
         Method::Moheco,

@@ -11,9 +11,57 @@
 use moheco::{MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};
 use moheco_analog::Testbench;
 use moheco_optim::problem::{Evaluation, Problem};
+use moheco_runtime::{EngineConfig, EvalEngine, ParallelEngine, SerialEngine, SimulationModel};
 use moheco_sampling::SamplingPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Which evaluation engine the experiment binaries dispatch simulations
+/// through (`--parallel` on the command line selects the work-stealing
+/// engine; results are bit-identical either way, see `moheco-runtime`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// In-order dispatch on the calling thread.
+    #[default]
+    Serial,
+    /// Work-stealing dispatch over all available cores.
+    Parallel,
+}
+
+impl EngineKind {
+    /// Parses the command line: `--parallel` selects the parallel engine.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--parallel") {
+            Self::Parallel
+        } else {
+            Self::Serial
+        }
+    }
+
+    /// Builds a fresh engine of this kind with the default configuration
+    /// (LHS sampling, default master seed).
+    pub fn build(self) -> Arc<dyn EvalEngine> {
+        self.build_seeded(EngineConfig::default().seed)
+    }
+
+    /// Builds a fresh engine of this kind with an explicit master seed.
+    ///
+    /// Independent experiment repetitions must use distinct seeds so their
+    /// Monte-Carlo sample streams are independent — otherwise the multi-run
+    /// statistics of Tables 1-4 would understate the estimator variance.
+    pub fn build_seeded(self, seed: u64) -> Arc<dyn EvalEngine> {
+        let config = EngineConfig {
+            plan: SamplingPlan::LatinHypercube,
+            seed,
+            ..EngineConfig::default()
+        };
+        match self {
+            Self::Serial => Arc::new(SerialEngine::new(config)),
+            Self::Parallel => Arc::new(ParallelEngine::new(config)),
+        }
+    }
+}
 
 /// The methods compared in Tables 1–4 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +107,8 @@ pub struct ExperimentScale {
     pub config: MohecoConfig,
     /// Number of Monte-Carlo samples for the reference ("true") yield.
     pub reference_samples: usize,
+    /// Which evaluation engine dispatches the simulations.
+    pub engine: EngineKind,
 }
 
 impl ExperimentScale {
@@ -68,6 +118,7 @@ impl ExperimentScale {
             runs: 3,
             config: MohecoConfig::fast(),
             reference_samples: 4_000,
+            engine: EngineKind::Serial,
         }
     }
 
@@ -78,17 +129,21 @@ impl ExperimentScale {
             runs: 10,
             config: MohecoConfig::paper(),
             reference_samples: 50_000,
+            engine: EngineKind::Serial,
         }
     }
 
-    /// Parses the command line: `--paper` selects [`ExperimentScale::paper`],
-    /// anything else the fast settings.
+    /// Parses the command line: `--paper` selects [`ExperimentScale::paper`]
+    /// (anything else the fast settings) and `--parallel` dispatches the
+    /// simulations through the work-stealing engine.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--paper") {
+        let mut scale = if std::env::args().any(|a| a == "--paper") {
             Self::paper()
         } else {
             Self::fast()
-        }
+        };
+        scale.engine = EngineKind::from_args();
+        scale
     }
 
     /// Fixed per-candidate budgets that remain meaningful at this scale: the
@@ -143,7 +198,9 @@ where
 {
     let mut outcome = MethodOutcome::default();
     for run in 0..scale.runs {
-        let problem = YieldProblem::new(make_testbench(), SamplingPlan::LatinHypercube);
+        let engine_seed = master_seed ^ (run as u64).wrapping_mul(0xD135_2F2D_0785_6A21);
+        let problem =
+            YieldProblem::with_engine(make_testbench(), scale.engine.build_seeded(engine_seed));
         let optimizer = YieldOptimizer::new(method.config(scale.config));
         let mut rng = StdRng::seed_from_u64(master_seed ^ (run as u64).wrapping_mul(0x9E37_79B9));
         let result = optimizer.run(&problem, &mut rng);
@@ -168,7 +225,19 @@ pub fn run_single<T: Testbench>(
     config: MohecoConfig,
     seed: u64,
 ) -> (RunResult, YieldProblem<T>) {
-    let problem = YieldProblem::new(testbench, SamplingPlan::LatinHypercube);
+    run_single_with_engine(testbench, config, seed, EngineKind::Serial)
+}
+
+/// [`run_single`] with an explicit engine choice. The run seed also seeds
+/// the engine, so different seeds get independent Monte-Carlo sample
+/// streams, not just different search trajectories.
+pub fn run_single_with_engine<T: Testbench>(
+    testbench: T,
+    config: MohecoConfig,
+    seed: u64,
+    engine: EngineKind,
+) -> (RunResult, YieldProblem<T>) {
+    let problem = YieldProblem::with_engine(testbench, engine.build_seeded(seed));
     let optimizer = YieldOptimizer::new(config);
     let mut rng = StdRng::seed_from_u64(seed);
     let result = optimizer.run(&problem, &mut rng);
@@ -229,42 +298,61 @@ pub fn print_fig6_csv(rows: &[(Method, &MethodOutcome)]) {
     }
 }
 
+/// Nominal-only [`SimulationModel`] adapter: the nominal-sizing workload
+/// dispatches no Monte-Carlo jobs, only nominal evaluations.
+struct NominalModel<T> {
+    testbench: T,
+}
+
+impl<T: Testbench> SimulationModel for NominalModel<T> {
+    fn unit_dimension(&self) -> usize {
+        1
+    }
+
+    fn simulate_point(&self, _x: &[f64], _u: &[f64]) -> f64 {
+        unreachable!("nominal sizing dispatches no Monte-Carlo jobs")
+    }
+
+    fn nominal(&self, x: &[f64]) -> Vec<f64> {
+        self.testbench.nominal_margins(x)
+    }
+}
+
 /// A nominal (variation-free) sizing problem over a testbench: minimise the
 /// aggregate specification violation at the nominal process point. Used by
 /// the `nominal_sizing` binary and the `search_engines` benchmark to
 /// reproduce the §3.3 convergence observations.
+///
+/// Evaluations are dispatched through an [`EvalEngine`], so whole DE/GA
+/// generations run as one (optionally parallel) nominal batch and repeated
+/// probes of the same sizing are served from the engine cache.
 pub struct NominalSizingProblem<T> {
-    testbench: T,
+    model: NominalModel<T>,
+    engine: Arc<dyn EvalEngine>,
     evaluations: usize,
 }
 
 impl<T: Testbench> NominalSizingProblem<T> {
-    /// Wraps a testbench.
+    /// Wraps a testbench, dispatching through a fresh serial engine.
     pub fn new(testbench: T) -> Self {
+        Self::with_engine(testbench, EngineKind::Serial.build())
+    }
+
+    /// Wraps a testbench with an explicit engine.
+    pub fn with_engine(testbench: T, engine: Arc<dyn EvalEngine>) -> Self {
         Self {
-            testbench,
+            model: NominalModel { testbench },
+            engine,
             evaluations: 0,
         }
     }
 
-    /// Number of evaluations performed so far.
+    /// Number of evaluations requested so far (engine cache hits included).
     pub fn evaluations(&self) -> usize {
         self.evaluations
     }
-}
 
-impl<T: Testbench> Problem for NominalSizingProblem<T> {
-    fn dimension(&self) -> usize {
-        self.testbench.dimension()
-    }
-
-    fn bounds(&self) -> Vec<(f64, f64)> {
-        self.testbench.bounds()
-    }
-
-    fn evaluate(&mut self, x: &[f64]) -> Evaluation {
-        self.evaluations += 1;
-        let margins = self.testbench.nominal_margins(x);
+    fn margins_to_eval(margins: &[f64]) -> Evaluation {
         let violation: f64 = margins.iter().filter(|&&m| m < 0.0).map(|&m| -m).sum();
         if violation > 0.0 {
             Evaluation::new(violation, violation)
@@ -273,6 +361,31 @@ impl<T: Testbench> Problem for NominalSizingProblem<T> {
             let worst = margins.iter().cloned().fold(f64::INFINITY, f64::min);
             Evaluation::feasible(-worst)
         }
+    }
+}
+
+impl<T: Testbench> Problem for NominalSizingProblem<T> {
+    fn dimension(&self) -> usize {
+        self.model.testbench.dimension()
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        self.model.testbench.bounds()
+    }
+
+    fn evaluate(&mut self, x: &[f64]) -> Evaluation {
+        self.evaluations += 1;
+        let margins = self.engine.nominal_single(&self.model, x);
+        Self::margins_to_eval(&margins)
+    }
+
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        self.evaluations += xs.len();
+        self.engine
+            .nominal_batch(&self.model, xs)
+            .into_iter()
+            .map(|margins| Self::margins_to_eval(&margins))
+            .collect()
     }
 }
 
@@ -295,7 +408,10 @@ mod tests {
     fn scales_are_valid() {
         ExperimentScale::fast().config.validate();
         ExperimentScale::paper().config.validate();
-        assert_eq!(ExperimentScale::paper().fixed_budgets(), vec![300, 500, 700]);
+        assert_eq!(
+            ExperimentScale::paper().fixed_budgets(),
+            vec![300, 500, 700]
+        );
         assert_eq!(ExperimentScale::fast().fixed_budgets().len(), 3);
     }
 

@@ -137,7 +137,10 @@ impl MohecoConfig {
             (0.0..=1.0).contains(&self.stage2_threshold),
             "stage-2 threshold out of range"
         );
-        assert!((0.0..=1.0).contains(&self.target_yield), "target yield out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.target_yield),
+            "target yield out of range"
+        );
         assert!(self.max_generations >= 1, "need at least one generation");
         if let YieldStrategy::FixedBudget { sims_per_candidate } = self.strategy {
             assert!(sims_per_candidate >= 1, "fixed budget must be >= 1");

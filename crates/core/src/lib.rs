@@ -21,6 +21,14 @@
 //! memetic operator) so that Tables 1–4 can be regenerated with a shared code
 //! path.
 //!
+//! Every circuit simulation is dispatched through the evaluation engine of
+//! the [`moheco_runtime`] crate (re-exported here as [`runtime`]): batches
+//! run in parallel on a [`runtime::ParallelEngine`] with bit-identical
+//! results to the serial engine, repeated evaluations are served from the
+//! engine cache, and the engine instrumentation is surfaced in
+//! [`RunResult::engine_stats`] and the per-generation [`Trace`]. Construct a
+//! problem with [`YieldProblem::with_engine`] to choose the engine.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -49,6 +57,8 @@ pub mod problem;
 pub mod stats;
 pub mod trace;
 pub mod two_stage;
+
+pub use moheco_runtime as runtime;
 
 pub use algorithm::{RunResult, YieldOptimizer};
 pub use candidate::{best_candidate_index, Candidate, Stage};

@@ -1,16 +1,29 @@
 //! The yield-optimization problem: glue between a circuit testbench, the
-//! statistical process model and the Monte-Carlo machinery.
+//! statistical process model and the evaluation engine.
 //!
 //! A [`YieldProblem`] owns the testbench, a [`ProcessSampler`] matched to it,
-//! an [`AcceptanceSampler`] screen and a shared [`SimulationCounter`]. Every
-//! circuit evaluation — nominal feasibility checks and Monte-Carlo yield
-//! samples alike — goes through this type so that the simulation counts
-//! reported in Tables 2 and 4 are complete.
+//! an [`AcceptanceSampler`] screen and an [`EvalEngine`]. Every circuit
+//! evaluation — nominal feasibility checks and Monte-Carlo yield samples
+//! alike — is dispatched through the engine, so that (a) the simulation
+//! counts reported in Tables 2 and 4 are complete, (b) batches run in
+//! parallel when the engine is a [`moheco_runtime::ParallelEngine`], and
+//! (c) repeated evaluations of a design are served from the engine cache.
+//!
+//! Monte-Carlo samples are *indexed*: each design owns one deterministic
+//! sample stream (see [`moheco_runtime`]), and consumers request ranges
+//! `start .. start + count` of it. Accumulating consumers (stage-1 OCBA,
+//! stage-2 top-up, the final re-estimate) pass the number of samples they
+//! already hold as `start`, which makes their merged estimates consistent
+//! and lets the cache serve re-probes for free.
 
 use moheco_analog::Testbench;
 use moheco_process::ProcessSampler;
-use moheco_sampling::{AcceptanceSampler, AsDecision, SamplingPlan, SimulationCounter, YieldEstimate};
+use moheco_runtime::{EngineConfig, EvalEngine, McRequest, SerialEngine, SimulationModel};
+use moheco_sampling::{
+    AcceptanceSampler, AsDecision, SamplingPlan, SimulationCounter, YieldEstimate,
+};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Result of the nominal feasibility screen of one candidate sizing.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,25 +43,67 @@ impl FeasibilityReport {
     }
 }
 
+/// Adapter exposing a testbench + process sampler pair as the
+/// [`SimulationModel`] the engine dispatches over.
+struct CircuitModel<T> {
+    testbench: Arc<T>,
+    sampler: ProcessSampler,
+}
+
+impl<T: Testbench> SimulationModel for CircuitModel<T> {
+    fn unit_dimension(&self) -> usize {
+        self.sampler.dimension()
+    }
+
+    fn simulate_point(&self, x: &[f64], u: &[f64]) -> f64 {
+        let xi = self.sampler.from_unit_point(u);
+        let perf = self.testbench.evaluate(x, &xi);
+        if self.testbench.specs().all_met(&perf) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn nominal(&self, x: &[f64]) -> Vec<f64> {
+        self.testbench.nominal_margins(x)
+    }
+}
+
 /// The yield-optimization problem over a circuit testbench.
 pub struct YieldProblem<T> {
-    testbench: T,
-    sampler: ProcessSampler,
+    testbench: Arc<T>,
+    model: CircuitModel<T>,
     acceptance: AcceptanceSampler,
-    counter: SimulationCounter,
-    plan: SamplingPlan,
+    engine: Arc<dyn EvalEngine>,
 }
 
 impl<T: Testbench> YieldProblem<T> {
-    /// Creates the yield problem for `testbench` with the given sampling plan.
+    /// Creates the yield problem for `testbench` with the given sampling
+    /// plan, dispatching through a fresh [`SerialEngine`].
     pub fn new(testbench: T, plan: SamplingPlan) -> Self {
+        let engine = Arc::new(SerialEngine::new(EngineConfig {
+            plan,
+            ..EngineConfig::default()
+        }));
+        Self::with_engine(testbench, engine)
+    }
+
+    /// Creates the yield problem dispatching through an explicit engine
+    /// (serial or parallel; the engine's configuration supplies the sampling
+    /// plan and master seed).
+    pub fn with_engine(testbench: T, engine: Arc<dyn EvalEngine>) -> Self {
+        let testbench = Arc::new(testbench);
         let sampler = ProcessSampler::new(testbench.technology().clone(), testbench.num_devices());
+        let model = CircuitModel {
+            testbench: Arc::clone(&testbench),
+            sampler,
+        };
         Self {
             testbench,
-            sampler,
+            model,
             acceptance: AcceptanceSampler::default(),
-            counter: SimulationCounter::new(),
-            plan,
+            engine,
         }
     }
 
@@ -57,19 +112,32 @@ impl<T: Testbench> YieldProblem<T> {
         &self.testbench
     }
 
+    /// The evaluation engine dispatching this problem's simulations.
+    pub fn engine(&self) -> &Arc<dyn EvalEngine> {
+        &self.engine
+    }
+
+    /// Snapshot of the engine instrumentation (simulations run, cache hits,
+    /// batch sizes, busy time).
+    pub fn engine_stats(&self) -> moheco_runtime::EngineStatsSnapshot {
+        self.engine.stats()
+    }
+
     /// The shared simulation counter (clone it to keep a handle).
     pub fn counter(&self) -> SimulationCounter {
-        self.counter.clone()
+        self.engine.counter()
     }
 
     /// Total number of circuit simulations spent so far.
     pub fn simulations(&self) -> u64 {
-        self.counter.total()
+        self.engine.simulations()
     }
 
-    /// Resets the simulation counter (used between experiment repetitions).
+    /// Resets the simulation counter *and the engine cache* (used between
+    /// experiment repetitions, so a repetition cannot be served from a
+    /// previous run's cache).
     pub fn reset_counter(&self) {
-        self.counter.reset();
+        self.engine.reset();
     }
 
     /// Design-space bounds of the testbench.
@@ -84,14 +152,10 @@ impl<T: Testbench> YieldProblem<T> {
 
     /// The process sampler matched to the testbench.
     pub fn process_sampler(&self) -> &ProcessSampler {
-        &self.sampler
+        &self.model.sampler
     }
 
-    /// Nominal feasibility screen (costs exactly one circuit simulation).
-    pub fn feasibility(&self, x: &[f64]) -> FeasibilityReport {
-        self.counter.add(1);
-        let perf = self.testbench.evaluate_nominal(x);
-        let margins = self.testbench.specs().margins(&perf);
+    fn report_from_margins(&self, margins: Vec<f64>) -> FeasibilityReport {
         let violation = margins.iter().filter(|&&m| m < 0.0).map(|&m| -m).sum();
         let decision = self.acceptance.screen(&margins);
         FeasibilityReport {
@@ -101,45 +165,47 @@ impl<T: Testbench> YieldProblem<T> {
         }
     }
 
-    /// Draws `n` fresh Monte-Carlo pass/fail outcomes (1.0 = all specs met)
-    /// for sizing `x`. Each outcome costs one circuit simulation.
-    pub fn simulate_outcomes<R: Rng + ?Sized>(&self, x: &[f64], n: usize, rng: &mut R) -> Vec<f64> {
-        if n == 0 {
-            return Vec::new();
-        }
-        self.counter.add(n as u64);
-        let dim = self.sampler.dimension();
-        let points = self.plan.generate(rng, n, dim);
-        points
-            .iter()
-            .map(|u| {
-                let xi = self.sampler.from_unit_point(u);
-                let perf = self.testbench.evaluate(x, &xi);
-                if self.testbench.specs().all_met(&perf) {
-                    1.0
-                } else {
-                    0.0
-                }
-            })
+    /// Nominal feasibility screen (costs one circuit simulation; repeats of
+    /// the same design are served from the engine cache for free).
+    pub fn feasibility(&self, x: &[f64]) -> FeasibilityReport {
+        self.feasibility_batch(std::slice::from_ref(&x.to_vec()))
+            .pop()
+            .expect("one design yields one report")
+    }
+
+    /// Nominal feasibility screen of a whole batch of designs, dispatched to
+    /// the engine as one batch (parallel with a parallel engine).
+    pub fn feasibility_batch(&self, xs: &[Vec<f64>]) -> Vec<FeasibilityReport> {
+        self.engine
+            .nominal_batch(&self.model, xs)
+            .into_iter()
+            .map(|margins| self.report_from_margins(margins))
             .collect()
     }
 
-    /// Estimates the yield of sizing `x` with `n` Monte-Carlo samples,
-    /// honouring the acceptance-sampling screen: candidates rejected by the
-    /// screen report zero yield without spending samples, deeply accepted
-    /// candidates spend a reduced confirmation budget.
-    pub fn estimate_yield<R: Rng + ?Sized>(
-        &self,
-        x: &[f64],
-        n: usize,
-        decision: AsDecision,
-        rng: &mut R,
-    ) -> YieldEstimate {
+    /// Monte-Carlo pass/fail outcomes `start .. start + count` of the sample
+    /// stream of sizing `x` (1.0 = all specs met). Fresh indices cost one
+    /// circuit simulation each; previously simulated indices are free.
+    pub fn outcomes(&self, x: &[f64], start: usize, count: usize) -> Vec<f64> {
+        self.engine.mc_single(&self.model, x, start, count)
+    }
+
+    /// Batch variant of [`Self::outcomes`]: all requests are dispatched to
+    /// the engine at once (one work-stealing batch with a parallel engine).
+    pub fn outcomes_batch(&self, requests: &[McRequest]) -> Vec<Vec<f64>> {
+        self.engine.mc_outcomes(&self.model, requests)
+    }
+
+    /// Estimates the yield of sizing `x` from the first `n` samples of its
+    /// stream, honouring the acceptance-sampling screen: candidates rejected
+    /// by the screen report zero yield without spending samples, deeply
+    /// accepted candidates spend a reduced confirmation budget.
+    pub fn estimate_yield(&self, x: &[f64], n: usize, decision: AsDecision) -> YieldEstimate {
         let budget = self.acceptance.budget_for(decision, n);
         if budget == 0 {
             return YieldEstimate::default();
         }
-        let outcomes = self.simulate_outcomes(x, budget, rng);
+        let outcomes = self.outcomes(x, 0, budget);
         let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
         YieldEstimate::new(passes, outcomes.len())
     }
@@ -147,20 +213,22 @@ impl<T: Testbench> YieldProblem<T> {
     /// High-accuracy reference yield of sizing `x` (used to fill the
     /// "deviation from a 50 000-sample MC" columns of Tables 1 and 3).
     ///
-    /// The samples spent here are *not* charged to the optimizer's counter:
-    /// they belong to the experimental methodology, not to the method under
+    /// The samples spent here are *not* charged to the engine's counter and
+    /// bypass its cache: they belong to the experimental methodology (an
+    /// independent measurement with its own RNG), not to the method under
     /// test.
     pub fn reference_yield<R: Rng + ?Sized>(&self, x: &[f64], n: usize, rng: &mut R) -> f64 {
-        let dim = self.sampler.dimension();
+        let dim = self.model.sampler.dimension();
+        let plan = self.engine.config().plan;
         let mut passes = 0usize;
         // Generate in chunks to bound the memory of the LHS permutation.
         let chunk = 2000;
         let mut remaining = n;
         while remaining > 0 {
             let m = remaining.min(chunk);
-            let points = self.plan.generate(rng, m, dim);
+            let points = plan.generate(rng, m, dim);
             for u in &points {
-                let xi = self.sampler.from_unit_point(u);
+                let xi = self.model.sampler.from_unit_point(u);
                 let perf = self.testbench.evaluate(x, &xi);
                 if self.testbench.specs().all_met(&perf) {
                     passes += 1;
@@ -176,6 +244,7 @@ impl<T: Testbench> YieldProblem<T> {
 mod tests {
     use super::*;
     use moheco_analog::FoldedCascode;
+    use moheco_runtime::ParallelEngine;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -192,6 +261,10 @@ mod tests {
         assert!(rep.is_feasible(), "report {rep:?}");
         assert_eq!(p.simulations(), 1);
         assert_ne!(rep.decision, AsDecision::RejectWithoutSampling);
+        // Re-screening the same design is free (nominal cache).
+        let rep2 = p.feasibility(&x);
+        assert_eq!(rep, rep2);
+        assert_eq!(p.simulations(), 1);
     }
 
     #[test]
@@ -202,8 +275,7 @@ mod tests {
         let rep = p.feasibility(&x);
         assert!(!rep.is_feasible());
         assert_eq!(rep.decision, AsDecision::RejectWithoutSampling);
-        let mut rng = StdRng::seed_from_u64(1);
-        let est = p.estimate_yield(&x, 100, rep.decision, &mut rng);
+        let est = p.estimate_yield(&x, 100, rep.decision);
         assert_eq!(est.samples, 0);
         assert_eq!(est.value(), 0.0);
         // Only the feasibility simulation was spent.
@@ -215,11 +287,26 @@ mod tests {
         let p = problem();
         let x = p.testbench().reference_design();
         let rep = p.feasibility(&x);
-        let mut rng = StdRng::seed_from_u64(2);
-        let est = p.estimate_yield(&x, 60, rep.decision, &mut rng);
+        let est = p.estimate_yield(&x, 60, rep.decision);
         assert!(est.samples > 0 && est.samples <= 60);
         assert!(est.value() > 0.3, "yield {}", est.value());
         assert_eq!(p.simulations(), 1 + est.samples as u64);
+        // Re-estimating with the same budget is free (sample cache).
+        let est2 = p.estimate_yield(&x, 60, rep.decision);
+        assert_eq!(est, est2);
+        assert_eq!(p.simulations(), 1 + est.samples as u64);
+    }
+
+    #[test]
+    fn outcome_ranges_merge_consistently() {
+        let p = problem();
+        let x = p.testbench().reference_design();
+        let head = p.outcomes(&x, 0, 30);
+        let tail = p.outcomes(&x, 30, 30);
+        let joined: Vec<f64> = head.iter().chain(tail.iter()).copied().collect();
+        assert_eq!(p.outcomes(&x, 0, 60), joined);
+        // 60 distinct sample indices -> exactly 60 simulations.
+        assert_eq!(p.simulations(), 60);
     }
 
     #[test]
@@ -243,13 +330,25 @@ mod tests {
     }
 
     #[test]
-    fn simulate_outcomes_returns_requested_count() {
+    fn outcomes_returns_requested_count() {
         let p = problem();
         let x = p.testbench().reference_design();
-        let mut rng = StdRng::seed_from_u64(4);
-        let out = p.simulate_outcomes(&x, 25, &mut rng);
+        let out = p.outcomes(&x, 0, 25);
         assert_eq!(out.len(), 25);
         assert!(out.iter().all(|&v| v == 0.0 || v == 1.0));
-        assert!(p.simulate_outcomes(&x, 0, &mut rng).is_empty());
+        assert!(p.outcomes(&x, 25, 0).is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_problems_agree() {
+        let serial = problem();
+        let parallel = YieldProblem::with_engine(
+            FoldedCascode::new(),
+            Arc::new(ParallelEngine::new(EngineConfig::default().with_workers(3))),
+        );
+        let x = serial.testbench().reference_design();
+        assert_eq!(serial.feasibility(&x), parallel.feasibility(&x));
+        assert_eq!(serial.outcomes(&x, 0, 120), parallel.outcomes(&x, 0, 120));
+        assert_eq!(serial.simulations(), parallel.simulations());
     }
 }

@@ -16,7 +16,14 @@ pub struct GenerationRecord {
     pub num_feasible: usize,
     /// Cumulative circuit simulations after this generation.
     pub simulations_so_far: u64,
-    /// Simulations spent in this generation alone.
+    /// Cumulative engine cache hits after this generation — Monte-Carlo
+    /// samples *and* nominal screens served without running a simulation
+    /// (see `moheco-runtime`), so this is not an MC-only counter.
+    pub cache_hits_so_far: u64,
+    /// Monte-Carlo samples *served* to this generation's estimation
+    /// (engine cache hits included, so re-read sample ranges count here but
+    /// not in [`Self::simulations_so_far`], which counts executed
+    /// simulations only).
     pub simulations_this_generation: usize,
     /// `(design point, estimated yield, samples spent)` for every candidate
     /// evaluated this generation (trial candidates).
@@ -97,6 +104,7 @@ mod tests {
             best_yield: best,
             num_feasible: n,
             simulations_so_far: (generation as u64 + 1) * 100,
+            cache_hits_so_far: 10 * generation as u64,
             simulations_this_generation: 100,
             candidates: (0..n)
                 .map(|i| (vec![i as f64], 0.5 + 0.1 * i as f64, 10 * (i + 1)))

@@ -8,22 +8,37 @@
 //! are moved to stage 2, where their estimate is topped up to the maximum
 //! sample count `n_max` for an accurate final figure.
 //!
+//! Every simulation is dispatched through the problem's [`EvalEngine`]
+//! (`moheco-runtime`): each OCBA round is one engine batch, the stage-2
+//! promotions are one batch, and the fixed-budget baseline estimates its
+//! whole generation as a single batch — so a parallel engine saturates its
+//! workers and the engine cache makes re-estimates of already-sampled
+//! designs free. No randomness is consumed here: sample streams are indexed
+//! per design (see [`crate::problem::YieldProblem::outcomes`]).
+//!
 //! The fixed-budget baseline (`AS + LHS with N simulations per candidate`)
 //! is implemented here too so all methods share the same plumbing.
+//!
+//! [`EvalEngine`]: moheco_runtime::EvalEngine
 
 use crate::candidate::{Candidate, Stage};
 use crate::config::MohecoConfig;
 use crate::problem::YieldProblem;
 use moheco_analog::Testbench;
-use moheco_ocba::sequential::{run_sequential, SequentialConfig};
+use moheco_ocba::sequential::{run_sequential_batched, SequentialConfig};
+use moheco_runtime::McRequest;
 use moheco_sampling::{AsDecision, YieldEstimate};
-use rand::Rng;
 
 /// Per-generation record of how the estimation budget was spent.
+///
+/// Counts are Monte-Carlo samples *served* per candidate; samples re-read
+/// from the engine cache (e.g. when re-estimating a previously seen design)
+/// are included here even though they cost no executed simulation — the
+/// executed count lives in the engine's counter.
 #[derive(Debug, Clone, Default)]
 pub struct AllocationRecord {
-    /// Samples spent on each candidate of the generation (same order as the
-    /// candidate slice passed in; infeasible candidates receive 0).
+    /// Samples served for each candidate of the generation (same order as
+    /// the candidate slice passed in; infeasible candidates receive 0).
     pub samples: Vec<usize>,
     /// Estimated yields after the allocation (0 for infeasible candidates).
     pub yields: Vec<f64>,
@@ -35,11 +50,10 @@ pub struct AllocationRecord {
 
 /// Estimates the yields of a generation of candidates with the two-stage
 /// OO scheme, updating the candidates in place.
-pub fn estimate_two_stage<T: Testbench, R: Rng + ?Sized>(
+pub fn estimate_two_stage<T: Testbench>(
     problem: &YieldProblem<T>,
     candidates: &mut [Candidate],
     config: &MohecoConfig,
-    rng: &mut R,
 ) -> AllocationRecord {
     let feasible_idx: Vec<usize> = candidates
         .iter()
@@ -58,16 +72,23 @@ pub fn estimate_two_stage<T: Testbench, R: Rng + ?Sized>(
         0 => {}
         1 => {
             // A single feasible candidate: no ranking problem to solve, just
-            // give it the average budget.
+            // give it the average budget (clamped so prior samples plus this
+            // allocation never exceed the n_max ceiling).
             let i = feasible_idx[0];
-            let outcomes = problem.simulate_outcomes(&candidates[i].x, config.sim_ave, rng);
+            let start = candidates[i].estimate.samples;
+            let take = config.sim_ave.min(config.n_max.saturating_sub(start));
+            let outcomes = problem.outcomes(&candidates[i].x, start, take);
             let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
-            candidates[i].estimate = YieldEstimate::new(passes, outcomes.len());
+            candidates[i].estimate = candidates[i]
+                .estimate
+                .merge(&YieldEstimate::new(passes, outcomes.len()));
             record.samples[i] = outcomes.len();
             record.total += outcomes.len();
         }
         _ => {
-            // Sequential OCBA over the feasible subset.
+            // Sequential OCBA over the feasible subset; every round becomes
+            // one engine batch. Per-design cursors track how many samples of
+            // each design's stream have been consumed so far.
             let total_budget = config.sim_ave * feasible_idx.len();
             let seq = SequentialConfig {
                 n0: config.n0,
@@ -79,35 +100,74 @@ pub fn estimate_two_stage<T: Testbench, R: Rng + ?Sized>(
                 .iter()
                 .map(|&i| candidates[i].x.clone())
                 .collect();
-            let outcome = run_sequential(feasible_idx.len(), seq, |design, n| {
-                problem.simulate_outcomes(&xs[design], n, rng)
+            let prior: Vec<YieldEstimate> = feasible_idx
+                .iter()
+                .map(|&i| candidates[i].estimate)
+                .collect();
+            let mut cursors: Vec<usize> = prior.iter().map(|e| e.samples).collect();
+            let outcome = run_sequential_batched(feasible_idx.len(), seq, |round| {
+                // The sequential loop's internal cap only tracks samples of
+                // *this call*; clamp each allocation against the design's
+                // whole stream position so candidates entering with prior
+                // samples never exceed n_max in total.
+                let requests: Vec<McRequest> = round
+                    .iter()
+                    .map(|&(design, n)| {
+                        let room = config.n_max.saturating_sub(cursors[design]);
+                        let take = n.min(room);
+                        let request = McRequest::new(xs[design].clone(), cursors[design], take);
+                        cursors[design] += take;
+                        request
+                    })
+                    .collect();
+                problem.outcomes_batch(&requests)
             })
             .expect("at least two designs");
             for (k, &i) in feasible_idx.iter().enumerate() {
                 let stats = &outcome.stats[k];
                 let passes = (stats.mean * stats.count as f64).round() as usize;
-                candidates[i].estimate = YieldEstimate::new(passes.min(stats.count), stats.count);
+                // Merge onto any prior samples (whose stream indices the
+                // cursors skipped), mirroring the single-feasible branch.
+                candidates[i].estimate =
+                    prior[k].merge(&YieldEstimate::new(passes.min(stats.count), stats.count));
                 record.samples[i] = outcome.spent[k];
                 record.total += outcome.spent[k];
             }
         }
     }
 
-    // Stage-2 promotion: top up promising candidates to n_max samples.
+    // Stage-2 promotion: top up promising candidates to n_max samples, as a
+    // single engine batch across all promoted candidates.
+    let mut topups: Vec<(usize, usize)> = Vec::new(); // (candidate index, missing)
     for &i in &feasible_idx {
         if candidates[i].estimate.value() >= config.stage2_threshold {
             let missing = config.n_max.saturating_sub(candidates[i].estimate.samples);
             if missing > 0 {
-                let outcomes = problem.simulate_outcomes(&candidates[i].x, missing, rng);
-                let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
-                candidates[i].estimate = candidates[i]
-                    .estimate
-                    .merge(&YieldEstimate::new(passes, outcomes.len()));
-                record.samples[i] += outcomes.len();
-                record.total += outcomes.len();
+                topups.push((i, missing));
             }
             candidates[i].stage = Stage::Two;
             record.promoted.push(i);
+        }
+    }
+    if !topups.is_empty() {
+        let requests: Vec<McRequest> = topups
+            .iter()
+            .map(|&(i, missing)| {
+                McRequest::new(
+                    candidates[i].x.clone(),
+                    candidates[i].estimate.samples,
+                    missing,
+                )
+            })
+            .collect();
+        let outcomes = problem.outcomes_batch(&requests);
+        for (&(i, _), out) in topups.iter().zip(&outcomes) {
+            let passes = out.iter().filter(|&&o| o > 0.5).count();
+            candidates[i].estimate = candidates[i]
+                .estimate
+                .merge(&YieldEstimate::new(passes, out.len()));
+            record.samples[i] += out.len();
+            record.total += out.len();
         }
     }
 
@@ -118,12 +178,12 @@ pub fn estimate_two_stage<T: Testbench, R: Rng + ?Sized>(
 }
 
 /// Estimates the yields of a generation with the fixed-budget baseline
-/// (`sims` samples per feasible candidate, reduced for deeply accepted ones).
-pub fn estimate_fixed_budget<T: Testbench, R: Rng + ?Sized>(
+/// (`sims` samples per feasible candidate, reduced for deeply accepted
+/// ones), dispatched to the engine as one batch.
+pub fn estimate_fixed_budget<T: Testbench>(
     problem: &YieldProblem<T>,
     candidates: &mut [Candidate],
     sims: usize,
-    rng: &mut R,
 ) -> AllocationRecord {
     let mut record = AllocationRecord {
         samples: vec![0; candidates.len()],
@@ -135,7 +195,7 @@ pub fn estimate_fixed_budget<T: Testbench, R: Rng + ?Sized>(
         if !c.feasible {
             continue;
         }
-        let est = problem.estimate_yield(&c.x, sims, c.decision, rng);
+        let est = problem.estimate_yield(&c.x, sims, c.decision);
         c.estimate = est;
         c.stage = Stage::Two;
         record.samples[i] = est.samples;
@@ -151,8 +211,6 @@ mod tests {
     use crate::config::MohecoConfig;
     use moheco_analog::{FoldedCascode, Testbench};
     use moheco_sampling::SamplingPlan;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn make_candidates(problem: &YieldProblem<FoldedCascode>) -> Vec<Candidate> {
         // Reference design (good), a starved variant (infeasible) and a
@@ -186,8 +244,7 @@ mod tests {
             n_max: 60,
             ..MohecoConfig::fast()
         };
-        let mut rng = StdRng::seed_from_u64(5);
-        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        let record = estimate_two_stage(&problem, &mut candidates, &config);
         // The infeasible candidate received no samples.
         for (c, &s) in candidates.iter().zip(&record.samples) {
             if !c.feasible {
@@ -213,8 +270,7 @@ mod tests {
             stage2_threshold: 0.5,
             ..MohecoConfig::fast()
         };
-        let mut rng = StdRng::seed_from_u64(6);
-        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        let record = estimate_two_stage(&problem, &mut candidates, &config);
         assert!(
             !record.promoted.is_empty(),
             "the reference design should be promoted"
@@ -249,8 +305,7 @@ mod tests {
             stage2_threshold: 1.1, // disable promotion
             ..MohecoConfig::fast()
         };
-        let mut rng = StdRng::seed_from_u64(7);
-        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        let record = estimate_two_stage(&problem, &mut candidates, &config);
         assert_eq!(record.samples[0], 20);
         assert_eq!(record.samples[1], 0);
     }
@@ -259,8 +314,7 @@ mod tests {
     fn fixed_budget_gives_every_feasible_candidate_the_same_samples() {
         let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
         let mut candidates = make_candidates(&problem);
-        let mut rng = StdRng::seed_from_u64(8);
-        let record = estimate_fixed_budget(&problem, &mut candidates, 40, &mut rng);
+        let record = estimate_fixed_budget(&problem, &mut candidates, 40);
         for (c, &s) in candidates.iter().zip(&record.samples) {
             if c.feasible && c.decision == AsDecision::FullSampling {
                 assert_eq!(s, 40);
@@ -299,8 +353,7 @@ mod tests {
             stage2_threshold: 1.1,
             ..MohecoConfig::fast()
         };
-        let mut rng = StdRng::seed_from_u64(11);
-        let record = estimate_two_stage(&problem, &mut candidates, &config, &mut rng);
+        let record = estimate_two_stage(&problem, &mut candidates, &config);
         let feasible_total: usize = record.samples.iter().sum();
         assert!(feasible_total > 0);
         // Best-yield candidate should not be starved relative to the worst.
@@ -324,5 +377,65 @@ mod tests {
             record.samples,
             yields
         );
+    }
+
+    #[test]
+    fn accumulated_candidates_never_exceed_n_max() {
+        // Candidates may enter with prior samples (their estimates merge and
+        // their stream cursors continue); the per-design ceiling must hold
+        // for the *total* sample count, not just this call's allocation.
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let mut candidates = make_candidates(&problem);
+        let config = MohecoConfig {
+            n0: 6,
+            sim_ave: 15,
+            delta: 8,
+            n_max: 60,
+            stage2_threshold: 1.1, // keep everything in stage 1
+            ..MohecoConfig::fast()
+        };
+        for c in candidates.iter_mut() {
+            if c.feasible {
+                c.estimate = YieldEstimate::new(55, 55); // 5 samples of headroom
+            }
+        }
+        let record = estimate_two_stage(&problem, &mut candidates, &config);
+        for (c, &served) in candidates.iter().zip(&record.samples) {
+            if c.feasible {
+                assert!(
+                    c.estimate.samples <= config.n_max,
+                    "total {} exceeds n_max",
+                    c.estimate.samples
+                );
+                assert!(served <= 5, "only the headroom may be allocated");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_estimation_of_the_same_generation_is_cached() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let template = make_candidates(&problem);
+        let config = MohecoConfig {
+            n0: 6,
+            sim_ave: 15,
+            delta: 8,
+            n_max: 60,
+            stage2_threshold: 1.1,
+            ..MohecoConfig::fast()
+        };
+        let mut first = template.clone();
+        let rec1 = estimate_two_stage(&problem, &mut first, &config);
+        let after_first = problem.simulations();
+        // Re-estimating clones of the same candidates replays the same
+        // sample streams: identical estimates, zero new simulations.
+        let mut second = template.clone();
+        let rec2 = estimate_two_stage(&problem, &mut second, &config);
+        assert_eq!(rec1.samples, rec2.samples);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.estimate, b.estimate);
+        }
+        assert_eq!(problem.simulations(), after_first);
+        assert!(problem.engine_stats().cache_hits > 0);
     }
 }

@@ -191,7 +191,10 @@ pub fn allocate(means: &[f64], variances: &[f64], total: usize) -> Result<Vec<us
 
     // Convert ratios to integer allocations summing to `total` (largest
     // remainder method).
-    let raw: Vec<f64> = weights.iter().map(|w| w / weight_sum * total as f64).collect();
+    let raw: Vec<f64> = weights
+        .iter()
+        .map(|w| w / weight_sum * total as f64)
+        .collect();
     let mut alloc: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
     let mut assigned: usize = alloc.iter().sum();
     let mut remainders: Vec<(usize, f64)> = raw
@@ -386,6 +389,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(OcbaError::ZeroBudget.to_string().contains("budget"));
-        assert!(OcbaError::TooFewDesigns { got: 1 }.to_string().contains("two"));
+        assert!(OcbaError::TooFewDesigns { got: 1 }
+            .to_string()
+            .contains("two"));
     }
 }

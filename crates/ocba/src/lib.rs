@@ -38,4 +38,6 @@ pub mod sequential;
 
 pub use allocation::{allocate, allocate_incremental, DesignStats, OcbaError};
 pub use ordinal::{alignment_level, alignment_probability, rank_descending, selected_subset};
-pub use sequential::{run_sequential, RunningStats, SequentialConfig, SequentialOutcome};
+pub use sequential::{
+    run_sequential, run_sequential_batched, RunningStats, SequentialConfig, SequentialOutcome,
+};

@@ -38,10 +38,7 @@ pub fn selected_subset(values: &[f64], g: usize) -> Vec<usize> {
 /// Alignment level between an observed selection and the true good-enough set:
 /// the number of members of `selected` that belong to `good_enough`.
 pub fn alignment_level(selected: &[usize], good_enough: &[usize]) -> usize {
-    selected
-        .iter()
-        .filter(|i| good_enough.contains(i))
-        .count()
+    selected.iter().filter(|i| good_enough.contains(i)).count()
 }
 
 /// Estimates the alignment probability `P(|S ∩ G| >= k)` by Monte-Carlo over
@@ -130,7 +127,9 @@ mod tests {
         // Deterministic pseudo-noise via a simple LCG so the test is stable.
         let mut state = 12345u64;
         let mut lcg = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Map the top bits to an approximately standard normal value by
             // summing 12 uniforms (Irwin-Hall).
             let mut acc = 0.0;

@@ -132,22 +132,30 @@ impl SequentialOutcome {
     }
 }
 
-/// Runs the sequential OCBA loop over `num_designs` designs.
+/// Runs the sequential OCBA loop over `num_designs` designs with a *batched*
+/// simulator.
 ///
-/// `simulate(design, n)` must return exactly `n` fresh replication outcomes of
-/// the design.
+/// `simulate_round(&[(design, n), ...])` receives every allocation of one
+/// round at once — the initial `n0` phase is one round, and each subsequent
+/// `Δ`-increment is one round — and must return exactly one outcome vector
+/// per entry, in entry order. A vector may be *shorter* than requested when
+/// the simulator's own budget caps that design (e.g. a design entering with
+/// prior samples close to its ceiling); accounting and the progress check
+/// use the returned length. Batching the round is what lets an evaluation
+/// engine dispatch all replications of a round in parallel; the allocation
+/// decisions themselves are identical to the per-design formulation.
 ///
 /// # Errors
 ///
 /// Propagates [`OcbaError`] from the allocation rule (only possible with
 /// fewer than two designs).
-pub fn run_sequential<F>(
+pub fn run_sequential_batched<F>(
     num_designs: usize,
     config: SequentialConfig,
-    mut simulate: F,
+    mut simulate_round: F,
 ) -> Result<SequentialOutcome, OcbaError>
 where
-    F: FnMut(usize, usize) -> Vec<f64>,
+    F: FnMut(&[(usize, usize)]) -> Vec<Vec<f64>>,
 {
     if num_designs < 2 {
         return Err(OcbaError::TooFewDesigns { got: num_designs });
@@ -155,44 +163,53 @@ where
     let mut stats = vec![RunningStats::new(); num_designs];
     let mut spent = vec![0usize; num_designs];
     let cap = config.per_design_cap.unwrap_or(usize::MAX);
-
-    // Phase 1: n0 replications each (bounded by the cap and the budget).
     let mut total_spent = 0usize;
-    for d in 0..num_designs {
-        let n = config.n0.min(cap);
-        if n == 0 {
-            continue;
+
+    let mut run_round = |round: &[(usize, usize)],
+                         stats: &mut Vec<RunningStats>,
+                         spent: &mut Vec<usize>,
+                         total_spent: &mut usize| {
+        if round.is_empty() {
+            return false;
         }
-        let outcomes = simulate(d, n);
-        stats[d].extend(&outcomes);
-        spent[d] += outcomes.len();
-        total_spent += outcomes.len();
-    }
+        let outcomes = simulate_round(round);
+        debug_assert_eq!(outcomes.len(), round.len(), "one outcome vector per entry");
+        let mut progressed = false;
+        for (&(d, n), out) in round.iter().zip(&outcomes) {
+            debug_assert!(out.len() <= n, "simulator returned more than requested");
+            stats[d].extend(out);
+            spent[d] += out.len();
+            *total_spent += out.len();
+            progressed |= !out.is_empty();
+        }
+        progressed
+    };
+
+    // Phase 1: n0 replications each (bounded by the cap), as one round.
+    let initial: Vec<(usize, usize)> = (0..num_designs)
+        .filter_map(|d| {
+            let n = config.n0.min(cap);
+            (n > 0).then_some((d, n))
+        })
+        .collect();
+    run_round(&initial, &mut stats, &mut spent, &mut total_spent);
 
     // Phase 2: incremental OCBA rounds.
     let mut rounds = 0usize;
     while total_spent < config.total_budget {
         let remaining = config.total_budget - total_spent;
         let delta = config.delta.min(remaining).max(1);
-        let design_stats: Vec<DesignStats> =
-            stats.iter().map(|s| s.to_design_stats()).collect();
+        let design_stats: Vec<DesignStats> = stats.iter().map(|s| s.to_design_stats()).collect();
         let add = allocate_incremental(&design_stats, delta)?;
-        let mut progressed = false;
-        for (d, &n_add) in add.iter().enumerate() {
-            if n_add == 0 {
-                continue;
-            }
-            let room = cap.saturating_sub(spent[d]);
-            let n = n_add.min(room);
-            if n == 0 {
-                continue;
-            }
-            let outcomes = simulate(d, n);
-            stats[d].extend(&outcomes);
-            spent[d] += outcomes.len();
-            total_spent += outcomes.len();
-            progressed = true;
-        }
+        let round: Vec<(usize, usize)> = add
+            .iter()
+            .enumerate()
+            .filter_map(|(d, &n_add)| {
+                let n = n_add.min(cap.saturating_sub(spent[d]));
+                (n > 0).then_some((d, n))
+            })
+            .collect();
+        let progressed = run_round(&round, &mut stats, &mut spent, &mut total_spent);
         rounds += 1;
         if !progressed {
             // All designs are capped; nothing more to do.
@@ -208,6 +225,29 @@ where
     })
 }
 
+/// Runs the sequential OCBA loop with a per-design simulator closure.
+///
+/// Thin wrapper over [`run_sequential_batched`] that evaluates each round
+/// entry one by one, in entry order — the historical formulation, kept for
+/// callers without a batch-capable evaluator.
+///
+/// # Errors
+///
+/// Propagates [`OcbaError`] from the allocation rule (only possible with
+/// fewer than two designs).
+pub fn run_sequential<F>(
+    num_designs: usize,
+    config: SequentialConfig,
+    mut simulate: F,
+) -> Result<SequentialOutcome, OcbaError>
+where
+    F: FnMut(usize, usize) -> Vec<f64>,
+{
+    run_sequential_batched(num_designs, config, |round| {
+        round.iter().map(|&(d, n)| simulate(d, n)).collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,7 +260,10 @@ mod tests {
 
     impl FakeBernoulli {
         fn new(probs: Vec<f64>) -> Self {
-            Self { probs, state: 0x9E3779B97F4A7C15 }
+            Self {
+                probs,
+                state: 0x9E3779B97F4A7C15,
+            }
         }
         fn next_uniform(&mut self) -> f64 {
             self.state = self

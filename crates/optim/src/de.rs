@@ -169,11 +169,19 @@ impl DifferentialEvolution {
         for _gen in 0..self.config.max_generations {
             generations += 1;
             let mut improved = false;
-            for i in 0..population.len() {
-                let mutant = de_mutant(&population, i, &self.config, &bounds, rng);
-                let trial_x = de_crossover(&population.members[i].x, &mutant, self.config.cr, rng);
-                let trial_eval = problem.evaluate(&trial_x);
-                evaluations += 1;
+            // Synchronous (generational) DE: all trial vectors derive from the
+            // population as it stood at the start of the generation, so the
+            // whole generation can be evaluated as one batch (and, with a
+            // batch-capable problem, dispatched in parallel).
+            let trials: Vec<Vec<f64>> = (0..population.len())
+                .map(|i| {
+                    let mutant = de_mutant(&population, i, &self.config, &bounds, rng);
+                    de_crossover(&population.members[i].x, &mutant, self.config.cr, rng)
+                })
+                .collect();
+            let trial_evals = problem.evaluate_batch(&trials);
+            evaluations += trials.len();
+            for (i, (trial_x, trial_eval)) in trials.into_iter().zip(trial_evals).enumerate() {
                 if is_better_or_equal(&trial_eval, &population.members[i].eval) {
                     population.members[i] = Individual::new(trial_x, trial_eval);
                 }
@@ -259,11 +267,15 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut c = DeConfig::default();
-        c.population_size = 3;
+        let c = DeConfig {
+            population_size: 3,
+            ..DeConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| DifferentialEvolution::new(c)).is_err());
-        let mut c2 = DeConfig::default();
-        c2.cr = 1.5;
+        let c2 = DeConfig {
+            cr: 1.5,
+            ..DeConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| DifferentialEvolution::new(c2)).is_err());
     }
 
@@ -287,7 +299,7 @@ mod tests {
         let mutant = vec![1.0; 8];
         // Even with CR = 0 one component must come from the mutant.
         let child = de_crossover(&target, &mutant, 0.0, &mut rng);
-        assert!(child.iter().any(|&v| v == 1.0));
+        assert!(child.contains(&1.0));
         // With CR = 1 every component comes from the mutant.
         let child_full = de_crossover(&target, &mutant, 1.0, &mut rng);
         assert!(child_full.iter().all(|&v| v == 1.0));
@@ -304,7 +316,11 @@ mod tests {
             ..DeConfig::default()
         });
         let result = de.run(&mut problem, &mut rng);
-        assert!(result.best_objective() < 1e-3, "best {}", result.best_objective());
+        assert!(
+            result.best_objective() < 1e-3,
+            "best {}",
+            result.best_objective()
+        );
         assert!(result.evaluations > 30);
     }
 
@@ -319,7 +335,11 @@ mod tests {
             ..DeConfig::default()
         });
         let result = de.run(&mut problem, &mut rng);
-        assert!(result.best_objective() < 1e-2, "best {}", result.best_objective());
+        assert!(
+            result.best_objective() < 1e-2,
+            "best {}",
+            result.best_objective()
+        );
         assert!((result.best.x[0] - 1.0).abs() < 0.2);
     }
 
@@ -336,7 +356,11 @@ mod tests {
         let result = de.run(&mut problem, &mut rng);
         assert!(result.is_feasible());
         // Optimum is x0 = x1 = 1 with objective 2.
-        assert!((result.best_objective() - 2.0).abs() < 0.05, "best {}", result.best_objective());
+        assert!(
+            (result.best_objective() - 2.0).abs() < 0.05,
+            "best {}",
+            result.best_objective()
+        );
     }
 
     #[test]

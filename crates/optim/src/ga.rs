@@ -142,10 +142,10 @@ impl GeneticAlgorithm {
 
         for _gen in 0..self.config.max_generations {
             generations += 1;
-            let mut next = Vec::with_capacity(population.len());
-            // Elitism: keep the best member.
-            next.push(best_so_far.clone());
-            while next.len() < population.len() {
+            // Offspring derive from the previous population only, so the
+            // whole brood is generated first and evaluated as one batch.
+            let mut children = Vec::with_capacity(population.len().saturating_sub(1));
+            while children.len() + 1 < population.len() {
                 let p1 = self.tournament(&population, rng).clone();
                 let p2 = self.tournament(&population, rng).clone();
                 let mut child_x = if rng.gen::<f64>() < self.config.crossover_rate {
@@ -154,10 +154,19 @@ impl GeneticAlgorithm {
                     p1.x.clone()
                 };
                 self.mutate(&mut child_x, &bounds, rng);
-                let eval = problem.evaluate(&child_x);
-                evaluations += 1;
-                next.push(Individual::new(child_x, eval));
+                children.push(child_x);
             }
+            let child_evals = problem.evaluate_batch(&children);
+            evaluations += children.len();
+            // Elitism: keep the best member.
+            let mut next = Vec::with_capacity(population.len());
+            next.push(best_so_far.clone());
+            next.extend(
+                children
+                    .into_iter()
+                    .zip(child_evals)
+                    .map(|(x, eval)| Individual::new(x, eval)),
+            );
             population = next.into_iter().collect();
 
             let gen_best = population.best().cloned().expect("non-empty population");
@@ -209,7 +218,11 @@ mod tests {
             ..GaConfig::default()
         });
         let result = ga.run(&mut problem, &mut StdRng::seed_from_u64(21));
-        assert!(result.best_objective() < 0.1, "best {}", result.best_objective());
+        assert!(
+            result.best_objective() < 0.1,
+            "best {}",
+            result.best_objective()
+        );
     }
 
     #[test]

@@ -132,13 +132,17 @@ impl MemeticOptimizer {
 
         for _gen in 0..self.config.de.max_generations {
             generations += 1;
-            // One DE generation.
-            for i in 0..population.len() {
-                let mutant = de_mutant(&population, i, &self.config.de, &bounds, rng);
-                let trial_x =
-                    de_crossover(&population.members[i].x, &mutant, self.config.de.cr, rng);
-                let trial_eval = problem.evaluate(&trial_x);
-                evaluations += 1;
+            // One synchronous DE generation, evaluated as a single batch so a
+            // batch-capable problem can dispatch it in parallel.
+            let trials: Vec<Vec<f64>> = (0..population.len())
+                .map(|i| {
+                    let mutant = de_mutant(&population, i, &self.config.de, &bounds, rng);
+                    de_crossover(&population.members[i].x, &mutant, self.config.de.cr, rng)
+                })
+                .collect();
+            let trial_evals = problem.evaluate_batch(&trials);
+            evaluations += trials.len();
+            for (i, (trial_x, trial_eval)) in trials.into_iter().zip(trial_evals).enumerate() {
                 if is_better_or_equal(&trial_eval, &population.members[i].eval) {
                     population.members[i] = Individual::new(trial_x, trial_eval);
                 }
@@ -146,8 +150,9 @@ impl MemeticOptimizer {
 
             // Track the global best.
             let gen_best = population.best().cloned().expect("non-empty population");
-            let improved = crate::constraints::feasibility_compare(&gen_best.eval, &best_so_far.eval)
-                == std::cmp::Ordering::Less;
+            let improved =
+                crate::constraints::feasibility_compare(&gen_best.eval, &best_so_far.eval)
+                    == std::cmp::Ordering::Less;
             if improved {
                 best_so_far = gen_best.clone();
                 stagnation_stop = 0;
@@ -262,7 +267,10 @@ mod tests {
                 ..DeConfig::default()
             });
             let mut p = make_problem();
-            de_best.push(de.run(&mut p, &mut StdRng::seed_from_u64(seed)).best_objective());
+            de_best.push(
+                de.run(&mut p, &mut StdRng::seed_from_u64(seed))
+                    .best_objective(),
+            );
 
             let memetic = MemeticOptimizer::new(MemeticConfig {
                 de: DeConfig {

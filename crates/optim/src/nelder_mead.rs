@@ -114,7 +114,11 @@ where
         iterations += 1;
         // Order the simplex: best first.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let reorder: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
         let revalues: Vec<f64> = order.iter().map(|&i| values[i]).collect();
         simplex = reorder;
@@ -208,10 +212,15 @@ mod tests {
     fn minimises_quadratic() {
         let f = |x: &[f64]| (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2);
         let bounds = vec![(-5.0, 5.0); 2];
-        let res = nelder_mead(f, &[0.0, 0.0], &bounds, &NelderMeadConfig {
-            max_iterations: 200,
-            ..NelderMeadConfig::default()
-        });
+        let res = nelder_mead(
+            f,
+            &[0.0, 0.0],
+            &bounds,
+            &NelderMeadConfig {
+                max_iterations: 200,
+                ..NelderMeadConfig::default()
+            },
+        );
         assert!(res.objective < 1e-6, "objective {}", res.objective);
         assert!((res.x[0] - 1.5).abs() < 1e-3);
         assert!((res.x[1] + 0.5).abs() < 1e-3);
@@ -222,10 +231,15 @@ mod tests {
         // Unconstrained optimum at (3, 3) but the box is [0, 1]^2.
         let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] - 3.0).powi(2);
         let bounds = vec![(0.0, 1.0); 2];
-        let res = nelder_mead(f, &[0.5, 0.5], &bounds, &NelderMeadConfig {
-            max_iterations: 300,
-            ..NelderMeadConfig::default()
-        });
+        let res = nelder_mead(
+            f,
+            &[0.5, 0.5],
+            &bounds,
+            &NelderMeadConfig {
+                max_iterations: 300,
+                ..NelderMeadConfig::default()
+            },
+        );
         assert!(res.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!((res.x[0] - 1.0).abs() < 1e-2 && (res.x[1] - 1.0).abs() < 1e-2);
     }
@@ -240,11 +254,20 @@ mod tests {
         let bounds = vec![(-2.0, 2.0); 2];
         let start = [-1.0, 1.0];
         let f_start = f(&start);
-        let res = nelder_mead(f, &start, &bounds, &NelderMeadConfig {
-            max_iterations: 500,
-            ..NelderMeadConfig::default()
-        });
-        assert!(res.objective < f_start * 0.01, "objective {}", res.objective);
+        let res = nelder_mead(
+            f,
+            &start,
+            &bounds,
+            &NelderMeadConfig {
+                max_iterations: 500,
+                ..NelderMeadConfig::default()
+            },
+        );
+        assert!(
+            res.objective < f_start * 0.01,
+            "objective {}",
+            res.objective
+        );
     }
 
     #[test]

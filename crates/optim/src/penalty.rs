@@ -48,13 +48,33 @@ impl<P: Problem> Problem for PenaltyProblem<P> {
 
     fn evaluate(&mut self, x: &[f64]) -> Evaluation {
         let e = self.inner.evaluate(x);
+        self.penalise(e)
+    }
+
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        // Forward the whole batch so an engine-backed inner problem keeps
+        // its batched (parallel) dispatch.
+        self.inner
+            .evaluate_batch(xs)
+            .into_iter()
+            .map(|e| self.penalise(e))
+            .collect()
+    }
+}
+
+impl<P: Problem> PenaltyProblem<P> {
+    fn penalise(&self, e: Evaluation) -> Evaluation {
         if e.is_feasible() {
             Evaluation::feasible(e.objective)
         } else {
             // The raw objective may be infinite for infeasible candidates
             // (see `Evaluation::infeasible`); penalise from zero in that case
             // so the penalty landscape stays finite and searchable.
-            let base = if e.objective.is_finite() { e.objective } else { 0.0 };
+            let base = if e.objective.is_finite() {
+                e.objective
+            } else {
+                0.0
+            };
             Evaluation::feasible(base + self.coefficient * e.constraint_violation)
         }
     }

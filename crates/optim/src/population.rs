@@ -40,19 +40,19 @@ impl Population {
     }
 
     /// Initialises a population of `size` random individuals, evaluated on
-    /// `problem`.
+    /// `problem` as one batch (see [`Problem::evaluate_batch`]).
     pub fn random<P: Problem + ?Sized, R: Rng + ?Sized>(
         problem: &mut P,
         size: usize,
         rng: &mut R,
     ) -> Self {
         let bounds = problem.bounds();
-        let members = (0..size)
-            .map(|_| {
-                let x = random_point(&bounds, rng);
-                let eval = problem.evaluate(&x);
-                Individual::new(x, eval)
-            })
+        let xs: Vec<Vec<f64>> = (0..size).map(|_| random_point(&bounds, rng)).collect();
+        let evals = problem.evaluate_batch(&xs);
+        let members = xs
+            .into_iter()
+            .zip(evals)
+            .map(|(x, eval)| Individual::new(x, eval))
             .collect();
         Self { members }
     }

@@ -53,6 +53,18 @@ pub trait Problem {
 
     /// Evaluates one candidate.
     fn evaluate(&mut self, x: &[f64]) -> Evaluation;
+
+    /// Evaluates a whole generation of candidates at once.
+    ///
+    /// Every population-based engine in this crate (DE, GA, the memetic
+    /// coupling) routes its per-generation evaluations through this method,
+    /// so problems backed by a batch-capable evaluator — such as the
+    /// `moheco-runtime` simulation engine — can dispatch the generation in
+    /// parallel. The default implementation evaluates serially, one by one,
+    /// which keeps plain closure-backed problems unchanged.
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        xs.iter().map(|x| self.evaluate(x)).collect()
+    }
 }
 
 /// A problem defined by closures; convenient for tests and benchmarks.

@@ -29,7 +29,10 @@ impl OptimizationResult {
     /// Number of generations needed to first reach an objective at or below
     /// `target`, or `None` if the target was never reached.
     pub fn generations_to_reach(&self, target: f64) -> Option<usize> {
-        self.history.iter().position(|&v| v <= target).map(|g| g + 1)
+        self.history
+            .iter()
+            .position(|&v| v <= target)
+            .map(|g| g + 1)
     }
 }
 

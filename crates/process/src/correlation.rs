@@ -90,10 +90,18 @@ impl Correlation {
             for j in 0..dim {
                 let v = data[i * dim + j];
                 if i == j && (v - 1.0).abs() > 1e-9 {
-                    return Err(CorrelationError::InvalidEntry { row: i, col: j, value: v });
+                    return Err(CorrelationError::InvalidEntry {
+                        row: i,
+                        col: j,
+                        value: v,
+                    });
                 }
-                if v < -1.0 - 1e-12 || v > 1.0 + 1e-12 {
-                    return Err(CorrelationError::InvalidEntry { row: i, col: j, value: v });
+                if !(-1.0 - 1e-12..=1.0 + 1e-12).contains(&v) {
+                    return Err(CorrelationError::InvalidEntry {
+                        row: i,
+                        col: j,
+                        value: v,
+                    });
                 }
             }
         }
@@ -156,15 +164,15 @@ impl Correlation {
     /// Panics if `z.len() != self.dim()`.
     pub fn correlate(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.dim, "dimension mismatch in correlate");
-        let mut out = vec![0.0; self.dim];
-        for i in 0..self.dim {
-            let mut acc = 0.0;
-            for j in 0..=i {
-                acc += self.chol[i * self.dim + j] * z[j];
-            }
-            out[i] = acc;
-        }
-        out
+        (0..self.dim)
+            .map(|i| {
+                self.chol[i * self.dim..i * self.dim + i + 1]
+                    .iter()
+                    .zip(z)
+                    .map(|(&l, &zj)| l * zj)
+                    .sum()
+            })
+            .collect()
     }
 }
 
@@ -200,12 +208,18 @@ mod tests {
             Err(CorrelationError::Dimension { .. })
         ));
         // Not positive definite (rho = 1 duplicated columns beyond tolerance).
-        let res = Correlation::from_matrix(3, &[
-            1.0, 1.0, 0.0, //
-            1.0, 1.0, 0.0, //
-            0.0, 0.0, 1.0,
-        ]);
-        assert!(matches!(res, Err(CorrelationError::NotPositiveDefinite { .. })));
+        let res = Correlation::from_matrix(
+            3,
+            &[
+                1.0, 1.0, 0.0, //
+                1.0, 1.0, 0.0, //
+                0.0, 0.0, 1.0,
+            ],
+        );
+        assert!(matches!(
+            res,
+            Err(CorrelationError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]

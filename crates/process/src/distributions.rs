@@ -30,7 +30,10 @@ pub struct Normal {
 
 impl Normal {
     /// Standard normal distribution (mean 0, sigma 1).
-    pub const STANDARD: Normal = Normal { mean: 0.0, sigma: 1.0 };
+    pub const STANDARD: Normal = Normal {
+        mean: 0.0,
+        sigma: 1.0,
+    };
 
     /// Creates a normal distribution.
     ///
@@ -181,7 +184,7 @@ pub fn standard_normal_inverse_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -303,7 +306,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..1000 {
             let x = d.sample(&mut r);
-            assert!(x >= -1.0 && x < 3.0);
+            assert!((-1.0..3.0).contains(&x));
         }
         assert_eq!(d.mean(), 1.0);
         assert!((d.std_dev() - 4.0 / 12f64.sqrt()).abs() < 1e-12);

@@ -86,7 +86,11 @@ impl ProcessSampler {
     ///
     /// Panics if the correlation dimension does not match the number of
     /// inter-die parameters of the technology.
-    pub fn with_correlation(tech: Technology, num_devices: usize, correlation: Correlation) -> Self {
+    pub fn with_correlation(
+        tech: Technology,
+        num_devices: usize,
+        correlation: Correlation,
+    ) -> Self {
         assert_eq!(
             correlation.dim(),
             tech.num_inter_die(),

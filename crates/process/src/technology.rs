@@ -74,7 +74,7 @@ pub fn tech_035um() -> Technology {
         l_min: 0.35e-6,
         inter_die,
         mismatch: MismatchModel {
-            a_vth: 12.0e-3,  // 12 mV*um (pessimistic corner of a 0.35um process)
+            a_vth: 12.0e-3, // 12 mV*um (pessimistic corner of a 0.35um process)
             a_tox_rel: 1.0e-3,
             a_ld: 2.0e-9,
             a_wd: 2.0e-9,
@@ -155,7 +155,7 @@ pub fn tech_90nm() -> Technology {
         l_min: 0.09e-6,
         inter_die,
         mismatch: MismatchModel {
-            a_vth: 5.0e-3,   // 5 mV*um (pessimistic corner of a 90nm process)
+            a_vth: 5.0e-3, // 5 mV*um (pessimistic corner of a 90nm process)
             a_tox_rel: 1.5e-3,
             a_ld: 0.8e-9,
             a_wd: 0.8e-9,
@@ -192,7 +192,12 @@ mod tests {
             names.sort_unstable();
             let before = names.len();
             names.dedup();
-            assert_eq!(before, names.len(), "duplicate parameter name in {}", t.name);
+            assert_eq!(
+                before,
+                names.len(),
+                "duplicate parameter name in {}",
+                t.name
+            );
         }
     }
 

@@ -1,0 +1,209 @@
+//! The concurrent simulation cache.
+//!
+//! Keys are `(quantized design point, sample block index)`. Quantization
+//! drops the 12 least-significant mantissa bits of each coordinate (relative
+//! error ≈ 2.3 · 10⁻¹³), so designs that differ only by floating-point noise
+//! share one sample stream while genuinely different designs collide with
+//! negligible probability (64-bit FNV-style hash).
+//!
+//! The cache is sharded: each shard is a `Mutex<HashMap>` from key to an
+//! `Arc<Mutex<Block>>`, so workers contend only when touching the *same*
+//! block of the *same* design — which the engine's task deduplication already
+//! prevents within one batch.
+//!
+//! There is **no eviction**: the cache's lifecycle is one optimization run,
+//! ended by `EvalEngine::reset()` (or dropping the engine). The engine keeps
+//! the retained state small — a unit point is dropped as soon as its outcome
+//! is simulated — so the per-design steady state is one `Option<f64>` per
+//! simulated sample plus the points of not-yet-simulated slots.
+
+use moheco_sampling::splitmix64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of independent shard locks.
+const SHARDS: usize = 16;
+
+/// One shard: a locked map from `(design key, block index)` to its block.
+type Shard = Mutex<HashMap<(u64, u64), Arc<Mutex<Block>>>>;
+
+/// One block of a design's sample stream.
+#[derive(Debug)]
+pub struct Block {
+    /// The unit-hypercube points of the block, generated eagerly from the
+    /// block's RNG stream (cheap — no circuit simulation involved).
+    pub points: Vec<Vec<f64>>,
+    /// Lazily simulated outcomes, one per point. `None` = not yet simulated.
+    pub outcomes: Vec<Option<f64>>,
+}
+
+impl Block {
+    /// Creates a block from its generated points, with no outcomes yet.
+    pub fn new(points: Vec<Vec<f64>>) -> Self {
+        let n = points.len();
+        Self {
+            points,
+            outcomes: vec![None; n],
+        }
+    }
+}
+
+/// Concurrent cache of simulation blocks and nominal evaluations.
+#[derive(Debug)]
+pub struct SimCache {
+    mc: Vec<Shard>,
+    nominal: Mutex<HashMap<u64, Arc<Vec<f64>>>>,
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            mc: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            nominal: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn shard(&self, key: u64, block: u64) -> &Shard {
+        let mixed = splitmix64(key ^ block.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        &self.mc[(mixed % SHARDS as u64) as usize]
+    }
+
+    /// Returns the block for `(design key, block index)`, creating it with
+    /// `make` if absent.
+    ///
+    /// `make` runs *outside* the shard lock (double-checked insertion), so
+    /// generating one block's points never stalls workers whose different
+    /// blocks hash to the same shard. If two callers race to create the same
+    /// block, both generate identical points (a pure function of the seed)
+    /// and the first insertion wins — the engine's per-batch task
+    /// deduplication makes that race impossible within a batch anyway.
+    pub fn block<F: FnOnce() -> Block>(&self, key: u64, block: u64, make: F) -> Arc<Mutex<Block>> {
+        if let Some(existing) = self
+            .shard(key, block)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&(key, block))
+        {
+            return existing.clone();
+        }
+        let fresh = Arc::new(Mutex::new(make()));
+        let mut shard = self.shard(key, block).lock().expect("cache shard poisoned");
+        shard.entry((key, block)).or_insert(fresh).clone()
+    }
+
+    /// Looks up the cached nominal evaluation of a design.
+    pub fn nominal(&self, key: u64) -> Option<Arc<Vec<f64>>> {
+        self.nominal
+            .lock()
+            .expect("nominal cache poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Stores the nominal evaluation of a design.
+    pub fn store_nominal(&self, key: u64, margins: Arc<Vec<f64>>) {
+        self.nominal
+            .lock()
+            .expect("nominal cache poisoned")
+            .insert(key, margins);
+    }
+
+    /// Number of cached blocks across all shards.
+    pub fn blocks(&self) -> usize {
+        self.mc
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Drops every cached block and nominal evaluation.
+    pub fn clear(&self) {
+        for shard in &self.mc {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.nominal.lock().expect("nominal cache poisoned").clear();
+    }
+}
+
+/// Quantizes one coordinate: normalises `-0.0` and `NaN`, then drops the 12
+/// least-significant mantissa bits.
+fn quantize_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        return 0x7FF8_0000_0000_0001;
+    }
+    let v = if v == 0.0 { 0.0 } else { v };
+    v.to_bits() & !0xFFF
+}
+
+/// Hashes a design point into the cache key of its sample stream.
+pub fn design_key(x: &[f64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &v in x {
+        h = splitmix64(h ^ quantize_bits(v));
+    }
+    // Guard the length so a prefix design cannot alias its extension.
+    splitmix64(h ^ x.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_key_is_stable_under_fp_noise() {
+        let a = vec![10.0, 0.5, 130.0];
+        // A relative perturbation far below the quantization step.
+        let b = vec![10.0 * (1.0 + 1e-15), 0.5, 130.0];
+        assert_eq!(design_key(&a), design_key(&b));
+    }
+
+    #[test]
+    fn design_key_separates_distinct_designs() {
+        let a = vec![10.0, 0.5, 130.0];
+        let b = vec![10.0, 0.5, 131.0];
+        let c = vec![10.0, 0.5];
+        assert_ne!(design_key(&a), design_key(&b));
+        assert_ne!(design_key(&a), design_key(&c));
+        assert_ne!(design_key(&[0.0]), design_key(&[1.0]));
+    }
+
+    #[test]
+    fn negative_zero_and_nan_are_normalised() {
+        assert_eq!(design_key(&[0.0]), design_key(&[-0.0]));
+        assert_eq!(design_key(&[f64::NAN]), design_key(&[f64::NAN]));
+    }
+
+    #[test]
+    fn block_roundtrip_and_clear() {
+        let cache = SimCache::new();
+        let key = design_key(&[1.0, 2.0]);
+        let b = cache.block(key, 0, || Block::new(vec![vec![0.5, 0.5]; 4]));
+        {
+            let mut guard = b.lock().unwrap();
+            assert_eq!(guard.outcomes.len(), 4);
+            guard.outcomes[0] = Some(1.0);
+        }
+        // Second lookup returns the same block (the stored outcome survives).
+        let b2 = cache.block(key, 0, || panic!("must not rebuild"));
+        assert_eq!(b2.lock().unwrap().outcomes[0], Some(1.0));
+        assert_eq!(cache.blocks(), 1);
+        cache.clear();
+        assert_eq!(cache.blocks(), 0);
+    }
+
+    #[test]
+    fn nominal_roundtrip() {
+        let cache = SimCache::new();
+        let key = design_key(&[3.0]);
+        assert!(cache.nominal(key).is_none());
+        cache.store_nominal(key, Arc::new(vec![0.1, 0.2]));
+        assert_eq!(*cache.nominal(key).unwrap(), vec![0.1, 0.2]);
+    }
+}

@@ -1,0 +1,623 @@
+//! The evaluation engines: serial and parallel dispatch over the shared
+//! block cache with deterministic per-block RNG streams.
+//!
+//! Both engines share one core. A batch of [`McRequest`]s is split into
+//! per-`(design, block)` tasks (deduplicated and merged, so one block is
+//! touched by exactly one task per batch), the tasks are executed — inline by
+//! [`SerialEngine`], on the work-stealing pool by [`ParallelEngine`] — and
+//! the outcomes are assembled back in request order. Because a block's unit
+//! points are a pure function of `(engine seed, quantized design, block
+//! index)` and outcomes are cached per sample index, the *values* returned
+//! and the *number of simulations executed* are identical regardless of
+//! execution order: parallel and serial runs are bit-identical.
+
+use crate::cache::{design_key, Block, SimCache};
+use crate::model::{McRequest, SimulationModel};
+use crate::pool;
+use crate::stats::{EngineStats, EngineStatsSnapshot};
+use moheco_sampling::{RngStreams, SamplingPlan, SimulationCounter};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration shared by both engine implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Master seed of every per-block RNG stream. Two engines with the same
+    /// seed produce identical sample streams for identical designs.
+    pub seed: u64,
+    /// Sampling plan used to generate each block of unit points.
+    pub plan: SamplingPlan,
+    /// Samples per cache block. Latin-Hypercube stratification applies
+    /// *within* a block, so this is also the LHS stratum count: an estimate
+    /// spanning k blocks is k independent `block_size`-stratum LHS designs,
+    /// not one big one. Smaller blocks give finer cache granularity and more
+    /// intra-design parallelism; larger blocks give stronger stratification
+    /// per estimate. The default (50) sits between the paper's stage-1
+    /// budgets (~15-35 samples, which a bigger block would under-stratify)
+    /// and `n_max` (500).
+    pub block_size: usize,
+    /// Worker threads for [`ParallelEngine`]; `0` = the machine's available
+    /// parallelism. Ignored by [`SerialEngine`].
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x4D4F_4845, // "MOHE"
+            plan: SamplingPlan::LatinHypercube,
+            block_size: 50,
+            workers: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker count (`ParallelEngine` only).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn validate(&self) {
+        assert!(self.block_size > 0, "block size must be positive");
+    }
+}
+
+/// The simulation-dispatch abstraction every consumer in the workspace
+/// routes circuit evaluations through.
+pub trait EvalEngine: Send + Sync {
+    /// Short human-readable name ("serial" / "parallel").
+    fn name(&self) -> &'static str;
+
+    /// The engine configuration.
+    fn config(&self) -> &EngineConfig;
+
+    /// Evaluates a batch of Monte-Carlo outcome requests, returning one
+    /// outcome vector per request (same order). Outcomes are deterministic
+    /// functions of `(engine seed, design, sample index)` and cached.
+    fn mc_outcomes(&self, model: &dyn SimulationModel, requests: &[McRequest]) -> Vec<Vec<f64>>;
+
+    /// Evaluates a batch of designs at the nominal process point, returning
+    /// the specification margins per design. Cached by design.
+    fn nominal_batch(&self, model: &dyn SimulationModel, designs: &[Vec<f64>]) -> Vec<Vec<f64>>;
+
+    /// Instrumentation snapshot.
+    fn stats(&self) -> EngineStatsSnapshot;
+
+    /// Total circuit simulations executed so far (Monte-Carlo + nominal).
+    fn simulations(&self) -> u64;
+
+    /// A shared handle on the engine's simulation counter.
+    fn counter(&self) -> SimulationCounter;
+
+    /// Resets counters *and* the cache (used between experiment repetitions,
+    /// so a repetition cannot be served from a previous run's cache).
+    fn reset(&self);
+
+    /// Convenience: outcomes `start .. start + count` of one design.
+    fn mc_single(
+        &self,
+        model: &dyn SimulationModel,
+        x: &[f64],
+        start: usize,
+        count: usize,
+    ) -> Vec<f64> {
+        let req = McRequest::new(x.to_vec(), start, count);
+        self.mc_outcomes(model, std::slice::from_ref(&req))
+            .pop()
+            .expect("one request yields one result")
+    }
+
+    /// Convenience: nominal margins of one design.
+    fn nominal_single(&self, model: &dyn SimulationModel, x: &[f64]) -> Vec<f64> {
+        self.nominal_batch(model, std::slice::from_ref(&x.to_vec()))
+            .pop()
+            .expect("one design yields one result")
+    }
+}
+
+/// Iterates the `(block index, lo, hi)` triples covering sample indices
+/// `start .. start + count`, with `lo`/`hi` local to each block. The single
+/// source of block-addressing arithmetic for task planning and assembly.
+fn block_ranges(
+    start: usize,
+    count: usize,
+    block_size: usize,
+) -> impl Iterator<Item = (u64, usize, usize)> {
+    let end = start + count;
+    (start / block_size..)
+        .take_while(move |b| b * block_size < end)
+        .map(move |b| {
+            let block_lo = b * block_size;
+            let lo = start.max(block_lo) - block_lo;
+            let hi = end.min(block_lo + block_size) - block_lo;
+            (b as u64, lo, hi)
+        })
+}
+
+/// One deduplicated unit of work: the requested sample ranges inside one
+/// block of one design's stream. Ranges are kept separate (not merged into
+/// their convex hull) so that disjoint requests never cause the gap between
+/// them to be simulated.
+struct BlockTask {
+    key: u64,
+    block: u64,
+    request_index: usize,
+    ranges: Vec<(usize, usize)>,
+}
+
+/// State shared by [`SerialEngine`] and [`ParallelEngine`].
+struct EngineCore {
+    config: EngineConfig,
+    cache: SimCache,
+    stats: EngineStats,
+    counter: SimulationCounter,
+}
+
+impl EngineCore {
+    fn new(config: EngineConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            cache: SimCache::new(),
+            stats: EngineStats::new(),
+            counter: SimulationCounter::new(),
+        }
+    }
+
+    fn make_block(&self, model: &dyn SimulationModel, key: u64, block: u64) -> Block {
+        // Per-(design, block) stream derived from the engine seed through the
+        // workspace's shared RngStreams scheme — independent of execution
+        // order, which is what makes parallel == serial.
+        let mut rng = RngStreams::new(self.config.seed).stream(key, block);
+        let points =
+            self.config
+                .plan
+                .generate(&mut rng, self.config.block_size, model.unit_dimension());
+        Block::new(points)
+    }
+
+    /// Splits the requests into deduplicated per-(design, block) tasks.
+    fn plan_tasks(&self, requests: &[McRequest]) -> Vec<BlockTask> {
+        let block_size = self.config.block_size;
+        let mut needed: HashMap<(u64, u64), BlockTask> = HashMap::new();
+        for (request_index, request) in requests.iter().enumerate() {
+            if request.count == 0 {
+                continue;
+            }
+            let key = design_key(&request.design);
+            for (block, lo, hi) in block_ranges(request.start, request.count, block_size) {
+                needed
+                    .entry((key, block))
+                    .and_modify(|t| t.ranges.push((lo, hi)))
+                    .or_insert(BlockTask {
+                        key,
+                        block,
+                        request_index,
+                        ranges: vec![(lo, hi)],
+                    });
+            }
+        }
+        let mut tasks: Vec<BlockTask> = needed.into_values().collect();
+        // Deterministic dispatch order (helps reproducible profiling; the
+        // results never depend on it).
+        tasks.sort_by_key(|t| (t.key, t.block));
+        tasks
+    }
+
+    fn mc_outcomes(
+        &self,
+        model: &dyn SimulationModel,
+        requests: &[McRequest],
+        workers: usize,
+    ) -> Vec<Vec<f64>> {
+        let start_time = Instant::now();
+        let tasks = self.plan_tasks(requests);
+        let executed = AtomicU64::new(0);
+
+        pool::run_tasks(&tasks, workers, |task| {
+            let block = self.cache.block(task.key, task.block, || {
+                self.make_block(model, task.key, task.block)
+            });
+            let mut guard = block.lock().expect("block poisoned");
+            let design = &requests[task.request_index].design;
+            let mut ran = 0u64;
+            // Overlapping ranges are harmless: the `is_none` guard makes
+            // every sample index simulate at most once. Each unit point is
+            // consumed (dropped) by its simulation — a simulated index is
+            // never re-simulated, so the point is dead weight afterwards;
+            // this keeps even partially simulated blocks lean.
+            for &(lo, hi) in &task.ranges {
+                for i in lo..hi {
+                    if guard.outcomes[i].is_none() {
+                        let point = std::mem::take(&mut guard.points[i]);
+                        let outcome = model.simulate_point(design, &point);
+                        guard.outcomes[i] = Some(outcome);
+                        ran += 1;
+                    }
+                }
+            }
+            // A fully simulated block never reads points again; drop the
+            // (now all-empty) outer vector too.
+            if ran > 0 && guard.outcomes.iter().all(|o| o.is_some()) {
+                guard.points = Vec::new();
+            }
+            if ran > 0 {
+                executed.fetch_add(ran, Ordering::Relaxed);
+            }
+        });
+
+        // Assemble in request order; every needed outcome now exists.
+        let block_size = self.config.block_size;
+        let results: Vec<Vec<f64>> = requests
+            .iter()
+            .map(|request| {
+                if request.count == 0 {
+                    return Vec::new();
+                }
+                let key = design_key(&request.design);
+                let mut out = Vec::with_capacity(request.count);
+                for (block, lo, hi) in block_ranges(request.start, request.count, block_size) {
+                    let entry = self.cache.block(key, block, || {
+                        unreachable!("block was materialised by its task")
+                    });
+                    let guard = entry.lock().expect("block poisoned");
+                    for i in lo..hi {
+                        out.push(guard.outcomes[i].expect("outcome computed by its task"));
+                    }
+                }
+                out
+            })
+            .collect();
+
+        let served: u64 = requests.iter().map(|r| r.count as u64).sum();
+        let ran = executed.load(Ordering::Relaxed);
+        self.counter.add(ran);
+        self.stats.record_cache_hits(served - ran);
+        self.stats.record_mc_batch(
+            served,
+            tasks.len() as u64,
+            start_time.elapsed().as_nanos() as u64,
+        );
+        results
+    }
+
+    fn nominal_batch(
+        &self,
+        model: &dyn SimulationModel,
+        designs: &[Vec<f64>],
+        workers: usize,
+    ) -> Vec<Vec<f64>> {
+        let start_time = Instant::now();
+        let keys: Vec<u64> = designs.iter().map(|d| design_key(d)).collect();
+        let mut missing: Vec<(u64, usize)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, &key) in keys.iter().enumerate() {
+            if self.cache.nominal(key).is_none() && seen.insert(key) {
+                missing.push((key, i));
+            }
+        }
+        missing.sort_by_key(|&(key, _)| key);
+
+        pool::run_tasks(&missing, workers, |&(key, i)| {
+            let margins = model.nominal(&designs[i]);
+            self.cache.store_nominal(key, Arc::new(margins));
+        });
+
+        let ran = missing.len() as u64;
+        self.counter.add(ran);
+        self.stats.record_cache_hits(designs.len() as u64 - ran);
+        self.stats
+            .record_nominal_batch(designs.len() as u64, start_time.elapsed().as_nanos() as u64);
+
+        keys.iter()
+            .map(|&key| {
+                self.cache
+                    .nominal(key)
+                    .expect("nominal evaluated above")
+                    .as_ref()
+                    .clone()
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        self.stats.reset();
+        self.counter.reset();
+        self.cache.clear();
+    }
+
+    /// Snapshot with `simulations_run` sourced from the shared counter (the
+    /// single source of truth for executed simulations).
+    fn snapshot(&self) -> EngineStatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.simulations_run = self.counter.total();
+        snap
+    }
+}
+
+/// In-order, thread-free evaluation engine (the reference implementation).
+pub struct SerialEngine {
+    core: EngineCore,
+}
+
+impl SerialEngine {
+    /// Creates a serial engine.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            core: EngineCore::new(config),
+        }
+    }
+}
+
+impl EvalEngine for SerialEngine {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.core.config
+    }
+
+    fn mc_outcomes(&self, model: &dyn SimulationModel, requests: &[McRequest]) -> Vec<Vec<f64>> {
+        self.core.mc_outcomes(model, requests, 1)
+    }
+
+    fn nominal_batch(&self, model: &dyn SimulationModel, designs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.core.nominal_batch(model, designs, 1)
+    }
+
+    fn stats(&self) -> EngineStatsSnapshot {
+        self.core.snapshot()
+    }
+
+    fn simulations(&self) -> u64 {
+        self.core.counter.total()
+    }
+
+    fn counter(&self) -> SimulationCounter {
+        self.core.counter.clone()
+    }
+
+    fn reset(&self) {
+        self.core.reset();
+    }
+}
+
+/// Work-stealing multi-threaded evaluation engine.
+///
+/// Produces bit-identical results to [`SerialEngine`] for the same
+/// [`EngineConfig::seed`]: all randomness lives in per-block streams that do
+/// not depend on execution order, and the cache guarantees each sample is
+/// simulated at most once in either mode.
+pub struct ParallelEngine {
+    core: EngineCore,
+    workers: usize,
+}
+
+impl ParallelEngine {
+    /// Creates a parallel engine; `config.workers == 0` selects the machine's
+    /// available parallelism.
+    pub fn new(config: EngineConfig) -> Self {
+        let workers = if config.workers == 0 {
+            pool::default_workers()
+        } else {
+            config.workers
+        };
+        Self {
+            core: EngineCore::new(config),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl EvalEngine for ParallelEngine {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.core.config
+    }
+
+    fn mc_outcomes(&self, model: &dyn SimulationModel, requests: &[McRequest]) -> Vec<Vec<f64>> {
+        self.core.mc_outcomes(model, requests, self.workers)
+    }
+
+    fn nominal_batch(&self, model: &dyn SimulationModel, designs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.core.nominal_batch(model, designs, self.workers)
+    }
+
+    fn stats(&self) -> EngineStatsSnapshot {
+        self.core.snapshot()
+    }
+
+    fn simulations(&self) -> u64 {
+        self.core.counter.total()
+    }
+
+    fn counter(&self) -> SimulationCounter {
+        self.core.counter.clone()
+    }
+
+    fn reset(&self) {
+        self.core.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy model: passes when `u[0] < x[0]`; nominal margins echo the design.
+    struct Threshold;
+
+    impl SimulationModel for Threshold {
+        fn unit_dimension(&self) -> usize {
+            3
+        }
+
+        fn simulate_point(&self, x: &[f64], u: &[f64]) -> f64 {
+            if u[0] < x[0] {
+                1.0
+            } else {
+                0.0
+            }
+        }
+
+        fn nominal(&self, x: &[f64]) -> Vec<f64> {
+            x.to_vec()
+        }
+    }
+
+    fn requests() -> Vec<McRequest> {
+        vec![
+            McRequest::new(vec![0.7, 1.0, 2.0], 0, 73),
+            McRequest::new(vec![0.3, 1.0, 2.0], 10, 125),
+            McRequest::new(vec![0.7, 1.0, 2.0], 73, 40), // continuation of the first
+            McRequest::new(vec![0.5, 0.5, 0.5], 0, 0),   // empty
+        ]
+    }
+
+    #[test]
+    fn serial_and_parallel_outcomes_are_bit_identical() {
+        let serial = SerialEngine::new(EngineConfig::default().with_seed(11));
+        let parallel = ParallelEngine::new(EngineConfig::default().with_seed(11).with_workers(4));
+        let a = serial.mc_outcomes(&Threshold, &requests());
+        let b = parallel.mc_outcomes(&Threshold, &requests());
+        assert_eq!(a, b);
+        assert_eq!(serial.simulations(), parallel.simulations());
+        // Nominal margins too.
+        let designs = vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]];
+        assert_eq!(
+            serial.nominal_batch(&Threshold, &designs),
+            parallel.nominal_batch(&Threshold, &designs)
+        );
+    }
+
+    #[test]
+    fn repeated_requests_are_served_from_cache() {
+        let engine = SerialEngine::new(EngineConfig::default());
+        let reqs = requests();
+        let first = engine.mc_outcomes(&Threshold, &reqs);
+        let after_first = engine.simulations();
+        let second = engine.mc_outcomes(&Threshold, &reqs);
+        assert_eq!(first, second);
+        assert_eq!(engine.simulations(), after_first, "all cache hits");
+        assert!(engine.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn sample_ranges_compose_into_one_stream() {
+        // Reading [0, 90) in one request equals reading [0, 40) + [40, 90).
+        let whole = SerialEngine::new(EngineConfig::default().with_seed(5));
+        let split = SerialEngine::new(EngineConfig::default().with_seed(5));
+        let x = vec![0.6, 0.1, 0.9];
+        let full = whole.mc_single(&Threshold, &x, 0, 90);
+        let head = split.mc_single(&Threshold, &x, 0, 40);
+        let tail = split.mc_single(&Threshold, &x, 40, 50);
+        let joined: Vec<f64> = head.into_iter().chain(tail).collect();
+        assert_eq!(full, joined);
+        // The split engine never re-simulated the overlap.
+        assert_eq!(whole.simulations(), split.simulations());
+    }
+
+    #[test]
+    fn disjoint_ranges_in_one_block_do_not_simulate_the_gap() {
+        // Two requests for the same design with a gap between their ranges:
+        // the gap samples must not be simulated, and the cache-hit
+        // accounting must not underflow (served >= ran).
+        let engine = SerialEngine::new(EngineConfig::default());
+        let x = vec![0.5, 0.5, 0.5];
+        let reqs = vec![
+            McRequest::new(x.clone(), 5, 5),
+            McRequest::new(x.clone(), 30, 5),
+        ];
+        let out = engine.mc_outcomes(&Threshold, &reqs);
+        assert_eq!(out[0].len(), 5);
+        assert_eq!(out[1].len(), 5);
+        assert_eq!(engine.simulations(), 10, "gap [10, 30) must stay lazy");
+        assert_eq!(engine.stats().cache_hits, 0);
+        // Duplicate overlapping requests in one batch count as hits, never
+        // as extra simulations.
+        let dup = vec![McRequest::new(x.clone(), 5, 5), McRequest::new(x, 5, 5)];
+        let out2 = engine.mc_outcomes(&Threshold, &dup);
+        assert_eq!(out2[0], out2[1]);
+        assert_eq!(engine.simulations(), 10);
+        assert_eq!(engine.stats().cache_hits, 10);
+    }
+
+    #[test]
+    fn simulation_counts_are_exact_for_fresh_requests() {
+        let engine = SerialEngine::new(EngineConfig::default());
+        let x = vec![0.5, 0.5, 0.5];
+        let out = engine.mc_single(&Threshold, &x, 0, 37);
+        assert_eq!(out.len(), 37);
+        assert_eq!(engine.simulations(), 37, "partial blocks are lazy");
+        let _ = engine.nominal_single(&Threshold, &x);
+        assert_eq!(engine.simulations(), 38);
+        let _ = engine.nominal_single(&Threshold, &x);
+        assert_eq!(engine.simulations(), 38, "nominal evals are cached");
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = SerialEngine::new(EngineConfig::default().with_seed(1));
+        let b = SerialEngine::new(EngineConfig::default().with_seed(2));
+        let x = vec![0.5, 0.5, 0.5];
+        assert_ne!(
+            a.mc_single(&Threshold, &x, 0, 200),
+            b.mc_single(&Threshold, &x, 0, 200)
+        );
+    }
+
+    #[test]
+    fn estimates_track_the_true_probability() {
+        let engine = ParallelEngine::new(EngineConfig::default().with_workers(3));
+        let x = vec![0.42, 0.0, 0.0];
+        let outcomes = engine.mc_single(&Threshold, &x, 0, 4_000);
+        let mean = outcomes.iter().sum::<f64>() / outcomes.len() as f64;
+        assert!((mean - 0.42).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn reset_clears_counts_and_cache() {
+        let engine = SerialEngine::new(EngineConfig::default());
+        let x = vec![0.5, 0.5, 0.5];
+        let _ = engine.mc_single(&Threshold, &x, 0, 20);
+        assert!(engine.simulations() > 0);
+        engine.reset();
+        assert_eq!(engine.simulations(), 0);
+        assert_eq!(engine.counter().total(), 0);
+        // After a reset the same request costs simulations again.
+        let _ = engine.mc_single(&Threshold, &x, 0, 20);
+        assert_eq!(engine.simulations(), 20);
+    }
+
+    #[test]
+    fn counter_handle_tracks_engine() {
+        let engine = SerialEngine::new(EngineConfig::default());
+        let counter = engine.counter();
+        let _ = engine.mc_single(&Threshold, &[0.5, 0.5, 0.5], 0, 12);
+        assert_eq!(counter.total(), 12);
+    }
+}

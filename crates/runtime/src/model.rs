@@ -1,0 +1,54 @@
+//! The simulation abstraction the engine dispatches over, and the jobs it
+//! accepts.
+//!
+//! The engine is deliberately ignorant of circuits: it sees a
+//! [`SimulationModel`] mapping `(design x, unit-hypercube point u)` to a
+//! scalar outcome, plus a nominal (variation-free) evaluation. The core crate
+//! adapts its `Testbench` + `ProcessSampler` pair onto this trait.
+
+/// A deterministic, thread-safe simulation model.
+///
+/// Implementations must be pure functions of their inputs: the engine may
+/// evaluate the same job on any worker thread and caches results by value.
+pub trait SimulationModel: Send + Sync {
+    /// Dimension of the unit-hypercube points fed to [`Self::simulate_point`]
+    /// (the number of statistical process variables).
+    fn unit_dimension(&self) -> usize;
+
+    /// Evaluates one Monte-Carlo replication: design `x` at the process
+    /// sample encoded by the unit point `u`. For yield estimation the outcome
+    /// is the pass/fail indicator (1.0 = all specs met).
+    fn simulate_point(&self, x: &[f64], u: &[f64]) -> f64;
+
+    /// Evaluates the design at the nominal (variation-free) process point,
+    /// returning the normalised specification margins.
+    fn nominal(&self, x: &[f64]) -> Vec<f64>;
+}
+
+/// A request for a contiguous range of Monte-Carlo outcomes of one design.
+///
+/// Every design owns one conceptual infinite sample stream, indexed from 0.
+/// A request asks for outcomes `start .. start + count`; consumers that
+/// accumulate samples (stage-1 estimation, stage-2 top-up, final re-estimate)
+/// pass the number of samples they already hold as `start`, so the ranges
+/// they see are disjoint and their merged estimates are consistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McRequest {
+    /// The design point.
+    pub design: Vec<f64>,
+    /// Index of the first requested sample in the design's stream.
+    pub start: usize,
+    /// Number of requested samples.
+    pub count: usize,
+}
+
+impl McRequest {
+    /// Creates a request for outcomes `start .. start + count` of `design`.
+    pub fn new(design: Vec<f64>, start: usize, count: usize) -> Self {
+        Self {
+            design,
+            start,
+            count,
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Engine instrumentation: what the runtime actually did.
+//!
+//! All counters are atomics so worker threads update them without
+//! coordination; [`EngineStats::snapshot`] captures a consistent-enough view
+//! for reporting (the engine is quiescent between batches, where snapshots
+//! are taken).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters owned by an engine.
+///
+/// Executed-simulation counting lives in the engine's shared
+/// `SimulationCounter` (a single source of truth); the snapshot's
+/// `simulations_run` field is filled from it by the engine.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Monte-Carlo samples served to callers (run + cache hits).
+    mc_samples_served: AtomicU64,
+    /// Nominal evaluations served to callers (run + cache hits).
+    nominal_served: AtomicU64,
+    /// Samples served without running a simulation.
+    cache_hits: AtomicU64,
+    /// Batches dispatched (Monte-Carlo + nominal).
+    batches: AtomicU64,
+    /// Monte-Carlo batches dispatched.
+    mc_batches: AtomicU64,
+    /// Per-(design, block) tasks executed.
+    tasks: AtomicU64,
+    /// Largest batch (in requested samples) seen so far.
+    max_batch_samples: AtomicU64,
+    /// Wall-clock nanoseconds spent inside batch dispatch.
+    busy_nanos: AtomicU64,
+}
+
+impl EngineStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_mc_batch(&self, samples_served: u64, tasks: u64, busy_nanos: u64) {
+        self.mc_samples_served
+            .fetch_add(samples_served, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.mc_batches.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.max_batch_samples
+            .fetch_max(samples_served, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_nominal_batch(&self, served: u64, busy_nanos: u64) {
+        self.nominal_served.fetch_add(served, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_hits(&self, n: u64) {
+        self.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.mc_samples_served.store(0, Ordering::Relaxed);
+        self.nominal_served.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.mc_batches.store(0, Ordering::Relaxed);
+        self.tasks.store(0, Ordering::Relaxed);
+        self.max_batch_samples.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Captures the current counter values (`simulations_run` is filled in
+    /// by the engine from its shared counter).
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            simulations_run: 0,
+            mc_samples_served: self.mc_samples_served.load(Ordering::Relaxed),
+            nominal_served: self.nominal_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            mc_batches: self.mc_batches.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            max_batch_samples: self.max_batch_samples.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EngineStats`], cheap to clone and embed in run
+/// results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStatsSnapshot {
+    /// Circuit simulations actually executed (Monte-Carlo + nominal).
+    pub simulations_run: u64,
+    /// Monte-Carlo samples served to callers (run + cache hits).
+    pub mc_samples_served: u64,
+    /// Nominal evaluations served to callers (run + cache hits).
+    pub nominal_served: u64,
+    /// Samples served straight from the cache.
+    pub cache_hits: u64,
+    /// Batches dispatched (Monte-Carlo + nominal).
+    pub batches: u64,
+    /// Monte-Carlo batches dispatched.
+    pub mc_batches: u64,
+    /// Per-(design, block) tasks executed.
+    pub tasks: u64,
+    /// Largest batch (in requested samples) dispatched.
+    pub max_batch_samples: u64,
+    /// Wall-clock nanoseconds spent inside batch dispatch.
+    pub busy_nanos: u64,
+}
+
+impl EngineStatsSnapshot {
+    /// Fraction of served work (samples + nominals) answered by the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.mc_samples_served + self.nominal_served;
+        if served == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / served as f64
+        }
+    }
+
+    /// Mean requested samples per Monte-Carlo batch (nominal-only batches
+    /// are excluded from the denominator).
+    pub fn mean_batch_samples(&self) -> f64 {
+        if self.mc_batches == 0 {
+            0.0
+        } else {
+            self.mc_samples_served as f64 / self.mc_batches as f64
+        }
+    }
+
+    /// Renders the snapshot as a single JSON object (no external
+    /// serialization crates are available in this build environment).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"simulations_run\":{},\"mc_samples_served\":{},",
+                "\"nominal_served\":{},\"cache_hits\":{},\"batches\":{},",
+                "\"mc_batches\":{},\"tasks\":{},\"max_batch_samples\":{},",
+                "\"busy_nanos\":{},\"hit_rate\":{:.6}}}"
+            ),
+            self.simulations_run,
+            self.mc_samples_served,
+            self.nominal_served,
+            self.cache_hits,
+            self.batches,
+            self.mc_batches,
+            self.tasks,
+            self.max_batch_samples,
+            self.busy_nanos,
+            self.hit_rate(),
+        )
+    }
+}
+
+impl std::fmt::Display for EngineStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sims run, {} samples served ({:.1}% cached), {} batches, {} tasks, {:.1} ms busy",
+            self.simulations_run,
+            self.mc_samples_served,
+            100.0 * self.hit_rate(),
+            self.batches,
+            self.tasks,
+            self.busy_nanos as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = EngineStats::new();
+        stats.record_mc_batch(40, 3, 1_000);
+        stats.record_mc_batch(20, 1, 500);
+        stats.record_nominal_batch(8, 100);
+        stats.record_cache_hits(50);
+        let snap = stats.snapshot();
+        assert_eq!(snap.mc_samples_served, 60);
+        assert_eq!(snap.nominal_served, 8);
+        assert_eq!(snap.cache_hits, 50);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.mc_batches, 2);
+        assert_eq!(snap.tasks, 4);
+        assert_eq!(snap.max_batch_samples, 40);
+        assert_eq!(snap.busy_nanos, 1_600);
+        assert!((snap.hit_rate() - 50.0 / 68.0).abs() < 1e-12);
+        assert!((snap.mean_batch_samples() - 30.0).abs() < 1e-12);
+        stats.reset();
+        assert_eq!(stats.snapshot(), EngineStatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let stats = EngineStats::new();
+        stats.record_mc_batch(4, 1, 10);
+        let json = stats.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"mc_samples_served\":4"));
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let snap = EngineStatsSnapshot::default();
+        assert_eq!(snap.hit_rate(), 0.0);
+        assert_eq!(snap.mean_batch_samples(), 0.0);
+    }
+}

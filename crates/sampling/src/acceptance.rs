@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn nan_margin_is_rejected() {
         let a = AcceptanceSampler::default();
-        assert_eq!(a.screen(&[f64::NAN, 2.0]), AsDecision::RejectWithoutSampling);
+        assert_eq!(
+            a.screen(&[f64::NAN, 2.0]),
+            AsDecision::RejectWithoutSampling
+        );
     }
 
     #[test]
@@ -153,7 +156,10 @@ mod tests {
             a.screen(&[8.0, 10.0, 7.5]),
             AsDecision::AcceptWithReducedSampling
         );
-        assert_eq!(a.budget_for(AsDecision::AcceptWithReducedSampling, 500), 100);
+        assert_eq!(
+            a.budget_for(AsDecision::AcceptWithReducedSampling, 500),
+            100
+        );
     }
 
     #[test]

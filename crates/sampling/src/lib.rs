@@ -36,5 +36,5 @@ pub mod yield_est;
 
 pub use acceptance::{AcceptanceSampler, AsDecision};
 pub use lhs::{latin_hypercube, primitive_monte_carlo, SamplingPlan};
-pub use stream::{RngStreams, SimulationCounter};
+pub use stream::{splitmix64, RngStreams, SimulationCounter};
 pub use yield_est::{deviation_pp, estimate_yield, YieldEstimate};

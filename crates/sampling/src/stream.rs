@@ -8,8 +8,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Factory of reproducible, statistically independent RNG streams derived
 /// from a single master seed via SplitMix64.
@@ -36,7 +36,9 @@ impl RngStreams {
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+/// One SplitMix64 mixing step: the workspace's shared bit-mixing primitive
+/// for deriving stream seeds and hash keys.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
@@ -47,9 +49,11 @@ fn splitmix64(mut z: u64) -> u64 {
 ///
 /// The counter is cheaply clonable (all clones share the same count), so the
 /// evaluator, the yield estimator and the optimizer can all hold a handle.
+/// It is atomic so the parallel evaluation engine's worker threads can bump
+/// it without coordination.
 #[derive(Debug, Clone, Default)]
 pub struct SimulationCounter {
-    count: Rc<Cell<u64>>,
+    count: Arc<AtomicU64>,
 }
 
 impl SimulationCounter {
@@ -60,17 +64,17 @@ impl SimulationCounter {
 
     /// Adds `n` simulations to the counter.
     pub fn add(&self, n: u64) {
-        self.count.set(self.count.get() + n);
+        self.count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current total.
     pub fn total(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Resets the counter to zero.
     pub fn reset(&self) {
-        self.count.set(0);
+        self.count.store(0, Ordering::Relaxed);
     }
 }
 

@@ -162,9 +162,13 @@ mod tests {
     fn estimate_yield_matches_known_probability() {
         // Indicator passes when the first coordinate is below 0.7.
         let mut rng = StdRng::seed_from_u64(11);
-        let e = estimate_yield(&mut rng, SamplingPlan::PrimitiveMonteCarlo, 20_000, 3, |u| {
-            u[0] < 0.7
-        });
+        let e = estimate_yield(
+            &mut rng,
+            SamplingPlan::PrimitiveMonteCarlo,
+            20_000,
+            3,
+            |u| u[0] < 0.7,
+        );
         assert!((e.value() - 0.7).abs() < 0.02, "estimate {}", e.value());
     }
 

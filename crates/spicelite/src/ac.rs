@@ -43,7 +43,13 @@ pub fn solve_at(circuit: &LinearCircuit, omega: f64) -> Result<Vec<Complex>, Spi
     }
     let mut a = CMatrix::zeros(dim, dim);
     let mut rhs = vec![Complex::ZERO; dim];
-    let idx = |node: NodeId| -> Option<usize> { if node == 0 { None } else { Some(node - 1) } };
+    let idx = |node: NodeId| -> Option<usize> {
+        if node == 0 {
+            None
+        } else {
+            Some(node - 1)
+        }
+    };
 
     let stamp_adm = |a: &mut CMatrix, p: NodeId, q: NodeId, y: Complex| {
         if let Some(i) = idx(p) {
@@ -99,9 +105,7 @@ pub fn solve_at(circuit: &LinearCircuit, omega: f64) -> Result<Vec<Complex>, Spi
 
     let x = a.solve(&rhs)?;
     let mut v = vec![Complex::ZERO; n];
-    for node in 1..n {
-        v[node] = x[node - 1];
-    }
+    v[1..n].copy_from_slice(&x[..n - 1]);
     Ok(v)
 }
 
@@ -360,7 +364,10 @@ mod tests {
         let freqs = log_space(1.0, 1e12, 500);
         let resp = sweep(&ckt, vout, &freqs).unwrap();
         let pm = resp.phase_margin_deg().unwrap();
-        assert!(pm < 45.0, "two identical poles should give low PM, got {pm}");
+        assert!(
+            pm < 45.0,
+            "two identical poles should give low PM, got {pm}"
+        );
         assert!(pm > -30.0);
     }
 

@@ -136,8 +136,7 @@ pub fn solve_dc_with(circuit: &Circuit, opts: DcOptions) -> Result<DcSolution, S
                     let vgs = sign * (v[inst.g] - v[inst.s]);
                     let vds = sign * (v[inst.d] - v[inst.s]);
                     let vsb = sign * (v[inst.s] - v[inst.b]);
-                    inst.device
-                        .operating_point(vgs, vds.max(0.0), vsb.max(0.0))
+                    inst.device.operating_point(vgs, vds.max(0.0), vsb.max(0.0))
                 })
                 .collect();
             return Ok(DcSolution {
@@ -164,7 +163,13 @@ fn assemble(circuit: &Circuit, v: &[f64], gmin: f64) -> (Matrix, Vec<f64>) {
     let mut a = Matrix::zeros(dim, dim);
     let mut rhs = vec![0.0; dim];
 
-    let idx = |node: NodeId| -> Option<usize> { if node == 0 { None } else { Some(node - 1) } };
+    let idx = |node: NodeId| -> Option<usize> {
+        if node == 0 {
+            None
+        } else {
+            Some(node - 1)
+        }
+    };
 
     let stamp_g = |a: &mut Matrix, p: NodeId, q: NodeId, g: f64| {
         if let Some(i) = idx(p) {
@@ -271,7 +276,7 @@ fn assemble(circuit: &Circuit, v: &[f64], gmin: f64) -> (Matrix, Vec<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mosfet::{model_035um, MosGeometry, Mosfet, MosType, Region};
+    use crate::mosfet::{model_035um, MosGeometry, MosType, Mosfet, Region};
     use crate::netlist::Circuit;
 
     #[test]

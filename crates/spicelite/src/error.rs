@@ -84,7 +84,10 @@ mod tests {
         let cases: Vec<(SpiceError, &str)> = vec![
             (SpiceError::SingularMatrix { pivot: 3 }, "pivot 3"),
             (
-                SpiceError::DimensionMismatch { expected: 2, got: 5 },
+                SpiceError::DimensionMismatch {
+                    expected: 2,
+                    got: 5,
+                },
                 "expected 2",
             ),
             (SpiceError::NotPositiveDefinite { row: 1 }, "row 1"),

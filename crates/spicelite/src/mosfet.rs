@@ -94,6 +94,7 @@ impl MosModel {
     /// `d_*` arguments are *absolute* deviations added to the nominal values;
     /// this is how per-device (intra-die) mismatch and global (inter-die)
     /// shifts are injected by the `moheco-process` crate.
+    #[allow(clippy::too_many_arguments)] // one argument per perturbed physical parameter
     pub fn perturbed(
         &self,
         d_tox: f64,
@@ -223,8 +224,7 @@ impl Mosfet {
         let beta = kp * w_eff / l_eff;
         // Body effect on threshold (simple first-order model).
         let phi_f2 = 0.7;
-        let vth = m.vth0
-            + m.gamma * ((phi_f2 + vsb.max(0.0)).sqrt() - phi_f2.sqrt());
+        let vth = m.vth0 + m.gamma * ((phi_f2 + vsb.max(0.0)).sqrt() - phi_f2.sqrt());
         let vov = vgs - vth;
         let lambda = self.lambda();
         let vdsat = vov.max(0.0);
@@ -450,9 +450,9 @@ mod tests {
         let vds = 1.2;
         let op = d.operating_point(vgs, vds, 0.0);
         let h = 1e-6;
-        let gm_fd =
-            (d.operating_point(vgs + h, vds, 0.0).id - d.operating_point(vgs - h, vds, 0.0).id)
-                / (2.0 * h);
+        let gm_fd = (d.operating_point(vgs + h, vds, 0.0).id
+            - d.operating_point(vgs - h, vds, 0.0).id)
+            / (2.0 * h);
         assert!(
             (op.gm - gm_fd).abs() / gm_fd < 1e-3,
             "gm {} vs fd {}",
@@ -469,9 +469,9 @@ mod tests {
         let op = d.operating_point(vgs, vds, 0.0);
         assert_eq!(op.region, Region::Saturation);
         let h = 1e-6;
-        let gds_fd =
-            (d.operating_point(vgs, vds + h, 0.0).id - d.operating_point(vgs, vds - h, 0.0).id)
-                / (2.0 * h);
+        let gds_fd = (d.operating_point(vgs, vds + h, 0.0).id
+            - d.operating_point(vgs, vds - h, 0.0).id)
+            / (2.0 * h);
         assert!(
             (op.gds - gds_fd).abs() / gds_fd < 1e-2,
             "gds {} vs fd {}",

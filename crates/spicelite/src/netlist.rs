@@ -13,7 +13,7 @@
 //! Node 0 is always ground.
 
 use crate::error::SpiceError;
-use crate::mosfet::{Mosfet, MosType};
+use crate::mosfet::{MosType, Mosfet};
 
 /// Identifier of a circuit node. Node `0` is ground.
 pub type NodeId = usize;
@@ -172,7 +172,8 @@ impl Circuit {
     pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<(), SpiceError> {
         self.check_node(a)?;
         self.check_node(b)?;
-        if !(ohms > 0.0) {
+        // NaN must be rejected too, hence the negated comparison spelled out.
+        if ohms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(SpiceError::InvalidElement {
                 reason: format!("resistance must be positive, got {ohms}"),
             });
@@ -350,7 +351,9 @@ impl Circuit {
             let vds = sign * (vd - vs);
             let vsb = sign * (vs - vb);
             let op = m.device.operating_point(vgs, vds.max(0.0), vsb.max(0.0));
-            lin.add_mos_small_signal(m.d, m.g, m.s, m.b, op.gm, op.gds, op.gmb, op.cgs, op.cgd, op.cdb, op.csb);
+            lin.add_mos_small_signal(
+                m.d, m.g, m.s, m.b, op.gm, op.gds, op.gmb, op.cgs, op.cgd, op.cdb, op.csb,
+            );
         }
         lin
     }
@@ -489,7 +492,7 @@ pub fn source_is_high(t: MosType) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mosfet::{model_035um, MosGeometry, Mosfet, MosType};
+    use crate::mosfet::{model_035um, MosGeometry, MosType, Mosfet};
 
     #[test]
     fn node_allocation_is_sequential() {
@@ -569,7 +572,7 @@ mod tests {
         // resistor -> 1 conductance, mosfet -> gds conductance
         assert_eq!(lin.conductances.len(), 2);
         // mosfet: gm + gmb (gmb>0 since vsb=0 -> still >0? gmb = gm*gamma/(2 sqrt(phi)) > 0)
-        assert!(lin.vccs.len() >= 1);
+        assert!(!lin.vccs.is_empty());
         // mosfet caps: cgs, cgd, cdb, csb
         assert_eq!(lin.capacitances.len(), 4);
         // both DC sources become branches

@@ -63,7 +63,11 @@ pub fn sse(net: &Mlp, inputs: &[Vec<f64>], targets: &[f64]) -> f64 {
 /// Panics if the dataset is empty or `inputs.len() != targets.len()`.
 pub fn train(net: &mut Mlp, inputs: &[Vec<f64>], targets: &[f64], config: &LmConfig) -> LmReport {
     assert!(!inputs.is_empty(), "training set must not be empty");
-    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+    assert_eq!(
+        inputs.len(),
+        targets.len(),
+        "inputs/targets length mismatch"
+    );
 
     let n = inputs.len();
     let p = net.num_parameters();
@@ -169,7 +173,8 @@ mod tests {
     #[test]
     fn lm_fits_a_smooth_nonlinear_function() {
         let mut rng = StdRng::seed_from_u64(6);
-        let (inputs, targets) = dataset(|x| (x[0] * 1.5).tanh() * 0.5 + 0.2 * x[1], 2, 150, &mut rng);
+        let (inputs, targets) =
+            dataset(|x| (x[0] * 1.5).tanh() * 0.5 + 0.2 * x[1], 2, 150, &mut rng);
         let mut net = Mlp::new(2, 10, &mut rng);
         let report = train(&mut net, &inputs, &targets, &LmConfig::default());
         assert!(report.rmse < 0.05, "rmse {}", report.rmse);

@@ -27,7 +27,10 @@ impl Mlp {
     ///
     /// Panics if `input_dim` or `hidden` is zero.
     pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden: usize, rng: &mut R) -> Self {
-        assert!(input_dim > 0 && hidden > 0, "network dimensions must be positive");
+        assert!(
+            input_dim > 0 && hidden > 0,
+            "network dimensions must be positive"
+        );
         let scale = 1.0 / (input_dim as f64).sqrt();
         let w1 = (0..hidden * (input_dim + 1))
             .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
@@ -71,7 +74,11 @@ impl Mlp {
     ///
     /// Panics if `params.len() != self.num_parameters()`.
     pub fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter count mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter count mismatch"
+        );
         let n1 = self.w1.len();
         self.w1.copy_from_slice(&params[..n1]);
         self.w2.copy_from_slice(&params[n1..]);
@@ -128,9 +135,7 @@ impl Mlp {
         }
         // d out / d w2[h] = a_h ; bias = 1
         let base = self.w1.len();
-        for h in 0..self.hidden {
-            grad[base + h] = a[h];
-        }
+        grad[base..base + self.hidden].copy_from_slice(&a[..self.hidden]);
         grad[base + self.hidden] = 1.0;
         (out, grad)
     }

@@ -61,6 +61,7 @@ pub fn pswcd_analyze<T: Testbench, R: Rng + ?Sized>(
     let mut worst_margins = vec![f64::INFINITY; num_specs];
     let mut simulations = 0usize;
 
+    #[allow(clippy::needless_range_loop)] // one independent worst-case search per spec index
     for spec_idx in 0..num_specs {
         // Random search over the ±k sigma box for this spec's worst case.
         for probe in 0..config.probes {
@@ -133,7 +134,15 @@ mod tests {
         let x = tb.reference_design();
         let nominal = tb.nominal_margins(&x);
         let mut rng = StdRng::seed_from_u64(3);
-        let report = pswcd_analyze(&tb, &x, &PswcdConfig { probes: 20, ..Default::default() }, &mut rng);
+        let report = pswcd_analyze(
+            &tb,
+            &x,
+            &PswcdConfig {
+                probes: 20,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(report.worst_margins.len(), tb.specs().len());
         for (w, n) in report.worst_margins.iter().zip(&nominal) {
             assert!(w <= n, "worst-case margin {w} cannot exceed nominal {n}");

@@ -92,7 +92,9 @@ impl RsbYieldModel {
     fn normalise(&self, x: &[f64]) -> Vec<f64> {
         x.iter()
             .enumerate()
-            .map(|(j, &v)| 2.0 * (v - self.input_lo[j]) / (self.input_hi[j] - self.input_lo[j]) - 1.0)
+            .map(|(j, &v)| {
+                2.0 * (v - self.input_lo[j]) / (self.input_hi[j] - self.input_lo[j]) - 1.0
+            })
             .collect()
     }
 

@@ -53,10 +53,7 @@ fn main() {
     // How good is the ranking?
     let estimated = outcome.means();
     let observed_top3 = selected_subset(&estimated, 3);
-    let true_top3 = selected_subset(
-        &true_yields.iter().cloned().collect::<Vec<_>>(),
-        3,
-    );
+    let true_top3 = selected_subset(true_yields.as_ref(), 3);
     println!(
         "observed top-3 {:?} vs true top-3 {:?}",
         observed_top3, true_top3

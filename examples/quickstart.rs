@@ -19,7 +19,9 @@ fn main() {
     println!(
         "design variables: {}   statistical variables: {}",
         testbench.dimension(),
-        testbench.technology().num_variables(testbench.num_devices())
+        testbench
+            .technology()
+            .num_variables(testbench.num_devices())
     );
 
     // 2. Wrap it into a yield problem (Latin Hypercube sampling, acceptance
@@ -33,7 +35,10 @@ fn main() {
     let result = optimizer.run(&problem, &mut rng);
 
     println!("\n=== MOHECO result ===");
-    println!("reported yield      : {:.1}%", 100.0 * result.reported_yield);
+    println!(
+        "reported yield      : {:.1}%",
+        100.0 * result.reported_yield
+    );
     println!("total simulations   : {}", result.total_simulations);
     println!("generations         : {}", result.generations);
     println!("local searches (NM) : {}", result.local_searches);

@@ -19,7 +19,9 @@ fn main() {
         "{} design variables, {} transistors, {} statistical variables, {} specifications",
         testbench.dimension(),
         testbench.num_devices(),
-        testbench.technology().num_variables(testbench.num_devices()),
+        testbench
+            .technology()
+            .num_variables(testbench.num_devices()),
         testbench.specs().len()
     );
 

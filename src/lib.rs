@@ -11,6 +11,8 @@
 //! * [`moheco_ocba`] — ordinal optimization and computing-budget allocation.
 //! * [`moheco_optim`] — DE, Nelder–Mead, memetic coupling and baselines.
 //! * [`moheco_surrogate`] — the §3.4 response-surface and PSWCD baselines.
+//! * [`moheco_runtime`] — the parallel, cached, deterministic
+//!   simulation-evaluation engine every crate dispatches through.
 //! * [`spicelite`] — the lightweight circuit-simulation substrate.
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the mapping
@@ -21,6 +23,7 @@ pub use moheco_analog;
 pub use moheco_ocba;
 pub use moheco_optim;
 pub use moheco_process;
+pub use moheco_runtime;
 pub use moheco_sampling;
 pub use moheco_surrogate;
 pub use spicelite;

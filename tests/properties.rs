@@ -1,110 +1,131 @@
-//! Property-based tests (proptest) of the core data structures and
-//! invariants: OCBA allocations, Latin Hypercube stratification, yield
-//! estimates, the feasibility comparator and the linear-algebra kernels.
+//! Property-style tests of the core data structures and invariants: OCBA
+//! allocations, Latin Hypercube stratification, yield estimates, the
+//! feasibility comparator and the linear-algebra kernels.
+//!
+//! The original seed used the `proptest` crate; this build environment is
+//! offline, so the same properties are exercised by deterministic seeded
+//! case generators instead (every case that would have been drawn by a
+//! strategy is now drawn from a seeded `StdRng`, so failures stay
+//! reproducible).
 
-use moheco_ocba::allocation::{allocate, DesignStats};
+use moheco_ocba::allocation::{allocate, allocate_incremental, DesignStats};
 use moheco_ocba::ordinal::{rank_descending, selected_subset};
 use moheco_optim::constraints::{feasibility_compare, is_better_or_equal};
 use moheco_optim::problem::Evaluation;
 use moheco_sampling::{latin_hypercube, YieldEstimate};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use spicelite::linalg::Matrix;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// OCBA allocations always sum to the requested budget and are non-negative.
-    #[test]
-    fn ocba_allocation_sums_to_total(
-        means in proptest::collection::vec(0.0f64..1.0, 2..20),
-        total in 1usize..2000,
-        seed in 0u64..1000,
-    ) {
-        // Variances consistent with Bernoulli yields plus a seed-derived floor.
+/// OCBA allocations always sum to the requested budget and are non-negative.
+#[test]
+fn ocba_allocation_sums_to_total() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2usize..20);
+        let means: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let total = rng.gen_range(1usize..2000);
         let variances: Vec<f64> = means
             .iter()
             .map(|m| (m * (1.0 - m)).max(1e-6 * ((seed % 7 + 1) as f64)))
             .collect();
         let alloc = allocate(&means, &variances, total).expect("valid inputs");
-        prop_assert_eq!(alloc.len(), means.len());
-        prop_assert_eq!(alloc.iter().sum::<usize>(), total);
+        assert_eq!(alloc.len(), means.len(), "seed {seed}");
+        assert_eq!(alloc.iter().sum::<usize>(), total, "seed {seed}");
     }
+}
 
-    /// The OCBA incremental allocation never assigns a negative top-up and
-    /// always distributes exactly `delta`.
-    #[test]
-    fn ocba_incremental_distributes_delta(
-        means in proptest::collection::vec(0.05f64..0.95, 2..12),
-        spent in proptest::collection::vec(1usize..200, 2..12),
-        delta in 1usize..500,
-    ) {
-        let n = means.len().min(spent.len());
+/// The OCBA incremental allocation never assigns a negative top-up and
+/// always distributes exactly `delta`.
+#[test]
+fn ocba_incremental_distributes_delta() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let n = rng.gen_range(2usize..12);
         let stats: Vec<DesignStats> = (0..n)
-            .map(|i| DesignStats::new(means[i], means[i] * (1.0 - means[i]), spent[i]))
+            .map(|_| {
+                let m = rng.gen_range(0.05..0.95);
+                let spent = rng.gen_range(1usize..200);
+                DesignStats::new(m, m * (1.0 - m), spent)
+            })
             .collect();
-        let add = moheco_ocba::allocation::allocate_incremental(&stats, delta).expect("valid");
-        prop_assert_eq!(add.iter().sum::<usize>(), delta);
+        let delta = rng.gen_range(1usize..500);
+        let add = allocate_incremental(&stats, delta).expect("valid");
+        assert_eq!(add.iter().sum::<usize>(), delta, "seed {seed}");
     }
+}
 
-    /// Latin Hypercube samples are stratified: every dimension has exactly one
-    /// point per stratum, and all coordinates lie in [0, 1).
-    #[test]
-    fn lhs_is_stratified(n in 2usize..40, dim in 1usize..10, seed in 0u64..500) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Latin Hypercube samples are stratified: every dimension has exactly one
+/// point per stratum, and all coordinates lie in [0, 1).
+#[test]
+fn lhs_is_stratified() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let n = rng.gen_range(2usize..40);
+        let dim = rng.gen_range(1usize..10);
         let pts = latin_hypercube(&mut rng, n, dim);
-        prop_assert_eq!(pts.len(), n);
+        assert_eq!(pts.len(), n);
         for d in 0..dim {
             let mut counts = vec![0usize; n];
             for p in &pts {
-                prop_assert!(p[d] >= 0.0 && p[d] < 1.0);
+                assert!(p[d] >= 0.0 && p[d] < 1.0, "seed {seed}");
                 let stratum = ((p[d] * n as f64).floor() as usize).min(n - 1);
                 counts[stratum] += 1;
             }
-            prop_assert!(counts.iter().all(|&c| c == 1));
+            assert!(counts.iter().all(|&c| c == 1), "seed {seed} dim {d}");
         }
     }
+}
 
-    /// Yield estimates stay in [0, 1], and merging preserves the pass counts.
-    #[test]
-    fn yield_estimate_merge_is_consistent(
-        p1 in 0usize..100, n1 in 0usize..100,
-        p2 in 0usize..100, n2 in 0usize..100,
-    ) {
-        let a = YieldEstimate::new(p1.min(n1), n1);
-        let b = YieldEstimate::new(p2.min(n2), n2);
+/// Yield estimates stay in [0, 1], and merging preserves the pass counts.
+#[test]
+fn yield_estimate_merge_is_consistent() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let n1 = rng.gen_range(0usize..100);
+        let n2 = rng.gen_range(0usize..100);
+        let p1 = rng.gen_range(0usize..100).min(n1);
+        let p2 = rng.gen_range(0usize..100).min(n2);
+        let a = YieldEstimate::new(p1, n1);
+        let b = YieldEstimate::new(p2, n2);
         let m = a.merge(&b);
-        prop_assert_eq!(m.samples, n1 + n2);
-        prop_assert_eq!(m.passes, p1.min(n1) + p2.min(n2));
-        prop_assert!((0.0..=1.0).contains(&m.value()));
-        prop_assert!(m.bernoulli_variance() <= 0.25 + 1e-12);
+        assert_eq!(m.samples, n1 + n2);
+        assert_eq!(m.passes, p1 + p2);
+        assert!((0.0..=1.0).contains(&m.value()));
+        assert!(m.bernoulli_variance() <= 0.25 + 1e-12);
     }
+}
 
-    /// The feasibility comparator is antisymmetric and consistent with
-    /// `is_better_or_equal`.
-    #[test]
-    fn feasibility_comparator_is_antisymmetric(
-        o1 in -1e3f64..1e3, v1 in 0.0f64..10.0,
-        o2 in -1e3f64..1e3, v2 in 0.0f64..10.0,
-    ) {
-        let a = Evaluation::new(o1, v1);
-        let b = Evaluation::new(o2, v2);
+/// The feasibility comparator is antisymmetric and consistent with
+/// `is_better_or_equal`.
+#[test]
+fn feasibility_comparator_is_antisymmetric() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let a = Evaluation::new(rng.gen_range(-1e3..1e3), rng.gen_range(0.0..10.0));
+        let b = Evaluation::new(rng.gen_range(-1e3..1e3), rng.gen_range(0.0..10.0));
         let ab = feasibility_compare(&a, &b);
         let ba = feasibility_compare(&b, &a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse(), "seed {seed}");
         if is_better_or_equal(&a, &b) && is_better_or_equal(&b, &a) {
-            prop_assert_eq!(ab, std::cmp::Ordering::Equal);
+            assert_eq!(ab, std::cmp::Ordering::Equal, "seed {seed}");
         }
     }
+}
 
-    /// Ranking is a permutation and the selected subset contains the maximum.
-    #[test]
-    fn ranking_is_a_permutation(values in proptest::collection::vec(-1e3f64..1e3, 1..30)) {
+/// Ranking is a permutation and the selected subset contains the maximum.
+#[test]
+fn ranking_is_a_permutation() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let n = rng.gen_range(1usize..30);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect();
         let order = rank_descending(&values);
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..values.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..values.len()).collect::<Vec<_>>());
         let top = selected_subset(&values, 1);
         let max_idx = values
             .iter()
@@ -112,18 +133,20 @@ proptest! {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .map(|(i, _)| i)
             .unwrap();
-        prop_assert!((values[top[0]] - values[max_idx]).abs() < 1e-12);
+        assert!(
+            (values[top[0]] - values[max_idx]).abs() < 1e-12,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Solving a diagonally dominant system and multiplying back recovers the
-    /// right-hand side.
-    #[test]
-    fn lu_solve_roundtrip(
-        dim in 1usize..8,
-        seed in 0u64..1000,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng;
+/// Solving a diagonally dominant system and multiplying back recovers the
+/// right-hand side.
+#[test]
+fn lu_solve_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + seed);
+        let dim = rng.gen_range(1usize..8);
         let mut a = Matrix::zeros(dim, dim);
         for i in 0..dim {
             let mut row_sum = 0.0;
@@ -140,15 +163,17 @@ proptest! {
         let b = a.mul_vec(&x_true);
         let x = a.solve(&b).expect("diagonally dominant");
         for (xi, ti) in x.iter().zip(&x_true) {
-            prop_assert!((xi - ti).abs() < 1e-8);
+            assert!((xi - ti).abs() < 1e-8, "seed {seed}");
         }
     }
+}
 
-    /// Cholesky factors of SPD matrices reconstruct the original matrix.
-    #[test]
-    fn cholesky_roundtrip(dim in 1usize..6, seed in 0u64..500) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng;
+/// Cholesky factors of SPD matrices reconstruct the original matrix.
+#[test]
+fn cholesky_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let dim = rng.gen_range(1usize..6);
         // Build SPD as B^T B + I.
         let mut b = Matrix::zeros(dim, dim);
         for i in 0..dim {
@@ -162,7 +187,7 @@ proptest! {
         let rec = l.mul_mat(&l.transpose());
         for i in 0..dim {
             for j in 0..dim {
-                prop_assert!((rec[(i, j)] - spd[(i, j)]).abs() < 1e-9);
+                assert!((rec[(i, j)] - spd[(i, j)]).abs() < 1e-9, "seed {seed}");
             }
         }
     }
