@@ -46,6 +46,7 @@ mod dev {
 /// The folded-cascode benchmark (example 1 of the paper).
 #[derive(Debug, Clone)]
 pub struct FoldedCascode {
+    name: String,
     tech: Technology,
     specs: SpecSet,
     variables: Vec<DesignVariable>,
@@ -94,11 +95,32 @@ impl FoldedCascode {
             DesignVariable::new("l_cas", 0.35, 1.5, "um"),
         ];
         Self {
+            name: "folded_cascode_035".into(),
             tech: tech_035um(),
             specs,
             variables,
             load_capacitance: 2e-12,
         }
+    }
+
+    /// Creates the benchmark at a process corner whose statistical spreads
+    /// (inter-die sigmas and mismatch coefficients) are the nominal ones
+    /// multiplied by `severity`: `> 1` models a harsher corner with lower
+    /// yields, `< 1` a milder one. `severity = 1` is exactly [`Self::new`].
+    ///
+    /// The testbench name gains a `@x<severity>` suffix so scenario results
+    /// from different corners can never be confused. Note that the engine
+    /// simulation cache is keyed by the design point alone, not by the
+    /// benchmark name — different corners of the same circuit must each get
+    /// their own engine (as `Scenario::build` and `run_scenario` do), never
+    /// share one.
+    pub fn with_corner(severity: f64) -> Self {
+        let mut tb = Self::new();
+        if severity != 1.0 {
+            tb.tech = tb.tech.with_sigma_scale(severity);
+            tb.name = format!("folded_cascode_035@x{severity:.2}");
+        }
+        tb
     }
 }
 
@@ -111,7 +133,7 @@ const SWING_MARGIN: f64 = 0.1;
 
 impl Testbench for FoldedCascode {
     fn name(&self) -> &str {
-        "folded_cascode_035"
+        &self.name
     }
 
     fn technology(&self) -> &Technology {
@@ -365,6 +387,25 @@ mod tests {
         assert_eq!(tb.technology().num_variables(tb.num_devices()), 80);
         assert_eq!(tb.dimension(), 10);
         assert_eq!(tb.specs().len(), 5);
+    }
+
+    #[test]
+    fn corner_builder_scales_spreads_and_renames() {
+        let nominal = FoldedCascode::new();
+        let harsh = FoldedCascode::with_corner(1.5);
+        assert_eq!(FoldedCascode::with_corner(1.0).name(), nominal.name());
+        assert_ne!(harsh.name(), nominal.name());
+        for (n, h) in nominal
+            .technology()
+            .inter_die
+            .iter()
+            .zip(&harsh.technology().inter_die)
+        {
+            assert!((h.sigma - 1.5 * n.sigma).abs() <= 1e-12 * n.sigma.max(1.0));
+        }
+        // Nominal behaviour is untouched: same specs, same nominal margins.
+        let x = nominal.reference_design();
+        assert_eq!(nominal.nominal_margins(&x), harsh.nominal_margins(&x));
     }
 
     #[test]

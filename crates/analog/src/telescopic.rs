@@ -47,6 +47,7 @@ mod dev {
 /// The two-stage telescopic-cascode benchmark (example 2 of the paper).
 #[derive(Debug, Clone)]
 pub struct TelescopicTwoStage {
+    name: String,
     tech: Technology,
     specs: SpecSet,
     variables: Vec<DesignVariable>,
@@ -105,17 +106,30 @@ impl TelescopicTwoStage {
             DesignVariable::new("cc", 0.2, 3.0, "pF"),
         ];
         Self {
+            name: "telescopic_two_stage_90nm".into(),
             tech: tech_90nm(),
             specs,
             variables,
             load_capacitance: 1e-12,
         }
     }
+
+    /// Creates the benchmark at a process corner whose statistical spreads
+    /// are the nominal ones multiplied by `severity` (see
+    /// [`FoldedCascode::with_corner`](crate::FoldedCascode::with_corner)).
+    pub fn with_corner(severity: f64) -> Self {
+        let mut tb = Self::new();
+        if severity != 1.0 {
+            tb.tech = tb.tech.with_sigma_scale(severity);
+            tb.name = format!("telescopic_two_stage_90nm@x{severity:.2}");
+        }
+        tb
+    }
 }
 
 impl Testbench for TelescopicTwoStage {
     fn name(&self) -> &str {
-        "telescopic_two_stage_90nm"
+        &self.name
     }
 
     fn technology(&self) -> &Technology {

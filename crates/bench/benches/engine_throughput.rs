@@ -16,7 +16,11 @@ use std::time::Instant;
 
 /// One timed pass: evaluate `designs × samples` Monte-Carlo outcomes as one
 /// batch. Returns wall nanoseconds.
-fn timed_batch(problem: &YieldProblem<FoldedCascode>, designs: &[Vec<f64>], samples: usize) -> u64 {
+fn timed_batch(
+    problem: &YieldProblem<moheco::CircuitBench<FoldedCascode>>,
+    designs: &[Vec<f64>],
+    samples: usize,
+) -> u64 {
     let requests: Vec<McRequest> = designs
         .iter()
         .map(|x| McRequest::new(x.clone(), 0, samples))

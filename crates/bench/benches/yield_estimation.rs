@@ -9,7 +9,10 @@ use moheco_analog::{FoldedCascode, Testbench};
 use moheco_sampling::SamplingPlan;
 use std::hint::black_box;
 
-fn build_population(problem: &YieldProblem<FoldedCascode>, n: usize) -> Vec<Candidate> {
+fn build_population(
+    problem: &YieldProblem<moheco::CircuitBench<FoldedCascode>>,
+    n: usize,
+) -> Vec<Candidate> {
     let reference = problem.testbench().reference_design();
     (0..n)
         .map(|i| {

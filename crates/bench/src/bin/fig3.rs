@@ -12,12 +12,11 @@
 
 use moheco::{estimate_fixed_budget, estimate_two_stage, Candidate, MohecoConfig, YieldProblem};
 use moheco_analog::{FoldedCascode, Testbench};
-use moheco_bench::ExperimentScale;
 use moheco_optim::problem::random_point;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn screen(problem: &YieldProblem<FoldedCascode>, x: Vec<f64>) -> Candidate {
+fn screen(problem: &YieldProblem<moheco::CircuitBench<FoldedCascode>>, x: Vec<f64>) -> Candidate {
     let rep = problem.feasibility(&x);
     if rep.is_feasible() {
         Candidate::feasible(x, rep.decision)
@@ -27,7 +26,7 @@ fn screen(problem: &YieldProblem<FoldedCascode>, x: Vec<f64>) -> Candidate {
 }
 
 fn main() {
-    let scale = ExperimentScale::from_args();
+    let scale = moheco_bench::cli::figure_binary_scale();
     let config = MohecoConfig {
         stage2_threshold: 1.1, // keep everything in stage 1 for this figure
         ..scale.config

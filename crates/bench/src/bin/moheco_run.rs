@@ -1,0 +1,198 @@
+//! `moheco-run` — the unified experiment runner over the scenario registry.
+//!
+//! ```text
+//! moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage]
+//!            [--budget tiny|small|paper] [--seed N] [--parallel]
+//!            [--out-dir DIR] [--baseline-dir DIR] [--list]
+//! ```
+//!
+//! Every selected scenario is executed through the evaluation engine and
+//! written as one machine-readable `RESULTS_<scenario>.json` record in a
+//! stable schema (see `moheco-bench/src/results.rs` and `DESIGN.md`). With
+//! `--baseline-dir`, each fresh result is gated against the committed
+//! baseline of the same scenario: the binary prints a one-line trend summary
+//! per scenario and exits non-zero on schema drift, on a missing baseline,
+//! or on a yield deviation beyond ±5 percentage points — this is the CI
+//! `scenario-smoke` job.
+
+use moheco_bench::results::compare_results;
+use moheco_bench::{run_scenario, Algo, BudgetClass, CliArgs};
+use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage] \
+[--budget tiny|small|paper] [--seed N] [--parallel] [--out-dir DIR] [--baseline-dir DIR] [--list]";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = CliArgs::parse();
+    if let Err(e) = args.expect_only(
+        &["--parallel", "--list"],
+        &[
+            "--scenario",
+            "--algo",
+            "--budget",
+            "--seed",
+            "--out-dir",
+            "--baseline-dir",
+        ],
+    ) {
+        return fail(&e);
+    }
+
+    if args.has("--list") {
+        println!(
+            "{:<24} {:>4} {:>5} {:>6} {:<6} description",
+            "scenario", "dim", "stats", "specs", "truth"
+        );
+        for s in all_scenarios() {
+            println!(
+                "{:<24} {:>4} {:>5} {:>6} {:<6} {}",
+                s.name(),
+                s.dimension(),
+                s.statistical_dimension(),
+                s.spec_names().len(),
+                if s.has_true_yield() { "exact" } else { "mc" },
+                s.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let scenarios: Vec<Arc<dyn Scenario>> = match args.value_of("--scenario") {
+        Err(e) => return fail(&e),
+        Ok(None) | Ok(Some("all")) => all_scenarios(),
+        Ok(Some(name)) => match find_scenario(name) {
+            Some(s) => vec![s],
+            None => {
+                let names = moheco_scenarios::scenario_names().join(", ");
+                return fail(&format!("unknown scenario {name:?}; registered: {names}"));
+            }
+        },
+    };
+    let algo = match args.value_of("--algo") {
+        Err(e) => return fail(&e),
+        Ok(None) => Algo::default(),
+        Ok(Some(v)) => match Algo::parse(v) {
+            Some(a) => a,
+            None => return fail(&format!("unknown algo {v:?}")),
+        },
+    };
+    let budget = match args.value_of("--budget") {
+        Err(e) => return fail(&e),
+        Ok(None) => BudgetClass::default(),
+        Ok(Some(v)) => match BudgetClass::parse(v) {
+            Some(b) => b,
+            None => return fail(&format!("unknown budget {v:?}")),
+        },
+    };
+    let seed = match args.u64_of("--seed", 1) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let out_dir = match args.value_of("--out-dir") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.unwrap_or(".").to_string(),
+    };
+    let baseline_dir = match args.value_of("--baseline-dir") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.map(str::to_string),
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(&format!("cannot create out dir {out_dir:?}: {e}"));
+    }
+
+    let engine_kind = args.engine_kind();
+    let mut failures: Vec<String> = Vec::new();
+    eprintln!(
+        "moheco-run: {} scenario(s), algo {}, budget {}, seed {seed}, {} engine",
+        scenarios.len(),
+        algo.label(),
+        budget.label(),
+        if args.has("--parallel") {
+            "parallel"
+        } else {
+            "serial"
+        },
+    );
+
+    for scenario in &scenarios {
+        let result = run_scenario(scenario.as_ref(), algo, budget, seed, engine_kind);
+        let json = result.to_json();
+        let path = Path::new(&out_dir).join(result.file_name());
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+
+        match &baseline_dir {
+            None => {
+                println!(
+                    "{}: yield {:.4}{} sims {} cache {:.0}% gens {} ({:.0} ms) -> {}",
+                    result.scenario,
+                    result.best_yield,
+                    result
+                        .true_yield
+                        .map(|t| format!(" (truth {t:.4})"))
+                        .unwrap_or_default(),
+                    result.simulations,
+                    100.0 * result.engine_stats.hit_rate(),
+                    result.generations,
+                    result.wall_time_ms,
+                    path.display()
+                );
+            }
+            Some(dir) => {
+                let baseline_path = Path::new(dir).join(result.file_name());
+                match std::fs::read_to_string(&baseline_path) {
+                    Err(e) => {
+                        let msg = format!(
+                            "{}: missing baseline {} ({e}); run `moheco-run --scenario {} --algo {} --budget {} --seed {seed}{} --out-dir {dir}` and commit it",
+                            result.scenario,
+                            baseline_path.display(),
+                            result.scenario,
+                            algo.label(),
+                            budget.label(),
+                            if engine_kind == moheco_bench::EngineKind::Parallel {
+                                " --parallel"
+                            } else {
+                                ""
+                            }
+                        );
+                        println!("{msg}");
+                        failures.push(msg);
+                    }
+                    Ok(baseline) => {
+                        let cmp = compare_results(&baseline, &json);
+                        println!("{}", cmp.summary);
+                        for f in &cmp.failures {
+                            let msg = format!("{}: {f}", cmp.scenario);
+                            eprintln!("  FAIL {f}");
+                            failures.push(msg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        if baseline_dir.is_some() {
+            println!(
+                "baseline gate: all {} scenario(s) within tolerance",
+                scenarios.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("baseline gate: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}

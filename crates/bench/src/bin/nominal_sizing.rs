@@ -6,7 +6,7 @@
 //! Run with `--paper` for larger populations and generation budgets.
 
 use moheco_analog::{FoldedCascode, TelescopicTwoStage, Testbench};
-use moheco_bench::{EngineKind, ExperimentScale, NominalSizingProblem};
+use moheco_bench::{EngineKind, NominalSizingProblem};
 use moheco_optim::de::{DeConfig, DifferentialEvolution};
 use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
 use moheco_optim::memetic::{MemeticConfig, MemeticOptimizer};
@@ -99,7 +99,7 @@ fn run_engines<T: Testbench + Clone>(
 }
 
 fn main() {
-    let scale = ExperimentScale::from_args();
+    let scale = moheco_bench::cli::figure_binary_scale();
     let (population, gens_easy, gens_hard) = if scale.reference_samples >= 50_000 {
         (60, 120, 300)
     } else {

@@ -7,13 +7,12 @@
 //! yield that PSWCD rejects illustrate the over-design the paper describes.
 
 use moheco_analog::{FoldedCascode, Testbench};
-use moheco_bench::ExperimentScale;
 use moheco_surrogate::{overdesign_comparison, PswcdConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let scale = ExperimentScale::from_args();
+    let scale = moheco_bench::cli::figure_binary_scale();
     let tb = FoldedCascode::new();
     let mc_samples = if scale.reference_samples >= 50_000 {
         2_000

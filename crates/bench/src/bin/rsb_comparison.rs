@@ -10,13 +10,13 @@
 //! Run with `--paper` for paper-scale settings.
 
 use moheco_analog::FoldedCascode;
-use moheco_bench::{run_single_with_engine, ExperimentScale};
+use moheco_bench::run_single_with_engine;
 use moheco_surrogate::{LmConfig, RsbYieldModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let scale = ExperimentScale::from_args();
+    let scale = moheco_bench::cli::figure_binary_scale();
     eprintln!("running MOHECO on example 1 to collect trajectory data ...");
     let (result, _problem) =
         run_single_with_engine(FoldedCascode::new(), scale.config, 0x35B4, scale.engine);

@@ -9,12 +9,11 @@
 
 use moheco_analog::FoldedCascode;
 use moheco_bench::{
-    print_deviation_table, print_fig6_csv, print_simulation_table, run_method, ExperimentScale,
-    Method,
+    print_deviation_table, print_fig6_csv, print_simulation_table, run_method, Method,
 };
 
 fn main() {
-    let scale = ExperimentScale::from_args();
+    let scale = moheco_bench::cli::figure_binary_scale();
     println!(
         "Example 1 (folded cascode, 0.35um): {} runs per method, reference yield from {} samples",
         scale.runs, scale.reference_samples

@@ -6,12 +6,10 @@
 //! Run with `--paper` for the full-scale settings.
 
 use moheco_analog::TelescopicTwoStage;
-use moheco_bench::{
-    print_deviation_table, print_simulation_table, run_method, ExperimentScale, Method,
-};
+use moheco_bench::{print_deviation_table, print_simulation_table, run_method, Method};
 
 fn main() {
-    let scale = ExperimentScale::from_args();
+    let scale = moheco_bench::cli::figure_binary_scale();
     println!(
         "Example 2 (two-stage telescopic cascode, 90nm): {} runs per method, reference yield from {} samples",
         scale.runs, scale.reference_samples

@@ -1,0 +1,371 @@
+//! The unified experiment harness behind the `moheco-run` binary.
+//!
+//! [`run_scenario`] executes one (scenario, algorithm, budget, seed, engine)
+//! combination through the PR-1 evaluation engine and condenses it into one
+//! [`ScenarioResult`](crate::results::ScenarioResult). Four algorithms are
+//! exposed:
+//!
+//! * `memetic` — full MOHECO (two-stage OO estimation + DE/NM search);
+//! * `two-stage` — OO + AS + LHS without the memetic operator;
+//! * `de` / `ga` — plain Differential Evolution / Genetic Algorithm over a
+//!   fixed-budget yield objective (the `AS + LHS` baseline family), routed
+//!   through the same engine so cache hits and simulation counts stay
+//!   comparable.
+
+use crate::results::{trace_digest, ScenarioResult};
+use crate::EngineKind;
+use moheco::{Benchmark, MohecoConfig, YieldOptimizer, YieldProblem, YieldStrategy};
+use moheco_optim::de::{DeConfig, DifferentialEvolution};
+use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
+use moheco_optim::problem::{Evaluation, Problem};
+use moheco_optim::result::OptimizationResult;
+use moheco_scenarios::Scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The algorithms `moheco-run --algo` accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algo {
+    /// Plain DE over a fixed-budget yield objective.
+    De,
+    /// Plain GA over a fixed-budget yield objective.
+    Ga,
+    /// Full MOHECO (two-stage OO + memetic DE/NM).
+    #[default]
+    Memetic,
+    /// Two-stage OO estimation without the memetic operator.
+    TwoStage,
+}
+
+impl Algo {
+    /// Parses a `--algo` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "de" => Some(Self::De),
+            "ga" => Some(Self::Ga),
+            "memetic" => Some(Self::Memetic),
+            "two-stage" => Some(Self::TwoStage),
+            _ => None,
+        }
+    }
+
+    /// The stable label used in results and file names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::De => "de",
+            Self::Ga => "ga",
+            Self::Memetic => "memetic",
+            Self::TwoStage => "two-stage",
+        }
+    }
+}
+
+/// The budget classes `moheco-run --budget` accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetClass {
+    /// Minimal settings for unit tests (seconds per scenario).
+    Tiny,
+    /// CI smoke settings: big enough for meaningful yields, small enough to
+    /// run the whole registry on every push.
+    #[default]
+    Small,
+    /// The paper's full-scale settings.
+    Paper,
+}
+
+impl BudgetClass {
+    /// Parses a `--budget` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tiny" => Some(Self::Tiny),
+            "small" => Some(Self::Small),
+            "paper" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// The stable label used in results.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Tiny => "tiny",
+            Self::Small => "small",
+            Self::Paper => "paper",
+        }
+    }
+
+    /// The optimizer configuration of this budget class.
+    pub fn config(&self) -> MohecoConfig {
+        match self {
+            Self::Tiny => MohecoConfig {
+                population_size: 8,
+                n0: 4,
+                sim_ave: 10,
+                delta: 6,
+                n_max: 40,
+                max_generations: 4,
+                stop_stagnation: 3,
+                nm_iterations: 3,
+                ..MohecoConfig::fast()
+            },
+            Self::Small => MohecoConfig {
+                population_size: 10,
+                n0: 5,
+                sim_ave: 14,
+                delta: 8,
+                n_max: 80,
+                max_generations: 8,
+                stop_stagnation: 5,
+                nm_iterations: 4,
+                ..MohecoConfig::fast()
+            },
+            Self::Paper => MohecoConfig::paper(),
+        }
+    }
+
+    /// Samples per feasible candidate for the fixed-budget `de` / `ga`
+    /// objective (the mid-range `AS + LHS` baseline of this scale).
+    pub fn fixed_sims(&self) -> usize {
+        match self {
+            Self::Tiny => 20,
+            Self::Small => 40,
+            Self::Paper => 500,
+        }
+    }
+}
+
+/// A fixed-budget yield-maximisation objective over a [`YieldProblem`],
+/// exposed through the `moheco-optim` [`Problem`] trait so the plain DE/GA
+/// engines can run on any registered scenario.
+struct YieldSearchProblem<'a> {
+    problem: &'a YieldProblem<dyn Benchmark>,
+    samples: usize,
+}
+
+impl Problem for YieldSearchProblem<'_> {
+    fn dimension(&self) -> usize {
+        self.problem.dimension()
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        self.problem.bounds()
+    }
+
+    fn evaluate(&mut self, x: &[f64]) -> Evaluation {
+        self.evaluate_batch(std::slice::from_ref(&x.to_vec()))
+            .pop()
+            .expect("one design yields one evaluation")
+    }
+
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        let reports = self.problem.feasibility_batch(xs);
+        xs.iter()
+            .zip(reports)
+            .map(|(x, rep)| {
+                if rep.is_feasible() {
+                    let est = self.problem.estimate_yield(x, self.samples, rep.decision);
+                    Evaluation::feasible(-est.value())
+                } else {
+                    Evaluation::new(f64::INFINITY, rep.violation.max(1e-12))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Executes one scenario with one algorithm and condenses the run into the
+/// machine-readable result record.
+pub fn run_scenario(
+    scenario: &dyn Scenario,
+    algo: Algo,
+    budget: BudgetClass,
+    seed: u64,
+    engine_kind: EngineKind,
+) -> ScenarioResult {
+    let engine = engine_kind.build_seeded(seed);
+    let problem = scenario.build(engine);
+    let config = budget.config();
+    let started = Instant::now();
+
+    let (best_x, best_yield, feasible, generations, local_searches, digest) = match algo {
+        Algo::Memetic | Algo::TwoStage => {
+            let config = if algo == Algo::Memetic {
+                MohecoConfig {
+                    memetic_enabled: true,
+                    strategy: YieldStrategy::TwoStageOo,
+                    ..config
+                }
+            } else {
+                config.as_oo_without_memetic()
+            };
+            let optimizer = YieldOptimizer::new(config);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = optimizer.run_from(&problem, &scenario.warm_start(), &mut rng);
+            let digest = trace_digest(
+                result
+                    .trace
+                    .records
+                    .iter()
+                    .flat_map(|r| [r.best_yield, r.simulations_so_far as f64]),
+            );
+            let feasible = problem.feasibility(&result.best_x).is_feasible();
+            (
+                result.best_x,
+                result.reported_yield,
+                feasible,
+                result.generations,
+                result.local_searches,
+                digest,
+            )
+        }
+        Algo::De | Algo::Ga => {
+            let mut search = YieldSearchProblem {
+                problem: &problem,
+                samples: budget.fixed_sims(),
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result: OptimizationResult = if algo == Algo::De {
+                DifferentialEvolution::new(DeConfig {
+                    population_size: config.population_size,
+                    f: config.de_f,
+                    cr: config.de_cr,
+                    max_generations: config.max_generations,
+                    stagnation_limit: Some(config.stop_stagnation),
+                    target_objective: None,
+                    ..DeConfig::default()
+                })
+                .run(&mut search, &mut rng)
+            } else {
+                GeneticAlgorithm::new(GaConfig {
+                    population_size: config.population_size,
+                    max_generations: config.max_generations,
+                    stagnation_limit: Some(config.stop_stagnation),
+                    target_objective: None,
+                    ..GaConfig::default()
+                })
+                .run(&mut search, &mut rng)
+            };
+            let digest = trace_digest(result.history.iter().copied());
+            let best_x = result.best.x.clone();
+            // Final report at the accurate n_max budget, like the MOHECO
+            // variants (served partly from the engine cache).
+            let rep = problem.feasibility(&best_x);
+            let (best_yield, feasible) = if rep.is_feasible() {
+                let est = problem.estimate_yield(&best_x, config.n_max, rep.decision);
+                (est.value(), true)
+            } else {
+                (0.0, false)
+            };
+            (best_x, best_yield, feasible, result.generations, 0, digest)
+        }
+    };
+
+    let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+    let true_yield = problem.true_yield(&best_x);
+    let bench = scenario.bench();
+    ScenarioResult {
+        scenario: scenario.name().to_string(),
+        algo: algo.label().to_string(),
+        budget: budget.label().to_string(),
+        engine: match engine_kind {
+            EngineKind::Serial => "serial".to_string(),
+            EngineKind::Parallel => "parallel".to_string(),
+        },
+        seed,
+        dimension: bench.dimension() as u64,
+        statistical_dimension: bench.unit_dimension() as u64,
+        feasible,
+        best_yield,
+        true_yield,
+        true_yield_abs_error: true_yield.map(|t| (best_yield - t).abs()),
+        simulations: problem.simulations(),
+        generations: generations as u64,
+        local_searches: local_searches as u64,
+        trace_digest: digest,
+        wall_time_ms,
+        engine_stats: problem.engine_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::parse_flat_json;
+    use moheco_scenarios::find_scenario;
+
+    #[test]
+    fn algo_and_budget_labels_roundtrip() {
+        for algo in [Algo::De, Algo::Ga, Algo::Memetic, Algo::TwoStage] {
+            assert_eq!(Algo::parse(algo.label()), Some(algo));
+        }
+        assert_eq!(Algo::parse("bogus"), None);
+        for budget in [BudgetClass::Tiny, BudgetClass::Small, BudgetClass::Paper] {
+            assert_eq!(BudgetClass::parse(budget.label()), Some(budget));
+            budget.config().validate();
+        }
+        assert_eq!(BudgetClass::parse("huge"), None);
+    }
+
+    #[test]
+    fn tiny_memetic_run_produces_a_consistent_result() {
+        let scenario = find_scenario("margin_wall").expect("registered");
+        let r = run_scenario(
+            scenario.as_ref(),
+            Algo::Memetic,
+            BudgetClass::Tiny,
+            1,
+            EngineKind::Serial,
+        );
+        assert_eq!(r.scenario, "margin_wall");
+        assert!(r.simulations > 0);
+        assert!(r.generations >= 1);
+        assert!((0.0..=1.0).contains(&r.best_yield));
+        assert!(r.true_yield.is_some(), "synthetic scenario has a truth");
+        let parsed = parse_flat_json(&r.to_json()).expect("schema is well-formed");
+        assert_eq!(parsed.str("algo"), Some("memetic"));
+        assert_eq!(parsed.num("seed"), Some(1.0));
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let scenario = find_scenario("quadratic_feasibility").expect("registered");
+        let run = |seed| {
+            run_scenario(
+                scenario.as_ref(),
+                Algo::TwoStage,
+                BudgetClass::Tiny,
+                seed,
+                EngineKind::Serial,
+            )
+        };
+        let (a, b, c) = (run(5), run(5), run(6));
+        assert_eq!(a.best_yield, b.best_yield);
+        assert_eq!(a.trace_digest, b.trace_digest);
+        assert_eq!(a.simulations, b.simulations);
+        assert!(
+            c.trace_digest != a.trace_digest || c.simulations != a.simulations,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn de_and_ga_report_an_accurate_final_estimate() {
+        let scenario = find_scenario("margin_wall").expect("registered");
+        for algo in [Algo::De, Algo::Ga] {
+            let r = run_scenario(
+                scenario.as_ref(),
+                algo,
+                BudgetClass::Tiny,
+                2,
+                EngineKind::Serial,
+            );
+            assert_eq!(r.algo, algo.label());
+            assert!(r.simulations > 0, "{}", algo.label());
+            assert_eq!(r.local_searches, 0);
+            if r.feasible {
+                let err = r.true_yield_abs_error.expect("synthetic truth");
+                assert!(err < 0.35, "{}: error {err}", algo.label());
+            }
+        }
+    }
+}

@@ -8,7 +8,14 @@
 
 #![warn(missing_docs)]
 
-use moheco::{MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};
+pub mod cli;
+pub mod harness;
+pub mod results;
+
+pub use cli::CliArgs;
+pub use harness::{run_scenario, Algo, BudgetClass};
+
+use moheco::{CircuitBench, MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};
 use moheco_analog::Testbench;
 use moheco_optim::problem::{Evaluation, Problem};
 use moheco_runtime::{EngineConfig, EvalEngine, ParallelEngine, SerialEngine, SimulationModel};
@@ -30,15 +37,6 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Parses the command line: `--parallel` selects the parallel engine.
-    pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--parallel") {
-            Self::Parallel
-        } else {
-            Self::Serial
-        }
-    }
-
     /// Builds a fresh engine of this kind with the default configuration
     /// (LHS sampling, default master seed).
     pub fn build(self) -> Arc<dyn EvalEngine> {
@@ -133,19 +131,6 @@ impl ExperimentScale {
         }
     }
 
-    /// Parses the command line: `--paper` selects [`ExperimentScale::paper`]
-    /// (anything else the fast settings) and `--parallel` dispatches the
-    /// simulations through the work-stealing engine.
-    pub fn from_args() -> Self {
-        let mut scale = if std::env::args().any(|a| a == "--paper") {
-            Self::paper()
-        } else {
-            Self::fast()
-        };
-        scale.engine = EngineKind::from_args();
-        scale
-    }
-
     /// Fixed per-candidate budgets that remain meaningful at this scale: the
     /// paper's 300/500/700 at paper scale, smaller values at fast scale.
     pub fn fixed_budgets(&self) -> Vec<usize> {
@@ -224,7 +209,7 @@ pub fn run_single<T: Testbench>(
     testbench: T,
     config: MohecoConfig,
     seed: u64,
-) -> (RunResult, YieldProblem<T>) {
+) -> (RunResult, YieldProblem<CircuitBench<T>>) {
     run_single_with_engine(testbench, config, seed, EngineKind::Serial)
 }
 
@@ -236,7 +221,7 @@ pub fn run_single_with_engine<T: Testbench>(
     config: MohecoConfig,
     seed: u64,
     engine: EngineKind,
-) -> (RunResult, YieldProblem<T>) {
+) -> (RunResult, YieldProblem<CircuitBench<T>>) {
     let problem = YieldProblem::with_engine(testbench, engine.build_seeded(seed));
     let optimizer = YieldOptimizer::new(config);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,0 +1,517 @@
+//! The machine-readable result schema of `moheco-run` and the CI baseline
+//! gate built on it.
+//!
+//! One run of one scenario produces one [`ScenarioResult`], serialized as a
+//! flat JSON object with a stable key order (`RESULTS_<scenario>.json`). The
+//! engine counters are embedded under an `engine_` prefix straight from
+//! [`EngineStatsSnapshot::counter_fields`], so the runtime instrumentation
+//! and the result schema cannot drift apart silently.
+//!
+//! CI commits one baseline file per scenario under `baselines/` and re-runs
+//! the harness on every push; [`compare_results`] fails the build on
+//!
+//! * **schema drift** — the key set of the fresh result differs from the
+//!   baseline's (a new field means the baselines must be regenerated
+//!   deliberately, in the same PR), or an identity field (scenario, algo,
+//!   budget, seed, engine) changed;
+//! * **yield deviation** — the reported yield moved by more than
+//!   [`YIELD_TOLERANCE`] (5 percentage points) from the committed value.
+//!
+//! Timing fields (`wall_time_ms`, `engine_busy_nanos`) and the simulation
+//! counters are *reported* in the one-line trend summary but never gated:
+//! they vary across hosts, while the gated fields are deterministic in
+//! `(scenario, algo, budget, seed)` up to libm rounding.
+//!
+//! No serialization crates exist in this build environment, so the module
+//! carries its own minimal JSON writer and parser.
+
+use moheco_runtime::EngineStatsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version of the result schema; bump when a field is added, removed or
+/// re-interpreted (and regenerate `baselines/`).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Maximum allowed absolute deviation of `best_yield` from the committed
+/// baseline (5 percentage points, per the CI gating policy).
+pub const YIELD_TOLERANCE: f64 = 0.05;
+
+/// The result record of one `moheco-run` scenario execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Algorithm label (`de`, `ga`, `memetic`, `two-stage`).
+    pub algo: String,
+    /// Budget-class label (`tiny`, `small`, `paper`).
+    pub budget: String,
+    /// Engine label (`serial`, `parallel`).
+    pub engine: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Number of design variables.
+    pub dimension: u64,
+    /// Number of statistical variables.
+    pub statistical_dimension: u64,
+    /// Whether the run ended with a feasible best design.
+    pub feasible: bool,
+    /// Reported yield of the best design.
+    pub best_yield: f64,
+    /// Closed-form true yield of the best design (synthetic scenarios).
+    pub true_yield: Option<f64>,
+    /// `|best_yield - true_yield|`, when the truth is known.
+    pub true_yield_abs_error: Option<f64>,
+    /// Simulations executed by the run.
+    pub simulations: u64,
+    /// Generations executed.
+    pub generations: u64,
+    /// Nelder-Mead local searches triggered (memetic runs).
+    pub local_searches: u64,
+    /// FNV-1a digest of the per-generation trace (yield history + spend).
+    pub trace_digest: String,
+    /// Wall-clock time of the run in milliseconds (reported, never gated).
+    pub wall_time_ms: f64,
+    /// Engine instrumentation snapshot.
+    pub engine_stats: EngineStatsSnapshot,
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Full round-trip precision so baselines don't lose information.
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(fmt_f64).unwrap_or_else(|| "null".to_string())
+}
+
+impl ScenarioResult {
+    /// Serializes the result as a flat JSON object with a stable key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut field = |k: &str, v: String| {
+            let _ = writeln!(out, "  \"{k}\": {v},");
+        };
+        field("schema_version", SCHEMA_VERSION.to_string());
+        field("scenario", format!("\"{}\"", self.scenario));
+        field("algo", format!("\"{}\"", self.algo));
+        field("budget", format!("\"{}\"", self.budget));
+        field("engine", format!("\"{}\"", self.engine));
+        field("seed", self.seed.to_string());
+        field("dimension", self.dimension.to_string());
+        field(
+            "statistical_dimension",
+            self.statistical_dimension.to_string(),
+        );
+        field("feasible", self.feasible.to_string());
+        field("best_yield", fmt_f64(self.best_yield));
+        field("true_yield", fmt_opt(self.true_yield));
+        field("true_yield_abs_error", fmt_opt(self.true_yield_abs_error));
+        field("simulations", self.simulations.to_string());
+        field("generations", self.generations.to_string());
+        field("local_searches", self.local_searches.to_string());
+        field("trace_digest", format!("\"{}\"", self.trace_digest));
+        field("wall_time_ms", fmt_f64(self.wall_time_ms));
+        for (name, value) in self.engine_stats.counter_fields() {
+            field(&format!("engine_{name}"), value.to_string());
+        }
+        // Last field without the trailing comma.
+        let _ = write!(
+            out,
+            "  \"engine_hit_rate\": {}\n}}\n",
+            fmt_f64(self.engine_stats.hit_rate())
+        );
+        out
+    }
+
+    /// The file name the harness writes this result to.
+    pub fn file_name(&self) -> String {
+        format!("RESULTS_{}.json", self.scenario)
+    }
+}
+
+/// A parsed JSON scalar (the schema is flat; nested values are rejected).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (no escape handling beyond `\"` — the schema needs none).
+    Str(String),
+}
+
+impl JsonValue {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat JSON object, key order preserved.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JsonRecord {
+    /// Keys in file order.
+    pub keys: Vec<String>,
+    /// Key → value map.
+    pub values: BTreeMap<String, JsonValue>,
+}
+
+impl JsonRecord {
+    /// Numeric field accessor.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.values.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// String field accessor.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).and_then(JsonValue::as_str)
+    }
+}
+
+/// Parses a flat JSON object (`{"k": scalar, ...}`).
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax problem, including nested
+/// arrays/objects (the result schema is flat by design).
+pub fn parse_flat_json(text: &str) -> Result<JsonRecord, String> {
+    let mut chars = text.chars().peekable();
+    let mut record = JsonRecord::default();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+    fn expect(chars: &mut std::iter::Peekable<std::str::Chars>, want: char) -> Result<(), String> {
+        skip_ws(chars);
+        match chars.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+        expect(chars, '"')?;
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(c) => s.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(record);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some('{') | Some('[') => {
+                return Err(format!("key {key:?}: nested values are not allowed"))
+            }
+            Some(_) => {
+                let mut token = String::new();
+                while matches!(chars.peek(), Some(c) if !",}".contains(*c) && !c.is_whitespace()) {
+                    token.push(chars.next().expect("peeked"));
+                }
+                match token.as_str() {
+                    "null" => JsonValue::Null,
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    t => JsonValue::Num(
+                        t.parse()
+                            .map_err(|_| format!("key {key:?}: bad number {t:?}"))?,
+                    ),
+                }
+            }
+            None => return Err("unexpected end of input".into()),
+        };
+        if record.values.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        record.keys.push(key);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing content after the object".into());
+    }
+    Ok(record)
+}
+
+/// Outcome of gating one fresh result against its committed baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// Scenario under comparison.
+    pub scenario: String,
+    /// Gating failures; empty means the gate passes.
+    pub failures: Vec<String>,
+    /// One-line trend summary for the CI job log.
+    pub summary: String,
+}
+
+impl BaselineComparison {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Fields that must match the baseline exactly (run identity; the schema
+/// version is included so a version bump always forces a deliberate
+/// baseline regeneration, even when the key set happens not to change).
+const IDENTITY_FIELDS: [&str; 6] = [
+    "schema_version",
+    "scenario",
+    "algo",
+    "budget",
+    "engine",
+    "seed",
+];
+
+/// Gates a fresh result (as JSON text) against its committed baseline.
+pub fn compare_results(baseline_text: &str, current_text: &str) -> BaselineComparison {
+    let mut failures = Vec::new();
+    let (baseline, current) = match (
+        parse_flat_json(baseline_text),
+        parse_flat_json(current_text),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            if let Err(e) = b {
+                failures.push(format!("baseline unparsable: {e}"));
+            }
+            if let Err(e) = c {
+                failures.push(format!("result unparsable: {e}"));
+            }
+            return BaselineComparison {
+                scenario: "?".into(),
+                failures,
+                summary: "unparsable result".into(),
+            };
+        }
+    };
+    let scenario = current.str("scenario").unwrap_or("?").to_string();
+
+    // Schema drift: key sets must be identical (order included — the writer
+    // is deterministic, so an order change is also a deliberate change).
+    if baseline.keys != current.keys {
+        let missing: Vec<&String> = baseline
+            .keys
+            .iter()
+            .filter(|k| !current.keys.contains(k))
+            .collect();
+        let extra: Vec<&String> = current
+            .keys
+            .iter()
+            .filter(|k| !baseline.keys.contains(k))
+            .collect();
+        failures.push(format!(
+            "schema drift: missing keys {missing:?}, new keys {extra:?} (regenerate baselines/ deliberately if intended)"
+        ));
+    }
+
+    for field in IDENTITY_FIELDS {
+        if baseline.values.get(field) != current.values.get(field) {
+            failures.push(format!(
+                "identity field {field:?} changed: baseline {:?}, current {:?}",
+                baseline.values.get(field),
+                current.values.get(field)
+            ));
+        }
+    }
+
+    let b_yield = baseline.num("best_yield").unwrap_or(f64::NAN);
+    let c_yield = current.num("best_yield").unwrap_or(f64::NAN);
+    let dy = c_yield - b_yield;
+    // NaN (a missing/unparsable yield field) must fail the gate too.
+    if dy.is_nan() || dy.abs() > YIELD_TOLERANCE {
+        failures.push(format!(
+            "yield deviation {:.3} exceeds the ±{YIELD_TOLERANCE} gate (baseline {b_yield:.4}, current {c_yield:.4})",
+            dy
+        ));
+    }
+
+    let b_sims = baseline.num("simulations").unwrap_or(f64::NAN);
+    let c_sims = current.num("simulations").unwrap_or(f64::NAN);
+    let sims_trend = if b_sims > 0.0 {
+        format!("{:+.1}%", 100.0 * (c_sims - b_sims) / b_sims)
+    } else {
+        "n/a".to_string()
+    };
+    let summary = format!(
+        "{scenario}: yield {c_yield:.4} (baseline {b_yield:.4}, {dy:+.4}) sims {c_sims:.0} (baseline {b_sims:.0}, {sims_trend}) {}",
+        if failures.is_empty() { "OK" } else { "FAIL" }
+    );
+    BaselineComparison {
+        scenario,
+        failures,
+        summary,
+    }
+}
+
+/// FNV-1a digest of a stream of `f64` values (the per-generation trace),
+/// rendered as 16 hex digits.
+pub fn trace_digest(values: impl IntoIterator<Item = f64>) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> ScenarioResult {
+        ScenarioResult {
+            scenario: "margin_wall".into(),
+            algo: "memetic".into(),
+            budget: "small".into(),
+            engine: "serial".into(),
+            seed: 1,
+            dimension: 4,
+            statistical_dimension: 1,
+            feasible: true,
+            best_yield: 0.8725,
+            true_yield: Some(0.871),
+            true_yield_abs_error: Some(0.0015),
+            simulations: 1234,
+            generations: 8,
+            local_searches: 1,
+            trace_digest: "00ff00ff00ff00ff".into(),
+            wall_time_ms: 12.5,
+            engine_stats: EngineStatsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let r = sample_result();
+        let json = r.to_json();
+        let parsed = parse_flat_json(&json).expect("well-formed");
+        assert_eq!(parsed.str("scenario"), Some("margin_wall"));
+        assert_eq!(parsed.num("schema_version"), Some(SCHEMA_VERSION as f64));
+        assert_eq!(parsed.num("best_yield"), Some(0.8725));
+        assert_eq!(parsed.num("true_yield"), Some(0.871));
+        assert_eq!(parsed.num("simulations"), Some(1234.0));
+        assert_eq!(parsed.values.get("feasible"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            parsed.values.get("engine_cache_hits"),
+            Some(&JsonValue::Num(0.0))
+        );
+        assert_eq!(r.file_name(), "RESULTS_margin_wall.json");
+    }
+
+    #[test]
+    fn none_serializes_as_null() {
+        let mut r = sample_result();
+        r.true_yield = None;
+        r.true_yield_abs_error = None;
+        let parsed = parse_flat_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.values.get("true_yield"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_flat_json("").is_err());
+        assert!(parse_flat_json("{\"a\": }").is_err());
+        assert!(parse_flat_json("{\"a\": {\"b\": 1}}").is_err());
+        assert!(parse_flat_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_flat_json("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse_flat_json("{}").unwrap().keys.is_empty());
+    }
+
+    #[test]
+    fn identical_results_pass_the_gate() {
+        let json = sample_result().to_json();
+        let cmp = compare_results(&json, &json);
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp.summary.contains("OK"));
+        assert_eq!(cmp.scenario, "margin_wall");
+    }
+
+    #[test]
+    fn small_yield_drift_passes_large_fails() {
+        let baseline = sample_result();
+        let mut near = baseline.clone();
+        near.best_yield += 0.03;
+        let cmp = compare_results(&baseline.to_json(), &near.to_json());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+
+        let mut far = baseline.clone();
+        far.best_yield += 0.08;
+        let cmp = compare_results(&baseline.to_json(), &far.to_json());
+        assert!(!cmp.passed());
+        assert!(cmp.failures[0].contains("yield deviation"));
+    }
+
+    #[test]
+    fn schema_drift_fails_the_gate() {
+        let baseline = sample_result().to_json();
+        let current = baseline.replace("\"generations\": 8,\n", "");
+        let cmp = compare_results(&baseline, &current);
+        assert!(!cmp.passed());
+        assert!(cmp.failures.iter().any(|f| f.contains("schema drift")));
+    }
+
+    #[test]
+    fn identity_change_fails_the_gate() {
+        let baseline = sample_result();
+        let mut other = sample_result();
+        other.seed = 2;
+        let cmp = compare_results(&baseline.to_json(), &other.to_json());
+        assert!(!cmp.passed());
+        assert!(cmp.failures.iter().any(|f| f.contains("seed")));
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_sensitive() {
+        let a = trace_digest([0.1, 0.2, 0.3]);
+        let b = trace_digest([0.1, 0.2, 0.3]);
+        let c = trace_digest([0.1, 0.2, 0.30000001]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+}

@@ -14,12 +14,12 @@
 //! the acceptance-sampling screen and the LHS sampling plan, exactly as in the
 //! paper's experimental setup.
 
+use crate::benchmark::Benchmark;
 use crate::candidate::{best_candidate_index, Candidate};
 use crate::config::{MohecoConfig, YieldStrategy};
 use crate::problem::YieldProblem;
 use crate::trace::{GenerationRecord, Trace};
 use crate::two_stage::{estimate_fixed_budget, estimate_two_stage, AllocationRecord};
-use moheco_analog::Testbench;
 use moheco_optim::de::{de_crossover, de_mutant, DeConfig, DeStrategy};
 use moheco_optim::memetic::StagnationTracker;
 use moheco_optim::nelder_mead::{nelder_mead, NelderMeadConfig};
@@ -86,9 +86,26 @@ impl YieldOptimizer {
     /// streams are deterministic in the engine seed. A run is therefore
     /// reproducible from `(engine seed, rng seed)` and bit-identical between
     /// serial and parallel engines.
-    pub fn run<T: Testbench, R: Rng + ?Sized>(
+    pub fn run<B: Benchmark + ?Sized, R: Rng + ?Sized>(
         &self,
-        problem: &YieldProblem<T>,
+        problem: &YieldProblem<B>,
+        rng: &mut R,
+    ) -> RunResult {
+        self.run_from(problem, &[], rng)
+    }
+
+    /// [`Self::run`] with a warm start: up to `population_size` seed designs
+    /// (clamped to the bounds) fill the first population slots, the rest is
+    /// random.
+    ///
+    /// This models the paper's overall flow, where yield optimization starts
+    /// from a nominally sized design rather than from scratch — without a
+    /// warm start, circuits with severe specifications (example 2) can spend
+    /// the whole budget of a short run just finding the feasible region.
+    pub fn run_from<B: Benchmark + ?Sized, R: Rng + ?Sized>(
+        &self,
+        problem: &YieldProblem<B>,
+        warm_starts: &[Vec<f64>],
         rng: &mut R,
     ) -> RunResult {
         let cfg = &self.config;
@@ -96,10 +113,22 @@ impl YieldOptimizer {
         let sims_at_start = problem.simulations();
         let hits_at_start = problem.engine_stats().cache_hits;
 
-        // Step 0: random initial population, screened for feasibility as one
-        // engine batch.
-        let initial_xs: Vec<Vec<f64>> = (0..cfg.population_size)
-            .map(|_| random_point(&bounds, rng))
+        // Step 0: initial population — warm-start seeds first, random fill —
+        // screened for feasibility as one engine batch.
+        let initial_xs: Vec<Vec<f64>> = warm_starts
+            .iter()
+            .take(cfg.population_size)
+            .map(|x| {
+                assert_eq!(x.len(), bounds.len(), "warm-start dimension mismatch");
+                x.iter()
+                    .zip(&bounds)
+                    .map(|(&v, &(lo, hi))| v.clamp(lo, hi))
+                    .collect()
+            })
+            .chain(
+                (warm_starts.len().min(cfg.population_size)..cfg.population_size)
+                    .map(|_| random_point(&bounds, rng)),
+            )
             .collect();
         let mut population = self.screen_batch(problem, initial_xs);
         let init_alloc = self.estimate_generation(problem, &mut population);
@@ -225,9 +254,9 @@ impl YieldOptimizer {
 
     /// Nominal feasibility screen of a whole generation (steps 3 and 7 of
     /// the flow), dispatched to the engine as one batch.
-    fn screen_batch<T: Testbench>(
+    fn screen_batch<B: Benchmark + ?Sized>(
         &self,
-        problem: &YieldProblem<T>,
+        problem: &YieldProblem<B>,
         xs: Vec<Vec<f64>>,
     ) -> Vec<Candidate> {
         let reports = problem.feasibility_batch(&xs);
@@ -244,9 +273,9 @@ impl YieldOptimizer {
     }
 
     /// Steps 4-7: estimate the yields of one generation of candidates.
-    fn estimate_generation<T: Testbench>(
+    fn estimate_generation<B: Benchmark + ?Sized>(
         &self,
-        problem: &YieldProblem<T>,
+        problem: &YieldProblem<B>,
         candidates: &mut [Candidate],
     ) -> AllocationRecord {
         match self.config.strategy {
@@ -263,9 +292,9 @@ impl YieldOptimizer {
     /// design's stream, so re-probing a previously visited point — which
     /// Nelder–Mead does constantly while shrinking its simplex — is served
     /// entirely from the engine cache.
-    fn local_search<T: Testbench>(
+    fn local_search<B: Benchmark + ?Sized>(
         &self,
-        problem: &YieldProblem<T>,
+        problem: &YieldProblem<B>,
         start: &Candidate,
         bounds: &[(f64, f64)],
     ) -> Option<Candidate> {
@@ -296,12 +325,12 @@ impl YieldOptimizer {
         Some(refined)
     }
 
-    fn record<T: Testbench>(
+    fn record<B: Benchmark + ?Sized>(
         &self,
         generation: usize,
         population: &[Candidate],
         alloc: &AllocationRecord,
-        problem: &YieldProblem<T>,
+        problem: &YieldProblem<B>,
         sims_at_start: u64,
         hits_at_start: u64,
     ) -> GenerationRecord {
@@ -347,7 +376,7 @@ fn candidate_population(candidates: &[Candidate]) -> Population {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moheco_analog::FoldedCascode;
+    use moheco_analog::{FoldedCascode, Testbench};
     use moheco_sampling::SamplingPlan;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -415,6 +444,36 @@ mod tests {
             assert_eq!(x.len(), problem.dimension());
             assert!((0.0..=1.0).contains(y));
         }
+    }
+
+    #[test]
+    fn warm_started_run_keeps_the_seed_design_in_play() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let optimizer = YieldOptimizer::new(tiny_config());
+        let reference = problem.testbench().reference_design();
+        // Seed deliberately outside the bounds on one axis: it must be
+        // clamped, not rejected.
+        let mut seed = reference.clone();
+        seed[0] = -1.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = optimizer.run_from(&problem, &[reference.clone(), seed], &mut rng);
+        // With the known-good reference in the initial population the run is
+        // feasible from generation 0.
+        assert!(
+            result.reported_yield > 0.0,
+            "yield {}",
+            result.reported_yield
+        );
+        assert!(result.trace.records[0].num_feasible >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn warm_start_with_wrong_dimension_panics() {
+        let problem = YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube);
+        let optimizer = YieldOptimizer::new(tiny_config());
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = optimizer.run_from(&problem, &[vec![1.0; 3]], &mut rng);
     }
 
     #[test]

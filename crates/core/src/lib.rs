@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod benchmark;
 pub mod candidate;
 pub mod config;
 pub mod problem;
@@ -61,6 +62,7 @@ pub mod two_stage;
 pub use moheco_runtime as runtime;
 
 pub use algorithm::{RunResult, YieldOptimizer};
+pub use benchmark::{Benchmark, CircuitBench};
 pub use candidate::{best_candidate_index, Candidate, Stage};
 pub use config::{MohecoConfig, YieldStrategy};
 pub use problem::{FeasibilityReport, YieldProblem};

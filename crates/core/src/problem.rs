@@ -1,13 +1,19 @@
-//! The yield-optimization problem: glue between a circuit testbench, the
-//! statistical process model and the evaluation engine.
+//! The yield-optimization problem: glue between a benchmark, its statistical
+//! model and the evaluation engine.
 //!
-//! A [`YieldProblem`] owns the testbench, a [`ProcessSampler`] matched to it,
-//! an [`AcceptanceSampler`] screen and an [`EvalEngine`]. Every circuit
-//! evaluation — nominal feasibility checks and Monte-Carlo yield samples
-//! alike — is dispatched through the engine, so that (a) the simulation
-//! counts reported in Tables 2 and 4 are complete, (b) batches run in
-//! parallel when the engine is a [`moheco_runtime::ParallelEngine`], and
-//! (c) repeated evaluations of a design are served from the engine cache.
+//! A [`YieldProblem`] owns a [`Benchmark`] (a circuit testbench wrapped in a
+//! [`CircuitBench`], or any synthetic analytic benchmark), an
+//! [`AcceptanceSampler`] screen and an [`EvalEngine`]. Every evaluation —
+//! nominal feasibility checks and Monte-Carlo yield samples alike — is
+//! dispatched through the engine, so that (a) the simulation counts reported
+//! in Tables 2 and 4 are complete, (b) batches run in parallel when the
+//! engine is a [`moheco_runtime::ParallelEngine`], and (c) repeated
+//! evaluations of a design are served from the engine cache.
+//!
+//! The problem is generic over `B: Benchmark + ?Sized`: the circuit paths
+//! keep their static dispatch (`YieldProblem<CircuitBench<FoldedCascode>>`),
+//! while the scenario registry of `moheco-scenarios` builds heterogeneous
+//! `YieldProblem<dyn Benchmark>` values from `Arc<dyn Benchmark>`.
 //!
 //! Monte-Carlo samples are *indexed*: each design owns one deterministic
 //! sample stream (see [`moheco_runtime`]), and consumers request ranges
@@ -16,9 +22,10 @@
 //! already hold as `start`, which makes their merged estimates consistent
 //! and lets the cache serve re-probes for free.
 
+use crate::benchmark::{Benchmark, CircuitBench};
 use moheco_analog::Testbench;
 use moheco_process::ProcessSampler;
-use moheco_runtime::{EngineConfig, EvalEngine, McRequest, SerialEngine, SimulationModel};
+use moheco_runtime::{EngineConfig, EvalEngine, McRequest, SerialEngine};
 use moheco_sampling::{
     AcceptanceSampler, AsDecision, SamplingPlan, SimulationCounter, YieldEstimate,
 };
@@ -43,44 +50,16 @@ impl FeasibilityReport {
     }
 }
 
-/// Adapter exposing a testbench + process sampler pair as the
-/// [`SimulationModel`] the engine dispatches over.
-struct CircuitModel<T> {
-    testbench: Arc<T>,
-    sampler: ProcessSampler,
-}
-
-impl<T: Testbench> SimulationModel for CircuitModel<T> {
-    fn unit_dimension(&self) -> usize {
-        self.sampler.dimension()
-    }
-
-    fn simulate_point(&self, x: &[f64], u: &[f64]) -> f64 {
-        let xi = self.sampler.from_unit_point(u);
-        let perf = self.testbench.evaluate(x, &xi);
-        if self.testbench.specs().all_met(&perf) {
-            1.0
-        } else {
-            0.0
-        }
-    }
-
-    fn nominal(&self, x: &[f64]) -> Vec<f64> {
-        self.testbench.nominal_margins(x)
-    }
-}
-
-/// The yield-optimization problem over a circuit testbench.
-pub struct YieldProblem<T> {
-    testbench: Arc<T>,
-    model: CircuitModel<T>,
+/// The yield-optimization problem over a benchmark.
+pub struct YieldProblem<B: Benchmark + ?Sized> {
+    bench: Arc<B>,
     acceptance: AcceptanceSampler,
     engine: Arc<dyn EvalEngine>,
 }
 
-impl<T: Testbench> YieldProblem<T> {
-    /// Creates the yield problem for `testbench` with the given sampling
-    /// plan, dispatching through a fresh [`SerialEngine`].
+impl<T: Testbench> YieldProblem<CircuitBench<T>> {
+    /// Creates the yield problem for a circuit `testbench` with the given
+    /// sampling plan, dispatching through a fresh [`SerialEngine`].
     pub fn new(testbench: T, plan: SamplingPlan) -> Self {
         let engine = Arc::new(SerialEngine::new(EngineConfig {
             plan,
@@ -89,27 +68,38 @@ impl<T: Testbench> YieldProblem<T> {
         Self::with_engine(testbench, engine)
     }
 
-    /// Creates the yield problem dispatching through an explicit engine
-    /// (serial or parallel; the engine's configuration supplies the sampling
-    /// plan and master seed).
+    /// Creates the yield problem for a circuit testbench dispatching through
+    /// an explicit engine (serial or parallel; the engine's configuration
+    /// supplies the sampling plan and master seed).
     pub fn with_engine(testbench: T, engine: Arc<dyn EvalEngine>) -> Self {
-        let testbench = Arc::new(testbench);
-        let sampler = ProcessSampler::new(testbench.technology().clone(), testbench.num_devices());
-        let model = CircuitModel {
-            testbench: Arc::clone(&testbench),
-            sampler,
-        };
+        Self::from_bench(Arc::new(CircuitBench::new(testbench)), engine)
+    }
+
+    /// The underlying testbench.
+    pub fn testbench(&self) -> &T {
+        self.bench.testbench()
+    }
+
+    /// The process sampler matched to the testbench.
+    pub fn process_sampler(&self) -> &ProcessSampler {
+        self.bench.sampler()
+    }
+}
+
+impl<B: Benchmark + ?Sized> YieldProblem<B> {
+    /// Creates the yield problem over an arbitrary (possibly type-erased)
+    /// benchmark, dispatching through an explicit engine.
+    pub fn from_bench(bench: Arc<B>, engine: Arc<dyn EvalEngine>) -> Self {
         Self {
-            testbench,
-            model,
+            bench,
             acceptance: AcceptanceSampler::default(),
             engine,
         }
     }
 
-    /// The underlying testbench.
-    pub fn testbench(&self) -> &T {
-        &self.testbench
+    /// The benchmark under optimization.
+    pub fn bench(&self) -> &B {
+        &self.bench
     }
 
     /// The evaluation engine dispatching this problem's simulations.
@@ -128,7 +118,7 @@ impl<T: Testbench> YieldProblem<T> {
         self.engine.counter()
     }
 
-    /// Total number of circuit simulations spent so far.
+    /// Total number of simulations spent so far.
     pub fn simulations(&self) -> u64 {
         self.engine.simulations()
     }
@@ -140,19 +130,20 @@ impl<T: Testbench> YieldProblem<T> {
         self.engine.reset();
     }
 
-    /// Design-space bounds of the testbench.
+    /// Design-space bounds of the benchmark.
     pub fn bounds(&self) -> Vec<(f64, f64)> {
-        self.testbench.bounds()
+        self.bench.bounds()
     }
 
     /// Number of design variables.
     pub fn dimension(&self) -> usize {
-        self.testbench.dimension()
+        self.bench.dimension()
     }
 
-    /// The process sampler matched to the testbench.
-    pub fn process_sampler(&self) -> &ProcessSampler {
-        &self.model.sampler
+    /// The exact yield of design `x` when the benchmark admits a closed form
+    /// (synthetic analytic benchmarks; `None` for circuits).
+    pub fn true_yield(&self, x: &[f64]) -> Option<f64> {
+        self.bench.true_yield(x)
     }
 
     fn report_from_margins(&self, margins: Vec<f64>) -> FeasibilityReport {
@@ -165,8 +156,8 @@ impl<T: Testbench> YieldProblem<T> {
         }
     }
 
-    /// Nominal feasibility screen (costs one circuit simulation; repeats of
-    /// the same design are served from the engine cache for free).
+    /// Nominal feasibility screen (costs one simulation; repeats of the same
+    /// design are served from the engine cache for free).
     pub fn feasibility(&self, x: &[f64]) -> FeasibilityReport {
         self.feasibility_batch(std::slice::from_ref(&x.to_vec()))
             .pop()
@@ -177,26 +168,27 @@ impl<T: Testbench> YieldProblem<T> {
     /// the engine as one batch (parallel with a parallel engine).
     pub fn feasibility_batch(&self, xs: &[Vec<f64>]) -> Vec<FeasibilityReport> {
         self.engine
-            .nominal_batch(&self.model, xs)
+            .nominal_batch(self.bench.as_model(), xs)
             .into_iter()
             .map(|margins| self.report_from_margins(margins))
             .collect()
     }
 
     /// Monte-Carlo pass/fail outcomes `start .. start + count` of the sample
-    /// stream of sizing `x` (1.0 = all specs met). Fresh indices cost one
-    /// circuit simulation each; previously simulated indices are free.
+    /// stream of design `x` (1.0 = all specs met). Fresh indices cost one
+    /// simulation each; previously simulated indices are free.
     pub fn outcomes(&self, x: &[f64], start: usize, count: usize) -> Vec<f64> {
-        self.engine.mc_single(&self.model, x, start, count)
+        self.engine
+            .mc_single(self.bench.as_model(), x, start, count)
     }
 
     /// Batch variant of [`Self::outcomes`]: all requests are dispatched to
     /// the engine at once (one work-stealing batch with a parallel engine).
     pub fn outcomes_batch(&self, requests: &[McRequest]) -> Vec<Vec<f64>> {
-        self.engine.mc_outcomes(&self.model, requests)
+        self.engine.mc_outcomes(self.bench.as_model(), requests)
     }
 
-    /// Estimates the yield of sizing `x` from the first `n` samples of its
+    /// Estimates the yield of design `x` from the first `n` samples of its
     /// stream, honouring the acceptance-sampling screen: candidates rejected
     /// by the screen report zero yield without spending samples, deeply
     /// accepted candidates spend a reduced confirmation budget.
@@ -210,7 +202,7 @@ impl<T: Testbench> YieldProblem<T> {
         YieldEstimate::new(passes, outcomes.len())
     }
 
-    /// High-accuracy reference yield of sizing `x` (used to fill the
+    /// High-accuracy reference yield of design `x` (used to fill the
     /// "deviation from a 50 000-sample MC" columns of Tables 1 and 3).
     ///
     /// The samples spent here are *not* charged to the engine's counter and
@@ -218,7 +210,7 @@ impl<T: Testbench> YieldProblem<T> {
     /// independent measurement with its own RNG), not to the method under
     /// test.
     pub fn reference_yield<R: Rng + ?Sized>(&self, x: &[f64], n: usize, rng: &mut R) -> f64 {
-        let dim = self.model.sampler.dimension();
+        let dim = self.bench.unit_dimension();
         let plan = self.engine.config().plan;
         let mut passes = 0usize;
         // Generate in chunks to bound the memory of the LHS permutation.
@@ -228,9 +220,7 @@ impl<T: Testbench> YieldProblem<T> {
             let m = remaining.min(chunk);
             let points = plan.generate(rng, m, dim);
             for u in &points {
-                let xi = self.model.sampler.from_unit_point(u);
-                let perf = self.testbench.evaluate(x, &xi);
-                if self.testbench.specs().all_met(&perf) {
+                if self.bench.simulate_point(x, u) > 0.5 {
                     passes += 1;
                 }
             }
@@ -248,7 +238,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn problem() -> YieldProblem<FoldedCascode> {
+    fn problem() -> YieldProblem<CircuitBench<FoldedCascode>> {
         YieldProblem::new(FoldedCascode::new(), SamplingPlan::LatinHypercube)
     }
 
@@ -350,5 +340,22 @@ mod tests {
         assert_eq!(serial.feasibility(&x), parallel.feasibility(&x));
         assert_eq!(serial.outcomes(&x, 0, 120), parallel.outcomes(&x, 0, 120));
         assert_eq!(serial.simulations(), parallel.simulations());
+    }
+
+    #[test]
+    fn type_erased_problem_behaves_like_the_static_one() {
+        let erased: YieldProblem<dyn Benchmark> = YieldProblem::from_bench(
+            Arc::new(CircuitBench::new(FoldedCascode::new())),
+            Arc::new(SerialEngine::new(EngineConfig::default())),
+        );
+        let static_p = YieldProblem::with_engine(
+            FoldedCascode::new(),
+            Arc::new(SerialEngine::new(EngineConfig::default())),
+        );
+        let x = erased.bench().reference_design();
+        assert_eq!(erased.dimension(), static_p.dimension());
+        assert_eq!(erased.feasibility(&x), static_p.feasibility(&x));
+        assert_eq!(erased.outcomes(&x, 0, 40), static_p.outcomes(&x, 0, 40));
+        assert!(erased.true_yield(&x).is_none());
     }
 }

@@ -21,10 +21,10 @@
 //!
 //! [`EvalEngine`]: moheco_runtime::EvalEngine
 
+use crate::benchmark::Benchmark;
 use crate::candidate::{Candidate, Stage};
 use crate::config::MohecoConfig;
 use crate::problem::YieldProblem;
-use moheco_analog::Testbench;
 use moheco_ocba::sequential::{run_sequential_batched, SequentialConfig};
 use moheco_runtime::McRequest;
 use moheco_sampling::{AsDecision, YieldEstimate};
@@ -50,8 +50,8 @@ pub struct AllocationRecord {
 
 /// Estimates the yields of a generation of candidates with the two-stage
 /// OO scheme, updating the candidates in place.
-pub fn estimate_two_stage<T: Testbench>(
-    problem: &YieldProblem<T>,
+pub fn estimate_two_stage<B: Benchmark + ?Sized>(
+    problem: &YieldProblem<B>,
     candidates: &mut [Candidate],
     config: &MohecoConfig,
 ) -> AllocationRecord {
@@ -180,8 +180,8 @@ pub fn estimate_two_stage<T: Testbench>(
 /// Estimates the yields of a generation with the fixed-budget baseline
 /// (`sims` samples per feasible candidate, reduced for deeply accepted
 /// ones), dispatched to the engine as one batch.
-pub fn estimate_fixed_budget<T: Testbench>(
-    problem: &YieldProblem<T>,
+pub fn estimate_fixed_budget<B: Benchmark + ?Sized>(
+    problem: &YieldProblem<B>,
     candidates: &mut [Candidate],
     sims: usize,
 ) -> AllocationRecord {
@@ -212,7 +212,9 @@ mod tests {
     use moheco_analog::{FoldedCascode, Testbench};
     use moheco_sampling::SamplingPlan;
 
-    fn make_candidates(problem: &YieldProblem<FoldedCascode>) -> Vec<Candidate> {
+    fn make_candidates(
+        problem: &YieldProblem<crate::CircuitBench<FoldedCascode>>,
+    ) -> Vec<Candidate> {
         // Reference design (good), a starved variant (infeasible) and a
         // perturbed-but-feasible variant.
         let reference = problem.testbench().reference_design();

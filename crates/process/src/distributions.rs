@@ -175,75 +175,20 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 
 /// Inverse CDF (quantile function) of the standard normal distribution.
 ///
-/// Uses Acklam's rational approximation, accurate to about 1.15e-9 over the
-/// open interval (0, 1); inputs are clamped away from 0 and 1.
+/// Delegates to the canonical implementation in
+/// [`moheco_sampling::oracle::standard_normal_quantile`] (Acklam's rational
+/// approximation, |err| < 1.15e-9).
 pub fn standard_normal_inverse_cdf(p: f64) -> f64 {
-    let p = p.clamp(1e-15, 1.0 - 1e-15);
-
-    const A: [f64; 6] = [
-        -3.969683028665376e+01,
-        2.209460984245205e+02,
-        -2.759285104469687e+02,
-        1.38357751867269e+02,
-        -3.066479806614716e+01,
-        2.506628277459239e+00,
-    ];
-    const B: [f64; 5] = [
-        -5.447609879822406e+01,
-        1.615858368580409e+02,
-        -1.556989798598866e+02,
-        6.680131188771972e+01,
-        -1.328068155288572e+01,
-    ];
-    const C: [f64; 6] = [
-        -7.784894002430293e-03,
-        -3.223964580411365e-01,
-        -2.400758277161838e+00,
-        -2.549732539343734e+00,
-        4.374664141464968e+00,
-        2.938163982698783e+00,
-    ];
-    const D: [f64; 4] = [
-        7.784695709041462e-03,
-        3.224671290700398e-01,
-        2.445134137142996e+00,
-        3.754408661907416e+00,
-    ];
-    const P_LOW: f64 = 0.02425;
-    const P_HIGH: f64 = 1.0 - P_LOW;
-
-    if p < P_LOW {
-        let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    } else if p <= P_HIGH {
-        let q = p - 0.5;
-        let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
-    } else {
-        let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    }
+    moheco_sampling::oracle::standard_normal_quantile(p)
 }
 
-/// CDF of the standard normal distribution (via `erf`-free Abramowitz–Stegun
-/// style approximation built on the complementary error function expansion).
+/// CDF of the standard normal distribution.
+///
+/// Delegates to the canonical implementation in
+/// [`moheco_sampling::oracle::standard_normal_cdf`] (Abramowitz-Stegun
+/// 26.2.17, |err| < 7.5e-8).
 pub fn standard_normal_cdf(x: f64) -> f64 {
-    // Hart/West-style approximation via the logistic of a polynomial would be
-    // too crude; use the A&S 26.2.17 rational approximation (|err| < 7.5e-8).
-    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
-    let poly = t
-        * (0.319381530
-            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
-    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
-    let tail = pdf * poly;
-    if x >= 0.0 {
-        1.0 - tail
-    } else {
-        tail
-    }
+    moheco_sampling::oracle::standard_normal_cdf(x)
 }
 
 #[cfg(test)]

@@ -32,6 +32,34 @@ impl Technology {
         self.inter_die.len()
     }
 
+    /// Returns a copy of the technology with every statistical standard
+    /// deviation — inter-die sigmas and Pelgrom mismatch coefficients —
+    /// multiplied by `scale`, and `(xN.NN)` appended to the name.
+    ///
+    /// This models a harsher (`scale > 1`) or milder (`scale < 1`) process
+    /// corner than the nominal characterisation; the corner-parameterized
+    /// benchmark builders in `moheco-analog` use it to turn each circuit into
+    /// a family of scenarios of graded difficulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn with_sigma_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "sigma scale must be positive and finite"
+        );
+        for p in &mut self.inter_die {
+            p.sigma *= scale;
+        }
+        self.mismatch.a_vth *= scale;
+        self.mismatch.a_tox_rel *= scale;
+        self.mismatch.a_ld *= scale;
+        self.mismatch.a_wd *= scale;
+        self.name = format!("{}(x{:.2})", self.name, scale);
+        self
+    }
+
     /// Total number of statistical variables for a circuit with
     /// `num_devices` transistors (four mismatch variables per device).
     pub fn num_variables(&self, num_devices: usize) -> usize {
@@ -214,5 +242,26 @@ mod tests {
     fn nanometre_node_has_smaller_mismatch_coefficient() {
         assert!(tech_90nm().mismatch.a_vth < tech_035um().mismatch.a_vth);
         assert!(tech_90nm().l_min < tech_035um().l_min);
+    }
+
+    #[test]
+    fn sigma_scale_multiplies_every_spread() {
+        let base = tech_035um();
+        let harsh = tech_035um().with_sigma_scale(1.5);
+        for (b, h) in base.inter_die.iter().zip(&harsh.inter_die) {
+            assert!((h.sigma - 1.5 * b.sigma).abs() < 1e-15 * b.sigma.max(1.0));
+        }
+        assert!((harsh.mismatch.a_vth - 1.5 * base.mismatch.a_vth).abs() < 1e-12);
+        assert!((harsh.mismatch.a_ld - 1.5 * base.mismatch.a_ld).abs() < 1e-20);
+        assert!(harsh.name.contains("x1.50"));
+        // Structure (dimension, nominal values) is unchanged.
+        assert_eq!(harsh.num_inter_die(), base.num_inter_die());
+        assert_eq!(harsh.vdd, base.vdd);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sigma_scale_panics() {
+        let _ = tech_035um().with_sigma_scale(0.0);
     }
 }

@@ -133,27 +133,35 @@ impl EngineStatsSnapshot {
         }
     }
 
+    /// Stable `(name, value)` pairs of every counter field, in schema order.
+    ///
+    /// This is the single source of the snapshot's serialized shape: both
+    /// [`Self::to_json`] and the `moheco-run` result schema (which embeds
+    /// the counters under an `engine_` prefix) are generated from it, so the
+    /// two can never drift apart silently.
+    pub fn counter_fields(&self) -> [(&'static str, u64); 9] {
+        [
+            ("simulations_run", self.simulations_run),
+            ("mc_samples_served", self.mc_samples_served),
+            ("nominal_served", self.nominal_served),
+            ("cache_hits", self.cache_hits),
+            ("batches", self.batches),
+            ("mc_batches", self.mc_batches),
+            ("tasks", self.tasks),
+            ("max_batch_samples", self.max_batch_samples),
+            ("busy_nanos", self.busy_nanos),
+        ]
+    }
+
     /// Renders the snapshot as a single JSON object (no external
     /// serialization crates are available in this build environment).
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"simulations_run\":{},\"mc_samples_served\":{},",
-                "\"nominal_served\":{},\"cache_hits\":{},\"batches\":{},",
-                "\"mc_batches\":{},\"tasks\":{},\"max_batch_samples\":{},",
-                "\"busy_nanos\":{},\"hit_rate\":{:.6}}}"
-            ),
-            self.simulations_run,
-            self.mc_samples_served,
-            self.nominal_served,
-            self.cache_hits,
-            self.batches,
-            self.mc_batches,
-            self.tasks,
-            self.max_batch_samples,
-            self.busy_nanos,
-            self.hit_rate(),
-        )
+        let mut out = String::from("{");
+        for (name, value) in self.counter_fields() {
+            out.push_str(&format!("\"{name}\":{value},"));
+        }
+        out.push_str(&format!("\"hit_rate\":{:.6}}}", self.hit_rate()));
+        out
     }
 }
 
@@ -205,6 +213,20 @@ mod tests {
         let json = stats.snapshot().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"mc_samples_served\":4"));
+    }
+
+    #[test]
+    fn counter_fields_and_json_share_one_schema() {
+        let stats = EngineStats::new();
+        stats.record_mc_batch(4, 1, 10);
+        let snap = stats.snapshot();
+        let json = snap.to_json();
+        for (name, value) in snap.counter_fields() {
+            assert!(
+                json.contains(&format!("\"{name}\":{value}")),
+                "field {name} missing from {json}"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   sampling for candidates far from the acceptance-region border.
 //! * [`yield_est`] — the Bernoulli yield estimator, standard errors and
 //!   Wilson confidence intervals.
+//! * [`oracle`] — closed-form yield oracles for analytic benchmarks (and the
+//!   canonical standard-normal CDF / quantile approximations).
 //! * [`stream`] — reproducible RNG streams and the shared simulation counter
 //!   used to fill Tables 2 and 4.
 //!
@@ -31,10 +33,14 @@
 
 pub mod acceptance;
 pub mod lhs;
+pub mod oracle;
 pub mod stream;
 pub mod yield_est;
 
 pub use acceptance::{AcceptanceSampler, AsDecision};
 pub use lhs::{latin_hypercube, primitive_monte_carlo, SamplingPlan};
+pub use oracle::{
+    gaussian_margin_yield, independent_margins_yield, standard_normal_cdf, standard_normal_quantile,
+};
 pub use stream::{splitmix64, RngStreams, SimulationCounter};
 pub use yield_est::{deviation_pp, estimate_yield, YieldEstimate};

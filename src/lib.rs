@@ -7,7 +7,10 @@
 //! * [`moheco`] — the MOHECO yield optimizer and its baselines.
 //! * [`moheco_analog`] — the two benchmark amplifiers of the paper.
 //! * [`moheco_process`] — statistical process models (0.35 µm and 90 nm).
-//! * [`moheco_sampling`] — Monte-Carlo / LHS / acceptance-sampling machinery.
+//! * [`moheco_sampling`] — Monte-Carlo / LHS / acceptance-sampling machinery
+//!   and the closed-form yield oracles.
+//! * [`moheco_scenarios`] — the scenario registry: corner-parameterized
+//!   circuits plus synthetic analytic benchmarks with exact yields.
 //! * [`moheco_ocba`] — ordinal optimization and computing-budget allocation.
 //! * [`moheco_optim`] — DE, Nelder–Mead, memetic coupling and baselines.
 //! * [`moheco_surrogate`] — the §3.4 response-surface and PSWCD baselines.
@@ -25,5 +28,6 @@ pub use moheco_optim;
 pub use moheco_process;
 pub use moheco_runtime;
 pub use moheco_sampling;
+pub use moheco_scenarios;
 pub use moheco_surrogate;
 pub use spicelite;

@@ -6,20 +6,20 @@
 //! not depend on execution order.
 
 use moheco::runtime::{EngineConfig, ParallelEngine, SerialEngine};
-use moheco::{Candidate, MohecoConfig, RunResult, YieldOptimizer, YieldProblem};
+use moheco::{Candidate, CircuitBench, MohecoConfig, RunResult, YieldOptimizer, YieldProblem};
 use moheco_analog::{FoldedCascode, Testbench};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-fn serial_problem(seed: u64) -> YieldProblem<FoldedCascode> {
+fn serial_problem(seed: u64) -> YieldProblem<CircuitBench<FoldedCascode>> {
     YieldProblem::with_engine(
         FoldedCascode::new(),
         Arc::new(SerialEngine::new(EngineConfig::default().with_seed(seed))),
     )
 }
 
-fn parallel_problem(seed: u64, workers: usize) -> YieldProblem<FoldedCascode> {
+fn parallel_problem(seed: u64, workers: usize) -> YieldProblem<CircuitBench<FoldedCascode>> {
     YieldProblem::with_engine(
         FoldedCascode::new(),
         Arc::new(ParallelEngine::new(
@@ -44,7 +44,7 @@ fn tiny() -> MohecoConfig {
     }
 }
 
-fn run(problem: &YieldProblem<FoldedCascode>, rng_seed: u64) -> RunResult {
+fn run(problem: &YieldProblem<CircuitBench<FoldedCascode>>, rng_seed: u64) -> RunResult {
     let optimizer = YieldOptimizer::new(tiny());
     let mut rng = StdRng::seed_from_u64(rng_seed);
     optimizer.run(problem, &mut rng)
@@ -58,7 +58,7 @@ fn parallel_and_serial_yield_estimates_are_identical() {
 
     // A small generation of candidates of varying quality.
     let currents = [130.0, 145.0, 160.0, 172.0, 55.0];
-    let build = |problem: &YieldProblem<FoldedCascode>| -> Vec<Candidate> {
+    let build = |problem: &YieldProblem<CircuitBench<FoldedCascode>>| -> Vec<Candidate> {
         currents
             .iter()
             .map(|&i| {
