@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage]
-//!            [--budget tiny|small|paper] [--seed N] [--parallel]
-//!            [--out-dir DIR] [--baseline-dir DIR] [--list]
+//!            [--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is]
+//!            [--seed N] [--parallel] [--out-dir DIR] [--baseline-dir DIR]
+//!            [--list]
 //! ```
 //!
 //! Every selected scenario is executed through the evaluation engine and
@@ -16,14 +17,16 @@
 //! `scenario-smoke` job.
 
 use moheco_bench::results::compare_results;
-use moheco_bench::{run_scenario, Algo, BudgetClass, CliArgs};
+use moheco_bench::{run_scenario_with, Algo, BudgetClass, CliArgs};
+use moheco_sampling::EstimatorKind;
 use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage] \
-[--budget tiny|small|paper] [--seed N] [--parallel] [--out-dir DIR] [--baseline-dir DIR] [--list]";
+[--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is] [--seed N] [--parallel] \
+[--out-dir DIR] [--baseline-dir DIR] [--list]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
             "--scenario",
             "--algo",
             "--budget",
+            "--estimator",
             "--seed",
             "--out-dir",
             "--baseline-dir",
@@ -93,6 +97,18 @@ fn main() -> ExitCode {
             None => return fail(&format!("unknown budget {v:?}")),
         },
     };
+    let estimator = match args.value_of("--estimator") {
+        Err(e) => return fail(&e),
+        Ok(None) => EstimatorKind::default(),
+        Ok(Some(v)) => match EstimatorKind::parse(v) {
+            Some(k) => k,
+            None => {
+                return fail(&format!(
+                    "unknown estimator {v:?}; expected mc, lhs, antithetic or is"
+                ))
+            }
+        },
+    };
     let seed = match args.u64_of("--seed", 1) {
         Ok(s) => s,
         Err(e) => return fail(&e),
@@ -112,10 +128,11 @@ fn main() -> ExitCode {
     let engine_kind = args.engine_kind();
     let mut failures: Vec<String> = Vec::new();
     eprintln!(
-        "moheco-run: {} scenario(s), algo {}, budget {}, seed {seed}, {} engine",
+        "moheco-run: {} scenario(s), algo {}, budget {}, estimator {}, seed {seed}, {} engine",
         scenarios.len(),
         algo.label(),
         budget.label(),
+        estimator.label(),
         if args.has("--parallel") {
             "parallel"
         } else {
@@ -124,7 +141,14 @@ fn main() -> ExitCode {
     );
 
     for scenario in &scenarios {
-        let result = run_scenario(scenario.as_ref(), algo, budget, seed, engine_kind);
+        let result = run_scenario_with(
+            scenario.as_ref(),
+            algo,
+            budget,
+            seed,
+            engine_kind,
+            estimator,
+        );
         let json = result.to_json();
         let path = Path::new(&out_dir).join(result.file_name());
         if let Err(e) = std::fs::write(&path, &json) {
@@ -135,9 +159,10 @@ fn main() -> ExitCode {
         match &baseline_dir {
             None => {
                 println!(
-                    "{}: yield {:.4}{} sims {} cache {:.0}% gens {} ({:.0} ms) -> {}",
+                    "{}: yield {:.4} ±{:.4}{} sims {} cache {:.0}% gens {} ({:.0} ms) -> {}",
                     result.scenario,
                     result.best_yield,
+                    result.ci_half_width,
                     result
                         .true_yield
                         .map(|t| format!(" (truth {t:.4})"))

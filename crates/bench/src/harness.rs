@@ -2,7 +2,7 @@
 //!
 //! [`run_scenario`] executes one (scenario, algorithm, budget, seed, engine)
 //! combination through the PR-1 evaluation engine and condenses it into one
-//! [`ScenarioResult`](crate::results::ScenarioResult). Four algorithms are
+//! [`ScenarioResult`]. Four algorithms are
 //! exposed:
 //!
 //! * `memetic` — full MOHECO (two-stage OO estimation + DE/NM search);
@@ -19,6 +19,7 @@ use moheco_optim::de::{DeConfig, DifferentialEvolution};
 use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
 use moheco_optim::problem::{Evaluation, Problem};
 use moheco_optim::result::OptimizationResult;
+use moheco_sampling::{EstimatorKind, Z_95};
 use moheco_scenarios::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -174,7 +175,8 @@ impl Problem for YieldSearchProblem<'_> {
 }
 
 /// Executes one scenario with one algorithm and condenses the run into the
-/// machine-readable result record.
+/// machine-readable result record ([`run_scenario_with`] with the default
+/// plain Monte-Carlo estimator).
 pub fn run_scenario(
     scenario: &dyn Scenario,
     algo: Algo,
@@ -182,83 +184,115 @@ pub fn run_scenario(
     seed: u64,
     engine_kind: EngineKind,
 ) -> ScenarioResult {
-    let engine = engine_kind.build_seeded(seed);
+    run_scenario_with(
+        scenario,
+        algo,
+        budget,
+        seed,
+        engine_kind,
+        EstimatorKind::default(),
+    )
+}
+
+/// Executes one scenario with one algorithm and an explicit
+/// variance-reduction estimator, condensing the run into the
+/// machine-readable result record (including the estimator's 95 % CI
+/// half-width for the final yield estimate).
+pub fn run_scenario_with(
+    scenario: &dyn Scenario,
+    algo: Algo,
+    budget: BudgetClass,
+    seed: u64,
+    engine_kind: EngineKind,
+    estimator: EstimatorKind,
+) -> ScenarioResult {
+    let engine = engine_kind.build_configured(seed, estimator);
     let problem = scenario.build(engine);
     let config = budget.config();
     let started = Instant::now();
 
-    let (best_x, best_yield, feasible, generations, local_searches, digest) = match algo {
-        Algo::Memetic | Algo::TwoStage => {
-            let config = if algo == Algo::Memetic {
-                MohecoConfig {
-                    memetic_enabled: true,
-                    strategy: YieldStrategy::TwoStageOo,
-                    ..config
-                }
-            } else {
-                config.as_oo_without_memetic()
-            };
-            let optimizer = YieldOptimizer::new(config);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let result = optimizer.run_from(&problem, &scenario.warm_start(), &mut rng);
-            let digest = trace_digest(
-                result
-                    .trace
-                    .records
-                    .iter()
-                    .flat_map(|r| [r.best_yield, r.simulations_so_far as f64]),
-            );
-            let feasible = problem.feasibility(&result.best_x).is_feasible();
-            (
-                result.best_x,
-                result.reported_yield,
-                feasible,
-                result.generations,
-                result.local_searches,
-                digest,
-            )
-        }
-        Algo::De | Algo::Ga => {
-            let mut search = YieldSearchProblem {
-                problem: &problem,
-                samples: budget.fixed_sims(),
-            };
-            let mut rng = StdRng::seed_from_u64(seed);
-            let result: OptimizationResult = if algo == Algo::De {
-                DifferentialEvolution::new(DeConfig {
-                    population_size: config.population_size,
-                    f: config.de_f,
-                    cr: config.de_cr,
-                    max_generations: config.max_generations,
-                    stagnation_limit: Some(config.stop_stagnation),
-                    target_objective: None,
-                    ..DeConfig::default()
-                })
-                .run(&mut search, &mut rng)
-            } else {
-                GeneticAlgorithm::new(GaConfig {
-                    population_size: config.population_size,
-                    max_generations: config.max_generations,
-                    stagnation_limit: Some(config.stop_stagnation),
-                    target_objective: None,
-                    ..GaConfig::default()
-                })
-                .run(&mut search, &mut rng)
-            };
-            let digest = trace_digest(result.history.iter().copied());
-            let best_x = result.best.x.clone();
-            // Final report at the accurate n_max budget, like the MOHECO
-            // variants (served partly from the engine cache).
-            let rep = problem.feasibility(&best_x);
-            let (best_yield, feasible) = if rep.is_feasible() {
-                let est = problem.estimate_yield(&best_x, config.n_max, rep.decision);
-                (est.value(), true)
-            } else {
-                (0.0, false)
-            };
-            (best_x, best_yield, feasible, result.generations, 0, digest)
-        }
-    };
+    let (best_x, best_yield, ci_half_width, feasible, generations, local_searches, digest) =
+        match algo {
+            Algo::Memetic | Algo::TwoStage => {
+                let config = if algo == Algo::Memetic {
+                    MohecoConfig {
+                        memetic_enabled: true,
+                        strategy: YieldStrategy::TwoStageOo,
+                        ..config
+                    }
+                } else {
+                    config.as_oo_without_memetic()
+                };
+                let optimizer = YieldOptimizer::new(config);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let result = optimizer.run_from(&problem, &scenario.warm_start(), &mut rng);
+                let digest = trace_digest(
+                    result
+                        .trace
+                        .records
+                        .iter()
+                        .flat_map(|r| [r.best_yield, r.simulations_so_far as f64]),
+                );
+                let feasible = problem.feasibility(&result.best_x).is_feasible();
+                (
+                    result.best_x,
+                    result.reported_yield,
+                    result.best_report.half_width(Z_95),
+                    feasible,
+                    result.generations,
+                    result.local_searches,
+                    digest,
+                )
+            }
+            Algo::De | Algo::Ga => {
+                let mut search = YieldSearchProblem {
+                    problem: &problem,
+                    samples: budget.fixed_sims(),
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let result: OptimizationResult = if algo == Algo::De {
+                    DifferentialEvolution::new(DeConfig {
+                        population_size: config.population_size,
+                        f: config.de_f,
+                        cr: config.de_cr,
+                        max_generations: config.max_generations,
+                        stagnation_limit: Some(config.stop_stagnation),
+                        target_objective: None,
+                        ..DeConfig::default()
+                    })
+                    .run(&mut search, &mut rng)
+                } else {
+                    GeneticAlgorithm::new(GaConfig {
+                        population_size: config.population_size,
+                        max_generations: config.max_generations,
+                        stagnation_limit: Some(config.stop_stagnation),
+                        target_objective: None,
+                        ..GaConfig::default()
+                    })
+                    .run(&mut search, &mut rng)
+                };
+                let digest = trace_digest(result.history.iter().copied());
+                let best_x = result.best.x.clone();
+                // Final report at the accurate n_max budget, like the MOHECO
+                // variants (served partly from the engine cache).
+                let rep = problem.feasibility(&best_x);
+                let (best_yield, ci, feasible) = if rep.is_feasible() {
+                    let est = problem.estimate_with_ci(&best_x, config.n_max, rep.decision);
+                    (est.value, est.half_width(Z_95), true)
+                } else {
+                    (0.0, 0.0, false)
+                };
+                (
+                    best_x,
+                    best_yield,
+                    ci,
+                    feasible,
+                    result.generations,
+                    0,
+                    digest,
+                )
+            }
+        };
 
     let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
     let true_yield = problem.true_yield(&best_x);
@@ -271,11 +305,13 @@ pub fn run_scenario(
             EngineKind::Serial => "serial".to_string(),
             EngineKind::Parallel => "parallel".to_string(),
         },
+        estimator: estimator.label().to_string(),
         seed,
         dimension: bench.dimension() as u64,
         statistical_dimension: bench.unit_dimension() as u64,
         feasible,
         best_yield,
+        ci_half_width,
         true_yield,
         true_yield_abs_error: true_yield.map(|t| (best_yield - t).abs()),
         simulations: problem.simulations(),

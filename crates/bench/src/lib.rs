@@ -13,13 +13,13 @@ pub mod harness;
 pub mod results;
 
 pub use cli::CliArgs;
-pub use harness::{run_scenario, Algo, BudgetClass};
+pub use harness::{run_scenario, run_scenario_with, Algo, BudgetClass};
 
 use moheco::{CircuitBench, MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};
 use moheco_analog::Testbench;
 use moheco_optim::problem::{Evaluation, Problem};
 use moheco_runtime::{EngineConfig, EvalEngine, ParallelEngine, SerialEngine, SimulationModel};
-use moheco_sampling::SamplingPlan;
+use moheco_sampling::{EstimatorKind, SamplingPlan};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -38,7 +38,7 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// Builds a fresh engine of this kind with the default configuration
-    /// (LHS sampling, default master seed).
+    /// (LHS sampling, default master seed, plain Monte-Carlo estimator).
     pub fn build(self) -> Arc<dyn EvalEngine> {
         self.build_seeded(EngineConfig::default().seed)
     }
@@ -49,9 +49,16 @@ impl EngineKind {
     /// Monte-Carlo sample streams are independent — otherwise the multi-run
     /// statistics of Tables 1-4 would understate the estimator variance.
     pub fn build_seeded(self, seed: u64) -> Arc<dyn EvalEngine> {
+        self.build_configured(seed, EstimatorKind::default())
+    }
+
+    /// [`Self::build_seeded`] with an explicit variance-reduction estimator
+    /// (`moheco-run --estimator`).
+    pub fn build_configured(self, seed: u64, estimator: EstimatorKind) -> Arc<dyn EvalEngine> {
         let config = EngineConfig {
             plan: SamplingPlan::LatinHypercube,
             seed,
+            estimator,
             ..EngineConfig::default()
         };
         match self {

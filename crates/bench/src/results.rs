@@ -31,7 +31,10 @@ use std::fmt::Write as _;
 
 /// Version of the result schema; bump when a field is added, removed or
 /// re-interpreted (and regenerate `baselines/`).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `estimator` identity field and the `ci_half_width` outcome
+/// field (the pluggable variance-reduction estimator layer).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Maximum allowed absolute deviation of `best_yield` from the committed
 /// baseline (5 percentage points, per the CI gating policy).
@@ -48,6 +51,8 @@ pub struct ScenarioResult {
     pub budget: String,
     /// Engine label (`serial`, `parallel`).
     pub engine: String,
+    /// Variance-reduction estimator label (`mc`, `lhs`, `antithetic`, `is`).
+    pub estimator: String,
     /// Master seed of the run.
     pub seed: u64,
     /// Number of design variables.
@@ -58,6 +63,10 @@ pub struct ScenarioResult {
     pub feasible: bool,
     /// Reported yield of the best design.
     pub best_yield: f64,
+    /// 95 % confidence-interval half-width of the final yield estimate,
+    /// computed with the estimator's own variance formula (0 when no
+    /// feasible design was found).
+    pub ci_half_width: f64,
     /// Closed-form true yield of the best design (synthetic scenarios).
     pub true_yield: Option<f64>,
     /// `|best_yield - true_yield|`, when the truth is known.
@@ -102,6 +111,7 @@ impl ScenarioResult {
         field("algo", format!("\"{}\"", self.algo));
         field("budget", format!("\"{}\"", self.budget));
         field("engine", format!("\"{}\"", self.engine));
+        field("estimator", format!("\"{}\"", self.estimator));
         field("seed", self.seed.to_string());
         field("dimension", self.dimension.to_string());
         field(
@@ -110,6 +120,7 @@ impl ScenarioResult {
         );
         field("feasible", self.feasible.to_string());
         field("best_yield", fmt_f64(self.best_yield));
+        field("ci_half_width", fmt_f64(self.ci_half_width));
         field("true_yield", fmt_opt(self.true_yield));
         field("true_yield_abs_error", fmt_opt(self.true_yield_abs_error));
         field("simulations", self.simulations.to_string());
@@ -296,12 +307,13 @@ impl BaselineComparison {
 /// Fields that must match the baseline exactly (run identity; the schema
 /// version is included so a version bump always forces a deliberate
 /// baseline regeneration, even when the key set happens not to change).
-const IDENTITY_FIELDS: [&str; 6] = [
+const IDENTITY_FIELDS: [&str; 7] = [
     "schema_version",
     "scenario",
     "algo",
     "budget",
     "engine",
+    "estimator",
     "seed",
 ];
 
@@ -409,11 +421,13 @@ mod tests {
             algo: "memetic".into(),
             budget: "small".into(),
             engine: "serial".into(),
+            estimator: "mc".into(),
             seed: 1,
             dimension: 4,
             statistical_dimension: 1,
             feasible: true,
             best_yield: 0.8725,
+            ci_half_width: 0.0456,
             true_yield: Some(0.871),
             true_yield_abs_error: Some(0.0015),
             simulations: 1234,
@@ -433,6 +447,8 @@ mod tests {
         assert_eq!(parsed.str("scenario"), Some("margin_wall"));
         assert_eq!(parsed.num("schema_version"), Some(SCHEMA_VERSION as f64));
         assert_eq!(parsed.num("best_yield"), Some(0.8725));
+        assert_eq!(parsed.str("estimator"), Some("mc"));
+        assert_eq!(parsed.num("ci_half_width"), Some(0.0456));
         assert_eq!(parsed.num("true_yield"), Some(0.871));
         assert_eq!(parsed.num("simulations"), Some(1234.0));
         assert_eq!(parsed.values.get("feasible"), Some(&JsonValue::Bool(true)));
@@ -503,6 +519,13 @@ mod tests {
         let cmp = compare_results(&baseline.to_json(), &other.to_json());
         assert!(!cmp.passed());
         assert!(cmp.failures.iter().any(|f| f.contains("seed")));
+        // The estimator is part of the run identity: an lhs result can never
+        // silently replace an mc baseline.
+        let mut lhs = sample_result();
+        lhs.estimator = "lhs".into();
+        let cmp = compare_results(&baseline.to_json(), &lhs.to_json());
+        assert!(!cmp.passed());
+        assert!(cmp.failures.iter().any(|f| f.contains("estimator")));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use moheco_optim::nelder_mead::{nelder_mead, NelderMeadConfig};
 use moheco_optim::population::{Individual, Population};
 use moheco_optim::problem::{random_point, Evaluation};
 use moheco_runtime::EngineStatsSnapshot;
-use moheco_sampling::YieldEstimate;
+use moheco_sampling::{EstimatedYield, YieldEstimate};
 use rand::Rng;
 
 /// Result of one yield-optimization run.
@@ -36,6 +36,11 @@ pub struct RunResult {
     pub best_x: Vec<f64>,
     /// The reported yield of the best sizing (stage-2 / `n_max`-sample estimate).
     pub reported_yield: f64,
+    /// The best sizing's final estimate under the problem's configured
+    /// variance-reduction estimator: point estimate plus standard error /
+    /// CI half-width. Empty (zero samples) when no feasible design was
+    /// found. `best_report.value` equals [`Self::reported_yield`].
+    pub best_report: EstimatedYield,
     /// Total number of circuit simulations consumed by the run.
     pub total_simulations: u64,
     /// Number of generations executed.
@@ -235,15 +240,23 @@ impl YieldOptimizer {
         if best.feasible && best.estimate.samples < cfg.n_max {
             let missing = cfg.n_max - best.estimate.samples;
             let outcomes = problem.outcomes(&best.x, best.estimate.samples, missing);
-            let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
-            best.estimate = best
-                .estimate
-                .merge(&YieldEstimate::new(passes, outcomes.len()));
+            best.estimate = best.estimate.merge(&YieldEstimate::from_sum(
+                outcomes.iter().sum(),
+                outcomes.len(),
+            ));
         }
+        // Uncertainty of the final estimate under the configured estimator;
+        // the samples were all fetched above, so this is pure cache traffic.
+        let best_report = if best.feasible {
+            problem.report_first(&best.x, best.estimate.samples)
+        } else {
+            EstimatedYield::empty(problem.estimator())
+        };
 
         RunResult {
             best_x: best.x.clone(),
             reported_yield: best.yield_value(),
+            best_report,
             total_simulations: problem.simulations() - sims_at_start,
             generations,
             local_searches,

@@ -27,7 +27,8 @@ use moheco_analog::Testbench;
 use moheco_process::ProcessSampler;
 use moheco_runtime::{EngineConfig, EvalEngine, McRequest, SerialEngine};
 use moheco_sampling::{
-    AcceptanceSampler, AsDecision, SamplingPlan, SimulationCounter, YieldEstimate,
+    AcceptanceSampler, AsDecision, EstimatedYield, EstimatorKind, SamplingPlan, SimulationCounter,
+    YieldEstimate,
 };
 use rand::Rng;
 use std::sync::Arc;
@@ -61,8 +62,18 @@ impl<T: Testbench> YieldProblem<CircuitBench<T>> {
     /// Creates the yield problem for a circuit `testbench` with the given
     /// sampling plan, dispatching through a fresh [`SerialEngine`].
     pub fn new(testbench: T, plan: SamplingPlan) -> Self {
+        Self::with_estimator(testbench, plan, EstimatorKind::default())
+    }
+
+    /// [`Self::new`] with an explicit variance-reduction estimator: the
+    /// fresh engine's sample streams are shaped by `estimator` and
+    /// [`Self::estimate_with_ci`] condenses them with its variance formula.
+    /// The default kind ([`EstimatorKind::MonteCarlo`]) is bit-identical to
+    /// [`Self::new`].
+    pub fn with_estimator(testbench: T, plan: SamplingPlan, estimator: EstimatorKind) -> Self {
         let engine = Arc::new(SerialEngine::new(EngineConfig {
             plan,
+            estimator,
             ..EngineConfig::default()
         }));
         Self::with_engine(testbench, engine)
@@ -188,18 +199,51 @@ impl<B: Benchmark + ?Sized> YieldProblem<B> {
         self.engine.mc_outcomes(self.bench.as_model(), requests)
     }
 
+    /// The variance-reduction estimator shaping this problem's sample
+    /// streams (configured on the engine; [`EstimatorKind::MonteCarlo`] by
+    /// default).
+    pub fn estimator(&self) -> EstimatorKind {
+        self.engine.config().estimator
+    }
+
     /// Estimates the yield of design `x` from the first `n` samples of its
     /// stream, honouring the acceptance-sampling screen: candidates rejected
     /// by the screen report zero yield without spending samples, deeply
     /// accepted candidates spend a reduced confirmation budget.
+    ///
+    /// Outcome values are the engine's per-sample yield contributions, so
+    /// the returned estimate is unbiased under every configured estimator
+    /// (including importance sampling, whose raw pass fraction would be
+    /// biased). For an estimate with an uncertainty interval, see
+    /// [`Self::estimate_with_ci`].
     pub fn estimate_yield(&self, x: &[f64], n: usize, decision: AsDecision) -> YieldEstimate {
         let budget = self.acceptance.budget_for(decision, n);
         if budget == 0 {
             return YieldEstimate::default();
         }
         let outcomes = self.outcomes(x, 0, budget);
-        let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
-        YieldEstimate::new(passes, outcomes.len())
+        YieldEstimate::from_sum(outcomes.iter().sum(), outcomes.len())
+    }
+
+    /// Estimates the yield of design `x` with the configured estimator's own
+    /// variance formula, returning the point estimate *and* its standard
+    /// error (see [`EstimatedYield::half_width`] for the CI half-width). The
+    /// acceptance-sampling screen applies exactly as in
+    /// [`Self::estimate_yield`].
+    pub fn estimate_with_ci(&self, x: &[f64], n: usize, decision: AsDecision) -> EstimatedYield {
+        self.report_first(x, self.acceptance.budget_for(decision, n))
+    }
+
+    /// Condenses outcome values `0 .. n` of design `x`'s stream with the
+    /// configured estimator (no acceptance-sampling budget adjustment).
+    /// Samples already simulated are served from the engine cache, so
+    /// re-reporting an estimated design costs no simulations.
+    pub fn report_first(&self, x: &[f64], n: usize) -> EstimatedYield {
+        if n == 0 {
+            return EstimatedYield::empty(self.estimator());
+        }
+        let outcomes = self.outcomes(x, 0, n);
+        self.engine.estimate(&outcomes)
     }
 
     /// High-accuracy reference yield of design `x` (used to fill the
@@ -340,6 +384,43 @@ mod tests {
         assert_eq!(serial.feasibility(&x), parallel.feasibility(&x));
         assert_eq!(serial.outcomes(&x, 0, 120), parallel.outcomes(&x, 0, 120));
         assert_eq!(serial.simulations(), parallel.simulations());
+    }
+
+    #[test]
+    fn default_estimator_is_plain_monte_carlo() {
+        let p = problem();
+        assert_eq!(p.estimator(), moheco_sampling::EstimatorKind::MonteCarlo);
+        let x = p.testbench().reference_design();
+        let rep = p.feasibility(&x);
+        let est = p.estimate_yield(&x, 60, rep.decision);
+        let ci = p.estimate_with_ci(&x, 60, rep.decision);
+        // Same samples, same value; the CI report adds only the uncertainty.
+        assert_eq!(ci.samples, est.samples);
+        assert!((ci.value - est.value()).abs() < 1e-12);
+        assert!(ci.std_error > 0.0 || est.value() == 1.0 || est.value() == 0.0);
+        // The report reads cached samples: no extra simulations.
+        let sims = p.simulations();
+        let _ = p.report_first(&x, est.samples);
+        assert_eq!(p.simulations(), sims);
+        // A zero-sample report is empty.
+        assert_eq!(p.report_first(&x, 0).samples, 0);
+    }
+
+    #[test]
+    fn estimator_choice_threads_through_the_problem() {
+        use moheco_sampling::EstimatorKind;
+        let p = YieldProblem::with_estimator(
+            FoldedCascode::new(),
+            SamplingPlan::LatinHypercube,
+            EstimatorKind::Antithetic,
+        );
+        assert_eq!(p.estimator(), EstimatorKind::Antithetic);
+        let x = p.testbench().reference_design();
+        let rep = p.feasibility(&x);
+        let ci = p.estimate_with_ci(&x, 100, rep.decision);
+        assert_eq!(ci.kind, EstimatorKind::Antithetic);
+        assert!(ci.samples > 0);
+        assert!((0.0..=1.0).contains(&ci.value));
     }
 
     #[test]

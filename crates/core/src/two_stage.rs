@@ -78,10 +78,10 @@ pub fn estimate_two_stage<B: Benchmark + ?Sized>(
             let start = candidates[i].estimate.samples;
             let take = config.sim_ave.min(config.n_max.saturating_sub(start));
             let outcomes = problem.outcomes(&candidates[i].x, start, take);
-            let passes = outcomes.iter().filter(|&&o| o > 0.5).count();
-            candidates[i].estimate = candidates[i]
-                .estimate
-                .merge(&YieldEstimate::new(passes, outcomes.len()));
+            candidates[i].estimate = candidates[i].estimate.merge(&YieldEstimate::from_sum(
+                outcomes.iter().sum(),
+                outcomes.len(),
+            ));
             record.samples[i] = outcomes.len();
             record.total += outcomes.len();
         }
@@ -123,13 +123,20 @@ pub fn estimate_two_stage<B: Benchmark + ?Sized>(
                 problem.outcomes_batch(&requests)
             })
             .expect("at least two designs");
+            // The sequential loop reports Welford means; reconstruct each
+            // design's outcome sum from them. Binary estimators round the
+            // product back to the exact integer pass count (undoing Welford
+            // rounding noise, which keeps default runs bit-identical to the
+            // pre-estimator behaviour); weighted estimators keep the raw
+            // fractional sum of their likelihood-weighted contributions.
+            let weighted = problem.estimator().weighted_outcomes();
             for (k, &i) in feasible_idx.iter().enumerate() {
                 let stats = &outcome.stats[k];
-                let passes = (stats.mean * stats.count as f64).round() as usize;
+                let product = stats.mean * stats.count as f64;
+                let sum = if weighted { product } else { product.round() };
                 // Merge onto any prior samples (whose stream indices the
                 // cursors skipped), mirroring the single-feasible branch.
-                candidates[i].estimate =
-                    prior[k].merge(&YieldEstimate::new(passes.min(stats.count), stats.count));
+                candidates[i].estimate = prior[k].merge(&YieldEstimate::from_sum(sum, stats.count));
                 record.samples[i] = outcome.spent[k];
                 record.total += outcome.spent[k];
             }
@@ -162,10 +169,9 @@ pub fn estimate_two_stage<B: Benchmark + ?Sized>(
             .collect();
         let outcomes = problem.outcomes_batch(&requests);
         for (&(i, _), out) in topups.iter().zip(&outcomes) {
-            let passes = out.iter().filter(|&&o| o > 0.5).count();
             candidates[i].estimate = candidates[i]
                 .estimate
-                .merge(&YieldEstimate::new(passes, out.len()));
+                .merge(&YieldEstimate::from_sum(out.iter().sum(), out.len()));
             record.samples[i] += out.len();
             record.total += out.len();
         }

@@ -8,7 +8,7 @@
 //!   with the paper's parameters (population 50, `F = CR = 0.8`). The
 //!   mutation and crossover operators are exposed as free functions so the
 //!   MOHECO core can drive its own generation loop.
-//! * [`nelder_mead`] — the derivative-free simplex local search used as the
+//! * [`nelder_mead`](mod@nelder_mead) — the derivative-free simplex local search used as the
 //!   memetic exploitation operator.
 //! * [`constraints`] — Deb's selection-based feasibility rules.
 //! * [`memetic`] — the adaptive DE + Nelder–Mead coupling (local search only

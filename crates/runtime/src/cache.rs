@@ -33,16 +33,38 @@ pub struct Block {
     /// The unit-hypercube points of the block, generated eagerly from the
     /// block's RNG stream (cheap — no circuit simulation involved).
     pub points: Vec<Vec<f64>>,
+    /// Per-point likelihood weights of the importance-sampling estimator;
+    /// empty means every weight is exactly 1 (all other estimators).
+    pub weights: Vec<f64>,
     /// Lazily simulated outcomes, one per point. `None` = not yet simulated.
+    /// Stored values are *yield contributions* (`weighted_outcome(w, J)`),
+    /// which equal the raw pass/fail indicator whenever the weight is 1.
     pub outcomes: Vec<Option<f64>>,
 }
 
 impl Block {
-    /// Creates a block from its generated points, with no outcomes yet.
+    /// Creates a block from its generated points, with no outcomes yet and
+    /// unit weights.
     pub fn new(points: Vec<Vec<f64>>) -> Self {
+        Self::with_weights(points, Vec::new())
+    }
+
+    /// Creates a block from its generated points and likelihood weights
+    /// (empty = all weights are 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is non-empty and its length differs from the
+    /// point count.
+    pub fn with_weights(points: Vec<Vec<f64>>, weights: Vec<f64>) -> Self {
+        assert!(
+            weights.is_empty() || weights.len() == points.len(),
+            "weight/point count mismatch"
+        );
         let n = points.len();
         Self {
             points,
+            weights,
             outcomes: vec![None; n],
         }
     }

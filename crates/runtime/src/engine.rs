@@ -15,7 +15,10 @@ use crate::cache::{design_key, Block, SimCache};
 use crate::model::{McRequest, SimulationModel};
 use crate::pool;
 use crate::stats::{EngineStats, EngineStatsSnapshot};
-use moheco_sampling::{RngStreams, SamplingPlan, SimulationCounter};
+use moheco_sampling::{
+    weighted_outcome, EstimatedYield, EstimatorKind, RngStreams, SamplingPlan, SimulationCounter,
+    YieldEstimator,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +44,11 @@ pub struct EngineConfig {
     /// Worker threads for [`ParallelEngine`]; `0` = the machine's available
     /// parallelism. Ignored by [`SerialEngine`].
     pub workers: usize,
+    /// The variance-reduction estimator shaping every block of the sample
+    /// streams (see `moheco_sampling::estimator`). The default
+    /// ([`EstimatorKind::MonteCarlo`]) reproduces the pre-estimator streams
+    /// bit for bit.
+    pub estimator: EstimatorKind,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +58,7 @@ impl Default for EngineConfig {
             plan: SamplingPlan::LatinHypercube,
             block_size: 50,
             workers: 0,
+            estimator: EstimatorKind::MonteCarlo,
         }
     }
 }
@@ -67,13 +76,32 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the variance-reduction estimator.
+    pub fn with_estimator(mut self, estimator: EstimatorKind) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Builds the estimator implementation matching this configuration
+    /// (variance formulas are parameterized by the block size).
+    pub fn build_estimator(&self) -> Box<dyn YieldEstimator> {
+        self.estimator.build(self.block_size)
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if `block_size` is zero.
+    /// Panics if `block_size` is zero, or odd while the antithetic estimator
+    /// is selected (a mirrored pair may never straddle two cache blocks).
     pub fn validate(&self) {
         assert!(self.block_size > 0, "block size must be positive");
+        if self.estimator == EstimatorKind::Antithetic {
+            assert!(
+                self.block_size.is_multiple_of(2),
+                "antithetic pairing requires an even block size"
+            );
+        }
     }
 }
 
@@ -90,6 +118,12 @@ pub trait EvalEngine: Send + Sync {
     /// outcome vector per request (same order). Outcomes are deterministic
     /// functions of `(engine seed, design, sample index)` and cached.
     fn mc_outcomes(&self, model: &dyn SimulationModel, requests: &[McRequest]) -> Vec<Vec<f64>>;
+
+    /// Condenses outcome values (starting at sample index 0 of one design's
+    /// stream) into a yield estimate with the engine's configured
+    /// estimator — the same instance that shaped the blocks, so the variance
+    /// formula always matches the sample layout.
+    fn estimate(&self, outcomes: &[f64]) -> EstimatedYield;
 
     /// Evaluates a batch of designs at the nominal process point, returning
     /// the specification margins per design. Cached by design.
@@ -163,6 +197,7 @@ struct BlockTask {
 /// State shared by [`SerialEngine`] and [`ParallelEngine`].
 struct EngineCore {
     config: EngineConfig,
+    estimator: Box<dyn YieldEstimator>,
     cache: SimCache,
     stats: EngineStats,
     counter: SimulationCounter,
@@ -172,6 +207,7 @@ impl EngineCore {
     fn new(config: EngineConfig) -> Self {
         config.validate();
         Self {
+            estimator: config.build_estimator(),
             config,
             cache: SimCache::new(),
             stats: EngineStats::new(),
@@ -179,16 +215,33 @@ impl EngineCore {
         }
     }
 
-    fn make_block(&self, model: &dyn SimulationModel, key: u64, block: u64) -> Block {
+    fn make_block(
+        &self,
+        model: &dyn SimulationModel,
+        design: &[f64],
+        key: u64,
+        block: u64,
+    ) -> Block {
         // Per-(design, block) stream derived from the engine seed through the
         // workspace's shared RngStreams scheme — independent of execution
-        // order, which is what makes parallel == serial.
+        // order, which is what makes parallel == serial. The estimator shapes
+        // the block (plan points, LHS strata, mirrored pairs or a shifted
+        // weighted cloud) but its input is only this stream, the design and
+        // the model's pure shift hint, so the guarantee is unchanged.
         let mut rng = RngStreams::new(self.config.seed).stream(key, block);
-        let points =
-            self.config
-                .plan
-                .generate(&mut rng, self.config.block_size, model.unit_dimension());
-        Block::new(points)
+        let shift = if self.config.estimator == EstimatorKind::ImportanceSampling {
+            model.importance_shift(design)
+        } else {
+            None
+        };
+        let generated = self.estimator.generate_block(
+            &mut rng,
+            self.config.block_size,
+            model.unit_dimension(),
+            self.config.plan,
+            shift.as_deref(),
+        );
+        Block::with_weights(generated.points, generated.weights)
     }
 
     /// Splits the requests into deduplicated per-(design, block) tasks.
@@ -230,11 +283,11 @@ impl EngineCore {
         let executed = AtomicU64::new(0);
 
         pool::run_tasks(&tasks, workers, |task| {
+            let design = &requests[task.request_index].design;
             let block = self.cache.block(task.key, task.block, || {
-                self.make_block(model, task.key, task.block)
+                self.make_block(model, design, task.key, task.block)
             });
             let mut guard = block.lock().expect("block poisoned");
-            let design = &requests[task.request_index].design;
             let mut ran = 0u64;
             // Overlapping ranges are harmless: the `is_none` guard makes
             // every sample index simulate at most once. Each unit point is
@@ -245,16 +298,24 @@ impl EngineCore {
                 for i in lo..hi {
                     if guard.outcomes[i].is_none() {
                         let point = std::mem::take(&mut guard.points[i]);
-                        let outcome = model.simulate_point(design, &point);
+                        let raw = model.simulate_point(design, &point);
+                        // Stored outcomes are yield contributions: the raw
+                        // indicator under unit weights, `1 − w (1 − J)` for
+                        // importance-sampled blocks.
+                        let outcome = match guard.weights.get(i) {
+                            Some(&w) => weighted_outcome(w, raw),
+                            None => raw,
+                        };
                         guard.outcomes[i] = Some(outcome);
                         ran += 1;
                     }
                 }
             }
-            // A fully simulated block never reads points again; drop the
-            // (now all-empty) outer vector too.
+            // A fully simulated block never reads points or weights again;
+            // drop the (now all-empty) outer vectors too.
             if ran > 0 && guard.outcomes.iter().all(|o| o.is_some()) {
                 guard.points = Vec::new();
+                guard.weights = Vec::new();
             }
             if ran > 0 {
                 executed.fetch_add(ran, Ordering::Relaxed);
@@ -377,6 +438,10 @@ impl EvalEngine for SerialEngine {
         self.core.mc_outcomes(model, requests, 1)
     }
 
+    fn estimate(&self, outcomes: &[f64]) -> EstimatedYield {
+        self.core.estimator.estimate(outcomes)
+    }
+
     fn nominal_batch(&self, model: &dyn SimulationModel, designs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         self.core.nominal_batch(model, designs, 1)
     }
@@ -441,6 +506,10 @@ impl EvalEngine for ParallelEngine {
 
     fn mc_outcomes(&self, model: &dyn SimulationModel, requests: &[McRequest]) -> Vec<Vec<f64>> {
         self.core.mc_outcomes(model, requests, self.workers)
+    }
+
+    fn estimate(&self, outcomes: &[f64]) -> EstimatedYield {
+        self.core.estimator.estimate(outcomes)
     }
 
     fn nominal_batch(&self, model: &dyn SimulationModel, designs: &[Vec<f64>]) -> Vec<Vec<f64>> {
@@ -619,5 +688,161 @@ mod tests {
         let counter = engine.counter();
         let _ = engine.mc_single(&Threshold, &[0.5, 0.5, 0.5], 0, 12);
         assert_eq!(counter.total(), 12);
+    }
+
+    /// Model that leaks the first coordinate of the unit point as its
+    /// outcome, so tests can observe the generated stream itself.
+    struct Echo;
+
+    impl SimulationModel for Echo {
+        fn unit_dimension(&self) -> usize {
+            2
+        }
+
+        fn simulate_point(&self, _x: &[f64], u: &[f64]) -> f64 {
+            u[0]
+        }
+
+        fn nominal(&self, x: &[f64]) -> Vec<f64> {
+            x.to_vec()
+        }
+    }
+
+    #[test]
+    fn antithetic_streams_are_mirrored_within_blocks() {
+        let engine =
+            SerialEngine::new(EngineConfig::default().with_estimator(EstimatorKind::Antithetic));
+        let x = vec![0.5, 0.5, 0.5];
+        let out = engine.mc_single(&Echo, &x, 0, 100);
+        for (i, pair) in out.chunks_exact(2).enumerate() {
+            assert!(
+                (pair[0] + pair[1] - 1.0).abs() < 1e-12,
+                "pair {i} not mirrored: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn antithetic_pairs_share_one_cache_block_even_under_partial_reads() {
+        // Reading the two halves of a pair through separate requests must
+        // materialise exactly one block (same (design, block) key, hence the
+        // same cache shard), and re-reading the mirror half must be free.
+        let engine =
+            SerialEngine::new(EngineConfig::default().with_estimator(EstimatorKind::Antithetic));
+        let x = vec![0.5, 0.5, 0.5];
+        // Sample 48 and its mirror 49 sit at the end of block 0 (size 50).
+        let even = engine.mc_single(&Echo, &x, 48, 1);
+        let odd = engine.mc_single(&Echo, &x, 49, 1);
+        assert!(
+            (even[0] + odd[0] - 1.0).abs() < 1e-12,
+            "pair split across blocks"
+        );
+        assert_eq!(engine.simulations(), 2);
+
+        // Serial and parallel engines materialise identical pairs.
+        let parallel = ParallelEngine::new(
+            EngineConfig::default()
+                .with_estimator(EstimatorKind::Antithetic)
+                .with_workers(4),
+        );
+        assert_eq!(parallel.mc_single(&Echo, &x, 48, 1), even);
+        assert_eq!(parallel.mc_single(&Echo, &x, 49, 1), odd);
+    }
+
+    #[test]
+    fn every_estimator_is_deterministic_and_parallel_equals_serial() {
+        for kind in EstimatorKind::ALL {
+            let serial =
+                SerialEngine::new(EngineConfig::default().with_seed(7).with_estimator(kind));
+            let parallel = ParallelEngine::new(
+                EngineConfig::default()
+                    .with_seed(7)
+                    .with_estimator(kind)
+                    .with_workers(4),
+            );
+            let a = serial.mc_outcomes(&Threshold, &requests());
+            let b = parallel.mc_outcomes(&Threshold, &requests());
+            assert_eq!(a, b, "{kind:?} diverged");
+            assert_eq!(serial.simulations(), parallel.simulations(), "{kind:?}");
+        }
+    }
+
+    /// One-dimensional threshold with an analytic importance shift: passes
+    /// when `z > Φ⁻¹(0.1)`, i.e. with probability 0.9, and shifts the mean
+    /// one sigma toward the failure region.
+    struct Shifted;
+
+    impl SimulationModel for Shifted {
+        fn unit_dimension(&self) -> usize {
+            1
+        }
+
+        fn simulate_point(&self, _x: &[f64], u: &[f64]) -> f64 {
+            if u[0] > 0.1 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+
+        fn nominal(&self, x: &[f64]) -> Vec<f64> {
+            x.to_vec()
+        }
+
+        fn importance_shift(&self, _x: &[f64]) -> Option<Vec<f64>> {
+            Some(vec![-1.0])
+        }
+    }
+
+    #[test]
+    fn importance_sampled_outcomes_are_weighted_but_unbiased() {
+        let engine = SerialEngine::new(
+            EngineConfig::default().with_estimator(EstimatorKind::ImportanceSampling),
+        );
+        let x = vec![0.0];
+        let out = engine.mc_single(&Shifted, &x, 0, 2_000);
+        // The shift pushes samples into the failure region, so failures are
+        // observed often but carry small weights: outcomes are fractional.
+        assert!(
+            out.iter().any(|o| *o != 0.0 && *o != 1.0),
+            "expected weighted contributions"
+        );
+        let mean = out.iter().sum::<f64>() / out.len() as f64;
+        assert!((mean - 0.9).abs() < 0.03, "IS mean {mean}");
+        // Without a shift hint the same estimator stores raw indicators.
+        let plain = SerialEngine::new(
+            EngineConfig::default().with_estimator(EstimatorKind::ImportanceSampling),
+        );
+        let raw = plain.mc_single(&Threshold, &[0.7, 0.0, 0.0], 0, 100);
+        assert!(raw.iter().all(|o| *o == 0.0 || *o == 1.0));
+    }
+
+    #[test]
+    fn default_estimator_streams_are_bit_identical_to_the_plain_plan() {
+        // The estimator field must not disturb the historic default streams:
+        // an explicit MonteCarlo estimator and the plain default produce the
+        // same outcomes for the same seed.
+        let default_engine = SerialEngine::new(EngineConfig::default().with_seed(3));
+        let explicit = SerialEngine::new(
+            EngineConfig::default()
+                .with_seed(3)
+                .with_estimator(EstimatorKind::MonteCarlo),
+        );
+        let x = vec![0.6, 0.2, 0.9];
+        assert_eq!(
+            default_engine.mc_single(&Echo, &x, 0, 150),
+            explicit.mc_single(&Echo, &x, 0, 150)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even block size")]
+    fn antithetic_engine_rejects_odd_block_sizes() {
+        let config = EngineConfig {
+            block_size: 49,
+            estimator: EstimatorKind::Antithetic,
+            ..EngineConfig::default()
+        };
+        let _ = SerialEngine::new(config);
     }
 }

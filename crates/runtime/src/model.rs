@@ -23,6 +23,20 @@ pub trait SimulationModel: Send + Sync {
     /// Evaluates the design at the nominal (variation-free) process point,
     /// returning the normalised specification margins.
     fn nominal(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Mean shift (in z-space, one entry per statistical variable) toward
+    /// the dominant failure mode of design `x`, used by the
+    /// importance-sampling estimator to concentrate samples where failures
+    /// happen.
+    ///
+    /// The shift must be a pure function of `x` (it participates in the
+    /// deterministic per-`(design, block)` stream contract). Models without
+    /// an analytic notion of a failure direction return `None` (the
+    /// default), which makes the importance-sampling estimator degrade
+    /// gracefully to unweighted sampling.
+    fn importance_shift(&self, _x: &[f64]) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 /// A request for a contiguous range of Monte-Carlo outcomes of one design.

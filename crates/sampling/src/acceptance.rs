@@ -180,4 +180,54 @@ mod tests {
         let a = AcceptanceSampler::new(6.0, 0.33);
         assert_eq!(a.budget_for(AsDecision::AcceptWithReducedSampling, 10), 4);
     }
+
+    #[test]
+    fn zero_full_budget_yields_zero_samples_for_every_decision() {
+        let a = AcceptanceSampler::default();
+        for decision in [
+            AsDecision::RejectWithoutSampling,
+            AsDecision::AcceptWithReducedSampling,
+            AsDecision::FullSampling,
+        ] {
+            assert_eq!(a.budget_for(decision, 0), 0, "{decision:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_margins_require_full_sampling() {
+        // A margin of exactly zero is not a nominal failure (the spec is
+        // met with equality), and a margin of exactly accept_margin is not
+        // deep acceptance: both sit on the border and get the full budget.
+        let a = AcceptanceSampler::new(6.0, 0.2);
+        assert_eq!(a.screen(&[0.0, 8.0]), AsDecision::FullSampling);
+        assert_eq!(a.screen(&[6.0, 9.0]), AsDecision::FullSampling);
+        // Strictly past the border on each side, the decision flips.
+        assert_eq!(a.screen(&[-1e-9, 8.0]), AsDecision::RejectWithoutSampling);
+        assert_eq!(
+            a.screen(&[6.0 + 1e-9, 9.0]),
+            AsDecision::AcceptWithReducedSampling
+        );
+    }
+
+    #[test]
+    fn all_fail_and_all_pass_margins_are_decided_by_the_worst() {
+        let a = AcceptanceSampler::default();
+        // Every spec failing and exactly one spec failing are the same
+        // decision: rejection is driven by the worst margin alone.
+        assert_eq!(
+            a.screen(&[-3.0, -1.0, -0.2]),
+            AsDecision::RejectWithoutSampling
+        );
+        // All specs deeply passing → reduced budget; the reduced budget of
+        // a unit-fraction sampler is the full budget (upper clamp).
+        let full = AcceptanceSampler::new(6.0, 1.0);
+        assert_eq!(
+            full.screen(&[10.0, 20.0, 30.0]),
+            AsDecision::AcceptWithReducedSampling
+        );
+        assert_eq!(
+            full.budget_for(AsDecision::AcceptWithReducedSampling, 500),
+            500
+        );
+    }
 }

@@ -52,11 +52,12 @@ pub fn primitive_monte_carlo<R: Rng + ?Sized>(rng: &mut R, n: usize, dim: usize)
 }
 
 /// Sampling plans available to the Monte-Carlo yield estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SamplingPlan {
     /// Primitive (i.i.d.) Monte Carlo.
     PrimitiveMonteCarlo,
-    /// Latin Hypercube Sampling.
+    /// Latin Hypercube Sampling (the workspace default, as in the paper).
+    #[default]
     LatinHypercube,
 }
 

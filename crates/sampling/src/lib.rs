@@ -10,6 +10,10 @@
 //!   sampling for candidates far from the acceptance-region border.
 //! * [`yield_est`] — the Bernoulli yield estimator, standard errors and
 //!   Wilson confidence intervals.
+//! * [`estimator`] — the pluggable variance-reduction estimator layer
+//!   ([`estimator::YieldEstimator`]): plain Monte-Carlo, stratified LHS,
+//!   antithetic pairs and mean-shifted importance sampling, each with its
+//!   own correct variance formula.
 //! * [`oracle`] — closed-form yield oracles for analytic benchmarks (and the
 //!   canonical standard-normal CDF / quantile approximations).
 //! * [`stream`] — reproducible RNG streams and the shared simulation counter
@@ -32,12 +36,18 @@
 #![warn(missing_docs)]
 
 pub mod acceptance;
+pub mod estimator;
 pub mod lhs;
 pub mod oracle;
 pub mod stream;
 pub mod yield_est;
 
 pub use acceptance::{AcceptanceSampler, AsDecision};
+pub use estimator::{
+    estimate_with, weighted_outcome, AntitheticEstimator, BlockPoints, EstimatedYield,
+    EstimatorKind, ImportanceSamplingEstimator, MonteCarloEstimator, StratifiedLhsEstimator,
+    YieldEstimator, Z_95,
+};
 pub use lhs::{latin_hypercube, primitive_monte_carlo, SamplingPlan};
 pub use oracle::{
     gaussian_margin_yield, independent_margins_yield, standard_normal_cdf, standard_normal_quantile,

@@ -11,11 +11,33 @@
 //! This module is also the canonical home of the standard-normal CDF and
 //! quantile approximations used across the workspace (`moheco-process`
 //! re-exports them for its distribution samplers).
+//!
+//! # Example
+//!
+//! A specification that passes with 2σ of margin, next to an independent one
+//! with 1σ, has a closed-form joint yield of `Φ(2) · Φ(1)`:
+//!
+//! ```
+//! use moheco_sampling::oracle::{independent_margins_yield, standard_normal_cdf};
+//!
+//! let yield_ = independent_margins_yield(&[(2.0, 1.0), (0.5, 0.5)]);
+//! let expected = standard_normal_cdf(2.0) * standard_normal_cdf(1.0);
+//! assert!((yield_ - expected).abs() < 1e-12);
+//! ```
 
 /// CDF of the standard normal distribution.
 ///
 /// Abramowitz–Stegun 26.2.17 rational approximation, absolute error below
 /// `7.5e-8` — far tighter than any Monte-Carlo tolerance asserted in tests.
+///
+/// # Example
+///
+/// ```
+/// use moheco_sampling::standard_normal_cdf;
+///
+/// assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+/// assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
 pub fn standard_normal_cdf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.2316419 * x.abs());
     let poly = t
@@ -34,6 +56,16 @@ pub fn standard_normal_cdf(x: f64) -> f64 {
 ///
 /// Acklam's rational approximation, accurate to about `1.15e-9` over the
 /// open interval `(0, 1)`; inputs are clamped away from 0 and 1.
+///
+/// # Example
+///
+/// ```
+/// use moheco_sampling::{standard_normal_cdf, standard_normal_quantile};
+///
+/// let z = standard_normal_quantile(0.975);
+/// assert!((z - 1.959964).abs() < 1e-5);
+/// assert!((standard_normal_cdf(z) - 0.975).abs() < 1e-6);
+/// ```
 pub fn standard_normal_quantile(p: f64) -> f64 {
     let p = p.clamp(1e-15, 1.0 - 1e-15);
 
@@ -89,6 +121,17 @@ pub fn standard_normal_quantile(p: f64) -> f64 {
 /// `P[margin + sigma·Z ≥ 0] = Φ(margin / sigma)` for `Z ~ N(0, 1)`.
 ///
 /// A `sigma` of zero degenerates to the deterministic indicator.
+///
+/// # Example
+///
+/// ```
+/// use moheco_sampling::gaussian_margin_yield;
+///
+/// // One sigma of margin passes ~84.1 % of the time.
+/// assert!((gaussian_margin_yield(1.0, 1.0) - 0.8413).abs() < 1e-3);
+/// // No noise: the margin sign decides outright.
+/// assert_eq!(gaussian_margin_yield(0.1, 0.0), 1.0);
+/// ```
 ///
 /// # Panics
 ///

@@ -8,24 +8,44 @@
 use crate::lhs::SamplingPlan;
 use rand::Rng;
 
-/// A Monte-Carlo yield estimate: pass count over sample count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A Monte-Carlo yield estimate: accumulated yield contribution over sample
+/// count.
+///
+/// For the unweighted estimators the accumulated `sum` is exactly the pass
+/// count; the importance-sampling estimator stores fractional per-sample
+/// yield contributions (see [`crate::estimator::weighted_outcome`]), so the
+/// sum is a float. [`Self::value`] is the mean either way.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct YieldEstimate {
-    /// Number of samples that met every specification.
-    pub passes: usize,
+    /// Accumulated yield contribution (the pass count for unweighted
+    /// estimators), clamped to `[0, samples]`.
+    pub sum: f64,
     /// Total number of samples evaluated.
     pub samples: usize,
 }
 
 impl YieldEstimate {
-    /// Creates an estimate from explicit counts.
+    /// Creates an estimate from explicit pass/sample counts.
     ///
     /// # Panics
     ///
     /// Panics if `passes > samples`.
     pub fn new(passes: usize, samples: usize) -> Self {
         assert!(passes <= samples, "passes cannot exceed samples");
-        Self { passes, samples }
+        Self {
+            sum: passes as f64,
+            samples,
+        }
+    }
+
+    /// Creates an estimate from an accumulated (possibly fractional) yield
+    /// contribution; the sum is clamped to `[0, samples]` so
+    /// [`Self::value`] always stays a probability.
+    pub fn from_sum(sum: f64, samples: usize) -> Self {
+        Self {
+            sum: sum.clamp(0.0, samples as f64),
+            samples,
+        }
     }
 
     /// The estimated yield in `[0, 1]`; zero when no samples were taken.
@@ -33,7 +53,7 @@ impl YieldEstimate {
         if self.samples == 0 {
             0.0
         } else {
-            self.passes as f64 / self.samples as f64
+            self.sum / self.samples as f64
         }
     }
 
@@ -71,7 +91,7 @@ impl YieldEstimate {
     /// Merges two estimates (e.g. stage-1 and stage-2 samples of the same design).
     pub fn merge(&self, other: &YieldEstimate) -> YieldEstimate {
         YieldEstimate {
-            passes: self.passes + other.passes,
+            sum: self.sum + other.sum,
             samples: self.samples + other.samples,
         }
     }
@@ -154,8 +174,37 @@ mod tests {
         let a = YieldEstimate::new(10, 20);
         let b = YieldEstimate::new(30, 40);
         let m = a.merge(&b);
-        assert_eq!(m.passes, 40);
+        assert_eq!(m.sum, 40.0);
         assert_eq!(m.samples, 60);
+    }
+
+    #[test]
+    fn from_sum_clamps_into_the_probability_range() {
+        // Importance-sampling sums can stray slightly outside [0, n]; the
+        // constructor clamps so value() stays a probability.
+        let high = YieldEstimate::from_sum(10.4, 10);
+        assert_eq!(high.value(), 1.0);
+        let low = YieldEstimate::from_sum(-0.3, 10);
+        assert_eq!(low.value(), 0.0);
+        let mid = YieldEstimate::from_sum(7.5, 10);
+        assert!((mid.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_is_clamped_for_degenerate_estimates() {
+        // All-fail: the lower bound clamps to exactly 0 and the upper bound
+        // stays strictly positive (residual uncertainty).
+        let all_fail = YieldEstimate::new(0, 50);
+        let (lo, hi) = all_fail.wilson_interval(1.96);
+        assert!(lo.abs() < 1e-12, "lower {lo}");
+        assert!(hi > 0.0 && hi < 0.2, "upper {hi}");
+        // All-pass: mirror image at 1.
+        let all_pass = YieldEstimate::new(50, 50);
+        let (lo2, hi2) = all_pass.wilson_interval(1.96);
+        assert!(hi2 > 1.0 - 1e-12 && hi2 <= 1.0, "upper {hi2}");
+        assert!(lo2 > 0.8 && lo2 < 1.0, "lower {lo2}");
+        // Zero samples: the interval is the whole unit range.
+        assert_eq!(YieldEstimate::default().wilson_interval(1.96), (0.0, 1.0));
     }
 
     #[test]

@@ -232,6 +232,34 @@ impl SimulationModel for SyntheticBench {
             .map(|s| s.form.margin(x) / s.sigma())
             .collect()
     }
+
+    fn importance_shift(&self, x: &[f64]) -> Option<Vec<f64>> {
+        // Dominant failure spec: the one whose boundary sits fewest sigmas
+        // away from the nominal margin. Shift the mean of that spec's noise
+        // block to the boundary (classic mean-shift importance sampling for
+        // a linear limit state), capped at 3σ so likelihood weights stay
+        // bounded. The shift is a pure function of `x`, as the engine's
+        // determinism contract requires.
+        let (spec, z_dist) = self
+            .specs
+            .iter()
+            .map(|s| (s, s.form.margin(x) / s.sigma()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite margins"))?;
+        if z_dist <= 0.0 {
+            // Nominally failing design: the acceptance screen rejects it
+            // before any Monte-Carlo sampling, so no shift is useful.
+            return None;
+        }
+        let scale = z_dist.min(3.0) / spec.sigma();
+        let mut shift = vec![0.0; self.stat_dim];
+        for (k, &w) in spec.noise_weights.iter().enumerate() {
+            // Failure direction of `margin + w · z ≥ 0` is −w; normalise by
+            // σ = ‖w‖ so the shifted mean lands on (or 3σ toward) the
+            // boundary.
+            shift[spec.noise_offset + k] = -scale * w;
+        }
+        Some(shift)
+    }
 }
 
 impl Benchmark for SyntheticBench {
@@ -371,6 +399,41 @@ mod tests {
         assert_eq!(at_c1, 1.0);
         assert_eq!(at_c2, 1.0);
         assert!(between < at_c1 && between < at_c2, "between {between}");
+    }
+
+    #[test]
+    fn importance_shift_targets_the_dominant_spec_boundary() {
+        let b = simple_bench();
+        let x = vec![0.0; 3];
+        // Single spec with margin 2 and sigma 1: the shift moves the mean of
+        // the spec's (only) noise variable 2σ toward failure.
+        let shift = b.importance_shift(&x).expect("feasible design shifts");
+        assert_eq!(shift.len(), 1);
+        assert!((shift[0] + 2.0).abs() < 1e-12, "shift {shift:?}");
+        // The shifted noise mean sits exactly on the failure boundary:
+        // margin + w · μ = 0.
+        assert!((b.nominal(&x)[0] + shift[0]).abs() < 1e-12);
+        // A distant margin is capped at 3σ.
+        let far = SyntheticBench::new(
+            "far",
+            vec![(-2.0, 2.0)],
+            vec![0.0],
+            vec![SyntheticSpec {
+                name: "wall".into(),
+                form: MarginForm::Linear {
+                    weights: vec![0.0],
+                    offset: 10.0,
+                },
+                noise_offset: 0,
+                noise_weights: vec![2.0],
+            }],
+        );
+        let capped = far.importance_shift(&[0.0]).unwrap();
+        let norm = capped.iter().map(|m| m * m).sum::<f64>().sqrt();
+        assert!((norm - 3.0).abs() < 1e-12, "norm {norm}");
+        // Nominally infeasible designs get no shift.
+        let infeasible = b.importance_shift(&[2.0, 0.0, 0.0]);
+        assert!(infeasible.is_none());
     }
 
     #[test]

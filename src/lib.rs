@@ -21,6 +21,8 @@
 //! See the repository `README.md` for a tour and `DESIGN.md` for the mapping
 //! between the paper and the code.
 
+#![warn(missing_docs)]
+
 pub use moheco;
 pub use moheco_analog;
 pub use moheco_ocba;

@@ -92,7 +92,7 @@ fn yield_estimate_merge_is_consistent() {
         let b = YieldEstimate::new(p2, n2);
         let m = a.merge(&b);
         assert_eq!(m.samples, n1 + n2);
-        assert_eq!(m.passes, p1 + p2);
+        assert_eq!(m.sum, (p1 + p2) as f64);
         assert!((0.0..=1.0).contains(&m.value()));
         assert!(m.bernoulli_variance() <= 0.25 + 1e-12);
     }
