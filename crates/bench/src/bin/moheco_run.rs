@@ -3,8 +3,8 @@
 //! ```text
 //! moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage]
 //!            [--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is]
-//!            [--seed N] [--parallel] [--out-dir DIR] [--baseline-dir DIR]
-//!            [--list]
+//!            [--prescreen off|rsb] [--seed N] [--parallel] [--out-dir DIR]
+//!            [--baseline-dir DIR] [--list]
 //! ```
 //!
 //! Every selected scenario is executed through the evaluation engine and
@@ -16,8 +16,9 @@
 //! or on a yield deviation beyond ±5 percentage points — this is the CI
 //! `scenario-smoke` job.
 
+use moheco::PrescreenKind;
 use moheco_bench::results::compare_results;
-use moheco_bench::{run_scenario_with, Algo, BudgetClass, CliArgs};
+use moheco_bench::{run_scenario_prescreened, Algo, BudgetClass, CliArgs};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
 use std::path::Path;
@@ -25,8 +26,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage] \
-[--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is] [--seed N] [--parallel] \
-[--out-dir DIR] [--baseline-dir DIR] [--list]";
+[--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is] [--prescreen off|rsb] [--seed N] \
+[--parallel] [--out-dir DIR] [--baseline-dir DIR] [--list]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
             "--algo",
             "--budget",
             "--estimator",
+            "--prescreen",
             "--seed",
             "--out-dir",
             "--baseline-dir",
@@ -109,6 +111,14 @@ fn main() -> ExitCode {
             }
         },
     };
+    let prescreen = match args.value_of("--prescreen") {
+        Err(e) => return fail(&e),
+        Ok(None) => PrescreenKind::default(),
+        Ok(Some(v)) => match PrescreenKind::parse(v) {
+            Some(k) => k,
+            None => return fail(&format!("unknown prescreen {v:?}; expected off or rsb")),
+        },
+    };
     let seed = match args.u64_of("--seed", 1) {
         Ok(s) => s,
         Err(e) => return fail(&e),
@@ -128,11 +138,12 @@ fn main() -> ExitCode {
     let engine_kind = args.engine_kind();
     let mut failures: Vec<String> = Vec::new();
     eprintln!(
-        "moheco-run: {} scenario(s), algo {}, budget {}, estimator {}, seed {seed}, {} engine",
+        "moheco-run: {} scenario(s), algo {}, budget {}, estimator {}, prescreen {}, seed {seed}, {} engine",
         scenarios.len(),
         algo.label(),
         budget.label(),
         estimator.label(),
+        prescreen.label(),
         if args.has("--parallel") {
             "parallel"
         } else {
@@ -141,13 +152,14 @@ fn main() -> ExitCode {
     );
 
     for scenario in &scenarios {
-        let result = run_scenario_with(
+        let result = run_scenario_prescreened(
             scenario.as_ref(),
             algo,
             budget,
             seed,
             engine_kind,
             estimator,
+            prescreen,
         );
         let json = result.to_json();
         let path = Path::new(&out_dir).join(result.file_name());

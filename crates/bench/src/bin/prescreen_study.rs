@@ -1,0 +1,202 @@
+//! `prescreen-study` — measures what the surrogate prescreen buys.
+//!
+//! Runs every closed-form (oracle) scenario with the two-stage OO algorithm
+//! twice per seed — `--prescreen off` vs `--prescreen rsb` — and aggregates
+//! the simulation counts and final yields over the seeds. A scenario
+//! *passes* when the prescreen saves at least [`SAVINGS_GATE_PCT`] percent
+//! of the simulate() calls while the mean reported yield stays within the
+//! baseline-gate tolerance ([`YIELD_TOLERANCE`]) of the unscreened run.
+//!
+//! The aggregate is written to `BENCH_prescreen.json` (flat schema, same
+//! writer conventions as `RESULTS_*.json`) and a markdown cost table is
+//! printed for the README. With `--strict` the binary exits non-zero unless
+//! at least three scenarios pass — the CI invocation uses this.
+//!
+//! ```text
+//! prescreen-study [--budget tiny|small|paper] [--seeds N] [--out FILE]
+//!                 [--strict]
+//! ```
+
+use moheco::PrescreenKind;
+use moheco_bench::results::{fmt_f64, YIELD_TOLERANCE};
+use moheco_bench::{run_scenario_prescreened, Algo, BudgetClass, CliArgs, EngineKind};
+use moheco_sampling::EstimatorKind;
+use moheco_scenarios::all_scenarios;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Minimum percentage of simulate() calls the prescreen must save.
+const SAVINGS_GATE_PCT: f64 = 30.0;
+/// Scenarios that must pass under `--strict`.
+const STRICT_MIN_PASSING: usize = 3;
+
+const USAGE: &str =
+    "usage: prescreen-study [--budget tiny|small|paper] [--seeds N] [--out FILE] [--strict]";
+
+struct Row {
+    scenario: String,
+    sims_off: u64,
+    sims_rsb: u64,
+    yield_off: f64,
+    yield_rsb: f64,
+    skips: u64,
+    savings_pct: f64,
+    pass: bool,
+}
+
+fn main() -> ExitCode {
+    let args = CliArgs::parse();
+    if let Err(e) = args.expect_only(&["--strict"], &["--budget", "--seeds", "--out"]) {
+        eprintln!("error: {e}");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let budget = match args.value_of("--budget") {
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        Ok(None) => BudgetClass::Paper,
+        Ok(Some(v)) => match BudgetClass::parse(v) {
+            Some(b) => b,
+            None => {
+                eprintln!("error: unknown budget {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let seeds = match args.u64_of("--seeds", 3) {
+        Ok(s) if s >= 1 => s,
+        Ok(_) => {
+            eprintln!("error: --seeds must be >= 1");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out_path = match args.value_of("--out") {
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        Ok(v) => v.unwrap_or("BENCH_prescreen.json").to_string(),
+    };
+
+    let oracle: Vec<_> = all_scenarios()
+        .into_iter()
+        .filter(|s| s.has_true_yield())
+        .collect();
+    eprintln!(
+        "prescreen-study: {} oracle scenario(s), algo two-stage, budget {}, seeds 1..={}",
+        oracle.len(),
+        budget.label(),
+        seeds
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for scenario in &oracle {
+        let mut row = Row {
+            scenario: scenario.name().to_string(),
+            sims_off: 0,
+            sims_rsb: 0,
+            yield_off: 0.0,
+            yield_rsb: 0.0,
+            skips: 0,
+            savings_pct: 0.0,
+            pass: false,
+        };
+        for seed in 1..=seeds {
+            for kind in [PrescreenKind::Off, PrescreenKind::Rsb] {
+                let r = run_scenario_prescreened(
+                    scenario.as_ref(),
+                    Algo::TwoStage,
+                    budget,
+                    seed,
+                    EngineKind::Serial,
+                    EstimatorKind::default(),
+                    kind,
+                );
+                match kind {
+                    PrescreenKind::Off => {
+                        row.sims_off += r.simulations;
+                        row.yield_off += r.best_yield;
+                    }
+                    PrescreenKind::Rsb => {
+                        row.sims_rsb += r.simulations;
+                        row.yield_rsb += r.best_yield;
+                        row.skips += r.prescreen_skips;
+                    }
+                }
+            }
+        }
+        row.yield_off /= seeds as f64;
+        row.yield_rsb /= seeds as f64;
+        row.savings_pct = if row.sims_off > 0 {
+            100.0 * (1.0 - row.sims_rsb as f64 / row.sims_off as f64)
+        } else {
+            0.0
+        };
+        row.pass = row.savings_pct >= SAVINGS_GATE_PCT
+            && (row.yield_rsb - row.yield_off).abs() <= YIELD_TOLERANCE;
+        rows.push(row);
+    }
+    let passing = rows.iter().filter(|r| r.pass).count();
+
+    // Flat JSON record (same conventions as RESULTS_*.json).
+    let mut json = String::from("{\n");
+    let mut field = |k: &str, v: String| {
+        let _ = writeln!(json, "  \"{k}\": {v},");
+    };
+    field("schema_version", "1".into());
+    field("algo", "\"two-stage\"".into());
+    field("budget", format!("\"{}\"", budget.label()));
+    field("seeds", seeds.to_string());
+    field("gate_savings_pct", fmt_f64(SAVINGS_GATE_PCT));
+    field("gate_yield_tolerance", fmt_f64(YIELD_TOLERANCE));
+    for r in &rows {
+        field(&format!("{}_sims_off", r.scenario), r.sims_off.to_string());
+        field(&format!("{}_sims_rsb", r.scenario), r.sims_rsb.to_string());
+        field(
+            &format!("{}_savings_pct", r.scenario),
+            fmt_f64((r.savings_pct * 100.0).round() / 100.0),
+        );
+        field(&format!("{}_yield_off", r.scenario), fmt_f64(r.yield_off));
+        field(&format!("{}_yield_rsb", r.scenario), fmt_f64(r.yield_rsb));
+        field(&format!("{}_skips", r.scenario), r.skips.to_string());
+        field(&format!("{}_pass", r.scenario), r.pass.to_string());
+    }
+    field("scenarios_total", rows.len().to_string());
+    let _ = write!(json, "  \"scenarios_passing\": {passing}\n}}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Markdown cost table for the README.
+    println!("| scenario | sims (off) | sims (rsb) | saved | yield (off) | yield (rsb) | gate |");
+    println!("|---|---:|---:|---:|---:|---:|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {:.1}% | {:.4} | {:.4} | {} |",
+            r.scenario,
+            r.sims_off,
+            r.sims_rsb,
+            r.savings_pct,
+            r.yield_off,
+            r.yield_rsb,
+            if r.pass { "pass" } else { "-" }
+        );
+    }
+    println!(
+        "\n{passing} of {} oracle scenarios reach equivalent yield (±{YIELD_TOLERANCE}) with ≥{SAVINGS_GATE_PCT}% fewer simulations -> {out_path}",
+        rows.len()
+    );
+
+    if args.has("--strict") && passing < STRICT_MIN_PASSING {
+        eprintln!("strict gate: only {passing} scenario(s) passed (need {STRICT_MIN_PASSING})");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -14,13 +14,18 @@
 
 use crate::results::{trace_digest, ScenarioResult};
 use crate::EngineKind;
-use moheco::{Benchmark, MohecoConfig, YieldOptimizer, YieldProblem, YieldStrategy};
+use moheco::{
+    Benchmark, MohecoConfig, PrescreenConfig, PrescreenKind, YieldOptimizer, YieldProblem,
+    YieldStrategy,
+};
 use moheco_optim::de::{DeConfig, DifferentialEvolution};
+use moheco_optim::filter::TrialFilter;
 use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
 use moheco_optim::problem::{Evaluation, Problem};
 use moheco_optim::result::OptimizationResult;
 use moheco_sampling::{EstimatorKind, Z_95};
 use moheco_scenarios::Scenario;
+use moheco_surrogate::{PrescreenModel, RsbPrescreen};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -174,6 +179,76 @@ impl Problem for YieldSearchProblem<'_> {
     }
 }
 
+/// A [`TrialFilter`] over a yield-search problem backed by an online
+/// surrogate: trial candidates predicted far below the incumbent yield are
+/// rejected before their fixed-budget Monte-Carlo estimate is paid.
+///
+/// This is the DE/GA counterpart of the two-stage prescreen in
+/// `moheco::prescreen` and follows the same policy: observations come only
+/// from *measured* evaluations, the screen stays inactive until the model
+/// has trained, and every `explore_every`-th generation bypasses it.
+struct SurrogateTrialFilter {
+    model: Box<dyn PrescreenModel>,
+    margin: f64,
+    explore_every: usize,
+    refit_every: usize,
+    incumbent: f64,
+    skips: u64,
+}
+
+impl SurrogateTrialFilter {
+    fn new(config: &PrescreenConfig) -> Self {
+        config.validate();
+        Self {
+            model: Box::new(
+                RsbPrescreen::new(config.seed).with_min_observations(config.min_observations),
+            ),
+            margin: config.margin,
+            explore_every: config.explore_every,
+            refit_every: config.refit_every,
+            incumbent: 0.0,
+            skips: 0,
+        }
+    }
+}
+
+impl TrialFilter for SurrogateTrialFilter {
+    fn admit(&mut self, generation: usize, trials: &[Vec<f64>]) -> Vec<bool> {
+        // admit() is called exactly once per generation, so the refit
+        // cadence mirrors Prescreener::absorb.
+        if generation.is_multiple_of(self.refit_every) {
+            self.model.refit();
+        }
+        if generation.is_multiple_of(self.explore_every) || !self.model.ready() {
+            return vec![true; trials.len()];
+        }
+        let threshold = self.incumbent - self.margin;
+        trials
+            .iter()
+            .map(|x| {
+                let keep = match self.model.predict(x) {
+                    Some(pred) => pred >= threshold,
+                    None => true,
+                };
+                if !keep {
+                    self.skips += 1;
+                }
+                keep
+            })
+            .collect()
+    }
+
+    fn observe(&mut self, x: &[f64], eval: &Evaluation) {
+        if eval.is_feasible() {
+            let y = (-eval.objective).clamp(0.0, 1.0);
+            self.model.observe(x, y);
+            if y > self.incumbent {
+                self.incumbent = y;
+            }
+        }
+    }
+}
+
 /// Executes one scenario with one algorithm and condenses the run into the
 /// machine-readable result record ([`run_scenario_with`] with the default
 /// plain Monte-Carlo estimator).
@@ -194,10 +269,8 @@ pub fn run_scenario(
     )
 }
 
-/// Executes one scenario with one algorithm and an explicit
-/// variance-reduction estimator, condensing the run into the
-/// machine-readable result record (including the estimator's 95 % CI
-/// half-width for the final yield estimate).
+/// [`run_scenario_prescreened`] with prescreening off (the historical entry
+/// point; bit-identical results to pre-prescreen builds).
 pub fn run_scenario_with(
     scenario: &dyn Scenario,
     algo: Algo,
@@ -206,93 +279,149 @@ pub fn run_scenario_with(
     engine_kind: EngineKind,
     estimator: EstimatorKind,
 ) -> ScenarioResult {
+    run_scenario_prescreened(
+        scenario,
+        algo,
+        budget,
+        seed,
+        engine_kind,
+        estimator,
+        PrescreenKind::Off,
+    )
+}
+
+/// Executes one scenario with one algorithm, an explicit variance-reduction
+/// estimator and an optional surrogate prescreen, condensing the run into
+/// the machine-readable result record (including the estimator's 95 % CI
+/// half-width for the final yield estimate).
+///
+/// With a prescreen, the `memetic` / `two-stage` algorithms demote
+/// predicted-poor candidates out of the stage-1 OCBA round (see
+/// `moheco::prescreen`), while `de` / `ga` gate their trial vectors through
+/// a [`TrialFilter`] so rejected trials never buy their fixed Monte-Carlo
+/// budget. The surrogate is seeded from the run seed, so results stay
+/// deterministic in `(scenario, algo, budget, seed, estimator, prescreen)`.
+pub fn run_scenario_prescreened(
+    scenario: &dyn Scenario,
+    algo: Algo,
+    budget: BudgetClass,
+    seed: u64,
+    engine_kind: EngineKind,
+    estimator: EstimatorKind,
+    prescreen: PrescreenKind,
+) -> ScenarioResult {
     let engine = engine_kind.build_configured(seed, estimator);
     let problem = scenario.build(engine);
     let config = budget.config();
+    let prescreen_config = PrescreenConfig {
+        seed,
+        ..PrescreenConfig::of_kind(prescreen)
+    };
     let started = Instant::now();
 
-    let (best_x, best_yield, ci_half_width, feasible, generations, local_searches, digest) =
-        match algo {
-            Algo::Memetic | Algo::TwoStage => {
-                let config = if algo == Algo::Memetic {
-                    MohecoConfig {
-                        memetic_enabled: true,
-                        strategy: YieldStrategy::TwoStageOo,
-                        ..config
-                    }
-                } else {
-                    config.as_oo_without_memetic()
-                };
-                let optimizer = YieldOptimizer::new(config);
-                let mut rng = StdRng::seed_from_u64(seed);
-                let result = optimizer.run_from(&problem, &scenario.warm_start(), &mut rng);
-                let digest = trace_digest(
-                    result
-                        .trace
-                        .records
-                        .iter()
-                        .flat_map(|r| [r.best_yield, r.simulations_so_far as f64]),
-                );
-                let feasible = problem.feasibility(&result.best_x).is_feasible();
-                (
-                    result.best_x,
-                    result.reported_yield,
-                    result.best_report.half_width(Z_95),
-                    feasible,
-                    result.generations,
-                    result.local_searches,
-                    digest,
-                )
-            }
-            Algo::De | Algo::Ga => {
-                let mut search = YieldSearchProblem {
-                    problem: &problem,
-                    samples: budget.fixed_sims(),
-                };
-                let mut rng = StdRng::seed_from_u64(seed);
-                let result: OptimizationResult = if algo == Algo::De {
-                    DifferentialEvolution::new(DeConfig {
-                        population_size: config.population_size,
-                        f: config.de_f,
-                        cr: config.de_cr,
-                        max_generations: config.max_generations,
-                        stagnation_limit: Some(config.stop_stagnation),
-                        target_objective: None,
-                        ..DeConfig::default()
-                    })
-                    .run(&mut search, &mut rng)
-                } else {
-                    GeneticAlgorithm::new(GaConfig {
-                        population_size: config.population_size,
-                        max_generations: config.max_generations,
-                        stagnation_limit: Some(config.stop_stagnation),
-                        target_objective: None,
-                        ..GaConfig::default()
-                    })
-                    .run(&mut search, &mut rng)
-                };
-                let digest = trace_digest(result.history.iter().copied());
-                let best_x = result.best.x.clone();
-                // Final report at the accurate n_max budget, like the MOHECO
-                // variants (served partly from the engine cache).
-                let rep = problem.feasibility(&best_x);
-                let (best_yield, ci, feasible) = if rep.is_feasible() {
-                    let est = problem.estimate_with_ci(&best_x, config.n_max, rep.decision);
-                    (est.value, est.half_width(Z_95), true)
-                } else {
-                    (0.0, 0.0, false)
-                };
-                (
-                    best_x,
-                    best_yield,
-                    ci,
-                    feasible,
-                    result.generations,
-                    0,
-                    digest,
-                )
-            }
-        };
+    let (
+        best_x,
+        best_yield,
+        ci_half_width,
+        feasible,
+        generations,
+        local_searches,
+        prescreen_skips,
+        digest,
+    ) = match algo {
+        Algo::Memetic | Algo::TwoStage => {
+            let config = if algo == Algo::Memetic {
+                MohecoConfig {
+                    memetic_enabled: true,
+                    strategy: YieldStrategy::TwoStageOo,
+                    ..config
+                }
+            } else {
+                config.as_oo_without_memetic()
+            };
+            let config = config.with_prescreen(prescreen_config);
+            let optimizer = YieldOptimizer::new(config);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = optimizer.run_from(&problem, &scenario.warm_start(), &mut rng);
+            let digest = trace_digest(
+                result
+                    .trace
+                    .records
+                    .iter()
+                    .flat_map(|r| [r.best_yield, r.simulations_so_far as f64]),
+            );
+            let feasible = problem.feasibility(&result.best_x).is_feasible();
+            (
+                result.best_x,
+                result.reported_yield,
+                result.best_report.half_width(Z_95),
+                feasible,
+                result.generations,
+                result.local_searches,
+                result.prescreen_stats.screened_out,
+                digest,
+            )
+        }
+        Algo::De | Algo::Ga => {
+            let mut search = YieldSearchProblem {
+                problem: &problem,
+                samples: budget.fixed_sims(),
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut filter: Option<SurrogateTrialFilter> = match prescreen {
+                PrescreenKind::Off => None,
+                PrescreenKind::Rsb => Some(SurrogateTrialFilter::new(&prescreen_config)),
+            };
+            let result: OptimizationResult = if algo == Algo::De {
+                let de = DifferentialEvolution::new(DeConfig {
+                    population_size: config.population_size,
+                    f: config.de_f,
+                    cr: config.de_cr,
+                    max_generations: config.max_generations,
+                    stagnation_limit: Some(config.stop_stagnation),
+                    target_objective: None,
+                    ..DeConfig::default()
+                });
+                match filter.as_mut() {
+                    Some(f) => de.run_filtered(&mut search, f, &mut rng),
+                    None => de.run(&mut search, &mut rng),
+                }
+            } else {
+                let ga = GeneticAlgorithm::new(GaConfig {
+                    population_size: config.population_size,
+                    max_generations: config.max_generations,
+                    stagnation_limit: Some(config.stop_stagnation),
+                    target_objective: None,
+                    ..GaConfig::default()
+                });
+                match filter.as_mut() {
+                    Some(f) => ga.run_filtered(&mut search, f, &mut rng),
+                    None => ga.run(&mut search, &mut rng),
+                }
+            };
+            let digest = trace_digest(result.history.iter().copied());
+            let best_x = result.best.x.clone();
+            // Final report at the accurate n_max budget, like the MOHECO
+            // variants (served partly from the engine cache).
+            let rep = problem.feasibility(&best_x);
+            let (best_yield, ci, feasible) = if rep.is_feasible() {
+                let est = problem.estimate_with_ci(&best_x, config.n_max, rep.decision);
+                (est.value, est.half_width(Z_95), true)
+            } else {
+                (0.0, 0.0, false)
+            };
+            (
+                best_x,
+                best_yield,
+                ci,
+                feasible,
+                result.generations,
+                0,
+                filter.map(|f| f.skips).unwrap_or(0),
+                digest,
+            )
+        }
+    };
 
     let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
     let true_yield = problem.true_yield(&best_x);
@@ -306,6 +435,7 @@ pub fn run_scenario_with(
             EngineKind::Parallel => "parallel".to_string(),
         },
         estimator: estimator.label().to_string(),
+        prescreen: prescreen.label().to_string(),
         seed,
         dimension: bench.dimension() as u64,
         statistical_dimension: bench.unit_dimension() as u64,
@@ -317,6 +447,7 @@ pub fn run_scenario_with(
         simulations: problem.simulations(),
         generations: generations as u64,
         local_searches: local_searches as u64,
+        prescreen_skips,
         trace_digest: digest,
         wall_time_ms,
         engine_stats: problem.engine_stats(),

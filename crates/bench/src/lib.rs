@@ -13,7 +13,7 @@ pub mod harness;
 pub mod results;
 
 pub use cli::CliArgs;
-pub use harness::{run_scenario, run_scenario_with, Algo, BudgetClass};
+pub use harness::{run_scenario, run_scenario_prescreened, run_scenario_with, Algo, BudgetClass};
 
 use moheco::{CircuitBench, MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};
 use moheco_analog::Testbench;

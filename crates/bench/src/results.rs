@@ -33,8 +33,10 @@ use std::fmt::Write as _;
 /// re-interpreted (and regenerate `baselines/`).
 ///
 /// v2 added the `estimator` identity field and the `ci_half_width` outcome
-/// field (the pluggable variance-reduction estimator layer).
-pub const SCHEMA_VERSION: u64 = 2;
+/// field (the pluggable variance-reduction estimator layer). v3 added the
+/// `prescreen` identity field and the `prescreen_skips` outcome field (the
+/// surrogate candidate-prescreening stage).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Maximum allowed absolute deviation of `best_yield` from the committed
 /// baseline (5 percentage points, per the CI gating policy).
@@ -53,6 +55,8 @@ pub struct ScenarioResult {
     pub engine: String,
     /// Variance-reduction estimator label (`mc`, `lhs`, `antithetic`, `is`).
     pub estimator: String,
+    /// Surrogate-prescreen label (`off`, `rsb`).
+    pub prescreen: String,
     /// Master seed of the run.
     pub seed: u64,
     /// Number of design variables.
@@ -77,6 +81,11 @@ pub struct ScenarioResult {
     pub generations: u64,
     /// Nelder-Mead local searches triggered (memetic runs).
     pub local_searches: u64,
+    /// Candidates the surrogate prescreen vetoed (0 when prescreening is
+    /// off). For `memetic` / `two-stage` runs these are candidates demoted
+    /// from their stage-1 OCBA seat to the probe budget; for `de` / `ga`
+    /// runs they are trial vectors discarded without any evaluation.
+    pub prescreen_skips: u64,
     /// FNV-1a digest of the per-generation trace (yield history + spend).
     pub trace_digest: String,
     /// Wall-clock time of the run in milliseconds (reported, never gated).
@@ -85,8 +94,10 @@ pub struct ScenarioResult {
     pub engine_stats: EngineStatsSnapshot,
 }
 
-fn fmt_f64(v: f64) -> String {
-    // Full round-trip precision so baselines don't lose information.
+/// Formats a float for the flat-JSON writers (full round-trip precision so
+/// baselines don't lose information; integral values keep a `.0` suffix so
+/// they stay visibly floats).
+pub fn fmt_f64(v: f64) -> String {
     let s = format!("{v}");
     if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
         s
@@ -112,6 +123,7 @@ impl ScenarioResult {
         field("budget", format!("\"{}\"", self.budget));
         field("engine", format!("\"{}\"", self.engine));
         field("estimator", format!("\"{}\"", self.estimator));
+        field("prescreen", format!("\"{}\"", self.prescreen));
         field("seed", self.seed.to_string());
         field("dimension", self.dimension.to_string());
         field(
@@ -126,6 +138,7 @@ impl ScenarioResult {
         field("simulations", self.simulations.to_string());
         field("generations", self.generations.to_string());
         field("local_searches", self.local_searches.to_string());
+        field("prescreen_skips", self.prescreen_skips.to_string());
         field("trace_digest", format!("\"{}\"", self.trace_digest));
         field("wall_time_ms", fmt_f64(self.wall_time_ms));
         for (name, value) in self.engine_stats.counter_fields() {
@@ -307,13 +320,14 @@ impl BaselineComparison {
 /// Fields that must match the baseline exactly (run identity; the schema
 /// version is included so a version bump always forces a deliberate
 /// baseline regeneration, even when the key set happens not to change).
-const IDENTITY_FIELDS: [&str; 7] = [
+const IDENTITY_FIELDS: [&str; 8] = [
     "schema_version",
     "scenario",
     "algo",
     "budget",
     "engine",
     "estimator",
+    "prescreen",
     "seed",
 ];
 
@@ -422,6 +436,7 @@ mod tests {
             budget: "small".into(),
             engine: "serial".into(),
             estimator: "mc".into(),
+            prescreen: "off".into(),
             seed: 1,
             dimension: 4,
             statistical_dimension: 1,
@@ -433,6 +448,7 @@ mod tests {
             simulations: 1234,
             generations: 8,
             local_searches: 1,
+            prescreen_skips: 0,
             trace_digest: "00ff00ff00ff00ff".into(),
             wall_time_ms: 12.5,
             engine_stats: EngineStatsSnapshot::default(),
@@ -526,6 +542,13 @@ mod tests {
         let cmp = compare_results(&baseline.to_json(), &lhs.to_json());
         assert!(!cmp.passed());
         assert!(cmp.failures.iter().any(|f| f.contains("estimator")));
+        // The prescreen is part of the run identity too: a prescreened
+        // result can never silently replace an unscreened baseline.
+        let mut rsb = sample_result();
+        rsb.prescreen = "rsb".into();
+        let cmp = compare_results(&baseline.to_json(), &rsb.to_json());
+        assert!(!cmp.passed());
+        assert!(cmp.failures.iter().any(|f| f.contains("prescreen")));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Determinism guarantees of the surrogate prescreening stage.
+//!
+//! * `--prescreen off` (the default) must reproduce the committed baseline
+//!   results bit-for-bit — the prescreen subsystem may not perturb a single
+//!   sample of an unscreened run;
+//! * `--prescreen rsb` must be deterministic in the run seed, and
+//!   bit-identical between the serial and parallel engines (the surrogate
+//!   only ever sees measured estimates, which are engine-independent).
+
+use moheco::PrescreenKind;
+use moheco_bench::results::parse_flat_json;
+use moheco_bench::{run_scenario_prescreened, Algo, BudgetClass, EngineKind};
+use moheco_sampling::EstimatorKind;
+use moheco_scenarios::find_scenario;
+use std::path::Path;
+
+fn run(
+    algo: Algo,
+    seed: u64,
+    engine: EngineKind,
+    prescreen: PrescreenKind,
+) -> moheco_bench::results::ScenarioResult {
+    let scenario = find_scenario("margin_wall").expect("registered");
+    run_scenario_prescreened(
+        scenario.as_ref(),
+        algo,
+        BudgetClass::Small,
+        seed,
+        engine,
+        EstimatorKind::default(),
+        prescreen,
+    )
+}
+
+#[test]
+fn prescreen_off_reproduces_the_committed_baseline_bit_for_bit() {
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/RESULTS_margin_wall.json");
+    let baseline = parse_flat_json(&std::fs::read_to_string(baseline_path).expect("baseline"))
+        .expect("well-formed baseline");
+    let fresh = run(Algo::Memetic, 1, EngineKind::Serial, PrescreenKind::Off);
+    assert_eq!(
+        Some(fresh.trace_digest.as_str()),
+        baseline.str("trace_digest"),
+        "trace digest drifted from the committed baseline"
+    );
+    assert_eq!(Some(fresh.best_yield), baseline.num("best_yield"));
+    assert_eq!(Some(fresh.simulations as f64), baseline.num("simulations"));
+    assert_eq!(fresh.prescreen, "off");
+    assert_eq!(fresh.prescreen_skips, 0);
+}
+
+#[test]
+fn prescreen_rsb_is_deterministic_in_the_seed() {
+    let (a, b, c) = (
+        run(Algo::Memetic, 1, EngineKind::Serial, PrescreenKind::Rsb),
+        run(Algo::Memetic, 1, EngineKind::Serial, PrescreenKind::Rsb),
+        run(Algo::Memetic, 2, EngineKind::Serial, PrescreenKind::Rsb),
+    );
+    assert_eq!(a.trace_digest, b.trace_digest);
+    assert_eq!(a.best_yield, b.best_yield);
+    assert_eq!(a.simulations, b.simulations);
+    assert_eq!(a.prescreen_skips, b.prescreen_skips);
+    assert!(
+        c.trace_digest != a.trace_digest || c.simulations != a.simulations,
+        "different seeds should differ"
+    );
+}
+
+#[test]
+fn prescreen_rsb_parallel_matches_serial() {
+    let serial = run(Algo::Memetic, 1, EngineKind::Serial, PrescreenKind::Rsb);
+    let parallel = run(Algo::Memetic, 1, EngineKind::Parallel, PrescreenKind::Rsb);
+    assert_eq!(serial.trace_digest, parallel.trace_digest);
+    assert_eq!(serial.best_yield, parallel.best_yield);
+    assert_eq!(serial.simulations, parallel.simulations);
+    assert_eq!(serial.prescreen_skips, parallel.prescreen_skips);
+}
+
+#[test]
+fn prescreen_rsb_engages_and_saves_simulations_on_margin_wall() {
+    let off = run(Algo::Memetic, 1, EngineKind::Serial, PrescreenKind::Off);
+    let rsb = run(Algo::Memetic, 1, EngineKind::Serial, PrescreenKind::Rsb);
+    assert!(rsb.prescreen_skips > 0, "the screen never engaged");
+    assert!(
+        rsb.simulations < off.simulations,
+        "rsb {} vs off {}",
+        rsb.simulations,
+        off.simulations
+    );
+    assert!(
+        (rsb.best_yield - off.best_yield).abs() <= moheco_bench::results::YIELD_TOLERANCE,
+        "yield drifted: rsb {} off {}",
+        rsb.best_yield,
+        off.best_yield
+    );
+}
+
+#[test]
+fn de_and_ga_trial_filters_are_seed_deterministic() {
+    for algo in [Algo::De, Algo::Ga] {
+        let a = run(algo, 3, EngineKind::Serial, PrescreenKind::Rsb);
+        let b = run(algo, 3, EngineKind::Serial, PrescreenKind::Rsb);
+        assert_eq!(a.trace_digest, b.trace_digest, "{}", algo.label());
+        assert_eq!(a.simulations, b.simulations, "{}", algo.label());
+        assert_eq!(a.prescreen_skips, b.prescreen_skips, "{}", algo.label());
+        // The unfiltered run differs once the filter engages (it may not on
+        // every seed, but the result must still be well-formed).
+        assert!(a.best_yield >= 0.0 && a.best_yield <= 1.0);
+    }
+}

@@ -67,11 +67,23 @@ impl Candidate {
     /// Selection rule of the algorithm (Deb's feasibility rules applied to
     /// yield maximisation): returns `true` when `self` should replace `other`
     /// in the one-to-one DE selection.
+    ///
+    /// Ties between feasible candidates go to `self` (DE's greedy
+    /// replacement) — except when `self` carries no measured samples at all
+    /// (e.g. it was vetoed by the surrogate prescreen): an unmeasured
+    /// candidate must not displace a measured competitor on the
+    /// `0.0 == 0.0` tie.
     pub fn beats(&self, other: &Candidate) -> bool {
         match (self.feasible, other.feasible) {
             (true, false) => true,
             (false, true) => false,
-            (true, true) => self.yield_value() >= other.yield_value(),
+            (true, true) => {
+                if self.estimate.samples == 0 && other.estimate.samples > 0 {
+                    self.yield_value() > other.yield_value()
+                } else {
+                    self.yield_value() >= other.yield_value()
+                }
+            }
             (false, false) => self.violation <= other.violation,
         }
     }
@@ -134,6 +146,18 @@ mod tests {
         assert!(!b.beats(&a));
         // Ties are accepted (>=), matching DE's greedy replacement.
         assert!(a.beats(&a.clone()));
+    }
+
+    #[test]
+    fn unmeasured_candidate_never_displaces_a_measured_one_on_a_tie() {
+        // Both report 0.0 yield, but the parent paid for its estimate while
+        // the trial was never sampled (prescreen veto): the parent survives.
+        let measured_zero = feasible_with_yield(0, 14);
+        let unmeasured = Candidate::feasible(vec![0.0], AsDecision::FullSampling);
+        assert!(!unmeasured.beats(&measured_zero));
+        assert!(measured_zero.beats(&unmeasured));
+        // Two unmeasured candidates still tie in the trial's favour.
+        assert!(unmeasured.beats(&unmeasured.clone()));
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Surrogate prescreening of candidate generations.
+//!
+//! The two-stage OO scheme already concentrates Monte-Carlo samples on the
+//! candidates whose *measured* estimates look promising — but every feasible
+//! candidate still buys into the stage-1 OCBA round at `sim_ave` samples a
+//! head. Prescreening closes that gap: an online surrogate
+//! ([`moheco_surrogate::PrescreenModel`]) trained on the `(design,
+//! estimated yield)` pairs the run has already paid for predicts each new
+//! candidate's yield *before* any simulation is spent, and candidates
+//! predicted far below the incumbent are demoted to a small probe budget
+//! instead of a full OCBA seat.
+//!
+//! Guard rails, in order of importance:
+//!
+//! * the surrogate only ever *reduces* a candidate's stage-1 budget — the
+//!   promotion threshold, stage-2 top-ups and the final report always use
+//!   measured Monte-Carlo samples, never predictions;
+//! * a periodic exploration override (every
+//!   [`PrescreenConfig::explore_every`]-th generation) estimates the whole
+//!   generation in full, so a mistrained model cannot permanently lock out a
+//!   region of the design space;
+//! * the model stays inactive until it has seen
+//!   [`PrescreenConfig::min_observations`] measured pairs.
+
+use crate::candidate::Candidate;
+use moheco_surrogate::{PrescreenModel, RsbPrescreen};
+
+/// Which prescreening surrogate a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrescreenKind {
+    /// No prescreening: every feasible candidate gets a full OCBA seat
+    /// (bit-identical to the pre-prescreen behaviour).
+    #[default]
+    Off,
+    /// The online response-surface model ([`RsbPrescreen`]).
+    Rsb,
+}
+
+impl PrescreenKind {
+    /// Parses a `--prescreen` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(Self::Off),
+            "rsb" => Some(Self::Rsb),
+            _ => None,
+        }
+    }
+
+    /// The stable label used in results and file names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Rsb => "rsb",
+        }
+    }
+}
+
+/// Configuration of the prescreening stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrescreenConfig {
+    /// Which surrogate to use ([`PrescreenKind::Off`] disables the stage).
+    pub kind: PrescreenKind,
+    /// A candidate predicted below `incumbent - margin` loses its OCBA seat.
+    pub margin: f64,
+    /// Monte-Carlo samples a screened-out candidate still receives (its
+    /// reduced `n0`). The default of 0 skips it entirely — a zero-sample
+    /// estimate always loses the DE selection, so the parent survives.
+    /// Non-zero probes keep a coarse measured estimate in play, at the cost
+    /// that a lucky all-pass probe promotes the candidate straight into the
+    /// expensive stage-2 top-up.
+    pub probe_samples: usize,
+    /// Measured pairs required before the surrogate becomes active.
+    pub min_observations: usize,
+    /// Refit cadence in generations (1 = refit every generation).
+    pub refit_every: usize,
+    /// Every `explore_every`-th generation bypasses the screen entirely.
+    pub explore_every: usize,
+    /// Seed of the surrogate's internal randomness (weight init).
+    pub seed: u64,
+}
+
+impl Default for PrescreenConfig {
+    fn default() -> Self {
+        Self {
+            kind: PrescreenKind::Off,
+            margin: 0.05,
+            probe_samples: 0,
+            min_observations: 20,
+            refit_every: 1,
+            explore_every: 5,
+            seed: 0,
+        }
+    }
+}
+
+impl PrescreenConfig {
+    /// The default configuration for the given surrogate kind.
+    pub fn of_kind(kind: PrescreenKind) -> Self {
+        Self {
+            kind,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter is out of its sensible range.
+    pub fn validate(&self) {
+        assert!(
+            self.margin.is_finite() && self.margin >= 0.0,
+            "prescreen margin must be finite and non-negative"
+        );
+        if self.kind != PrescreenKind::Off {
+            assert!(self.refit_every >= 1, "refit cadence must be >= 1");
+            assert!(self.explore_every >= 2, "exploration cadence must be >= 2");
+            assert!(
+                self.min_observations >= 2,
+                "surrogate needs at least two observations"
+            );
+        }
+    }
+}
+
+/// Counters describing what the prescreen did during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrescreenStats {
+    /// Feasible candidates the active surrogate looked at.
+    pub considered: u64,
+    /// Candidates demoted to the probe budget.
+    pub screened_out: u64,
+    /// Surrogate refits performed.
+    pub refits: u64,
+}
+
+/// The per-run prescreening state: an online surrogate plus the bookkeeping
+/// (generation counter, incumbent, counters) the policy needs.
+pub struct Prescreener {
+    model: Box<dyn PrescreenModel>,
+    config: PrescreenConfig,
+    generation: usize,
+    incumbent: f64,
+    stats: PrescreenStats,
+}
+
+impl std::fmt::Debug for Prescreener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prescreener")
+            .field("model", &self.model.name())
+            .field("generation", &self.generation)
+            .field("incumbent", &self.incumbent)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Prescreener {
+    /// Builds the prescreener for a configuration; `None` when the kind is
+    /// [`PrescreenKind::Off`].
+    pub fn from_config(config: &PrescreenConfig) -> Option<Self> {
+        config.validate();
+        let model: Box<dyn PrescreenModel> = match config.kind {
+            PrescreenKind::Off => return None,
+            PrescreenKind::Rsb => Box::new(
+                RsbPrescreen::new(config.seed).with_min_observations(config.min_observations),
+            ),
+        };
+        Some(Self {
+            model,
+            config: *config,
+            generation: 0,
+            incumbent: 0.0,
+            stats: PrescreenStats::default(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PrescreenConfig {
+        &self.config
+    }
+
+    /// The prescreen counters accumulated so far.
+    pub fn stats(&self) -> PrescreenStats {
+        self.stats
+    }
+
+    /// Whether the current generation bypasses the screen (exploration
+    /// override, or the surrogate is not trained yet).
+    pub fn exploring(&self) -> bool {
+        self.generation.is_multiple_of(self.config.explore_every) || !self.model.ready()
+    }
+
+    /// Verdict per entry of `feasible_idx`: `true` keeps the candidate's
+    /// full OCBA seat, `false` demotes it to the probe budget.
+    pub fn verdicts(&mut self, candidates: &[Candidate], feasible_idx: &[usize]) -> Vec<bool> {
+        if self.exploring() {
+            return vec![true; feasible_idx.len()];
+        }
+        let threshold = self.incumbent - self.config.margin;
+        feasible_idx
+            .iter()
+            .map(|&i| {
+                self.stats.considered += 1;
+                let keep = match self.model.predict(&candidates[i].x) {
+                    Some(pred) => pred >= threshold,
+                    None => true,
+                };
+                if !keep {
+                    self.stats.screened_out += 1;
+                }
+                keep
+            })
+            .collect()
+    }
+
+    /// Absorbs a fully estimated generation: records every measured pair,
+    /// advances the incumbent and the generation counter, and refits the
+    /// surrogate on its cadence. Call exactly once per generation, after
+    /// [`Prescreener::verdicts`].
+    pub fn absorb(&mut self, candidates: &[Candidate]) {
+        for c in candidates {
+            if c.feasible && c.estimate.samples > 0 {
+                let y = c.estimate.value();
+                self.model.observe(&c.x, y);
+                if y > self.incumbent {
+                    self.incumbent = y;
+                }
+            }
+        }
+        if self.generation.is_multiple_of(self.config.refit_every) {
+            let before = self.model.refits();
+            self.model.refit();
+            self.stats.refits += (self.model.refits() - before) as u64;
+        }
+        self.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moheco_sampling::{AsDecision, YieldEstimate};
+
+    fn candidate(x: Vec<f64>, passes: usize, samples: usize) -> Candidate {
+        let mut c = Candidate::feasible(x, AsDecision::FullSampling);
+        c.estimate = YieldEstimate::new(passes, samples);
+        c
+    }
+
+    #[test]
+    fn off_kind_builds_no_prescreener() {
+        assert!(Prescreener::from_config(&PrescreenConfig::default()).is_none());
+        assert_eq!(PrescreenKind::parse("off"), Some(PrescreenKind::Off));
+        assert_eq!(PrescreenKind::parse("rsb"), Some(PrescreenKind::Rsb));
+        assert_eq!(PrescreenKind::parse("mlp"), None);
+        assert_eq!(PrescreenKind::Rsb.label(), "rsb");
+    }
+
+    #[test]
+    fn untrained_model_keeps_every_candidate() {
+        let cfg = PrescreenConfig::of_kind(PrescreenKind::Rsb);
+        let mut p = Prescreener::from_config(&cfg).unwrap();
+        let cands = vec![
+            candidate(vec![0.1, 0.1], 5, 10),
+            candidate(vec![0.9, 0.9], 9, 10),
+        ];
+        assert!(p.exploring());
+        assert_eq!(p.verdicts(&cands, &[0, 1]), vec![true, true]);
+        assert_eq!(p.stats().considered, 0);
+    }
+
+    #[test]
+    fn trained_model_screens_predicted_poor_candidates() {
+        let cfg = PrescreenConfig {
+            kind: PrescreenKind::Rsb,
+            min_observations: 20,
+            margin: 0.15,
+            explore_every: 1000,
+            ..PrescreenConfig::default()
+        };
+        let mut p = Prescreener::from_config(&cfg).unwrap();
+        // Teach the model a clean gradient: yield falls off with |x - 0.8|.
+        for round in 0..4 {
+            let gen: Vec<Candidate> = (0..12)
+                .map(|i| {
+                    let v = (i as f64 + (round % 2) as f64 * 0.5) / 12.0;
+                    let y = (1.0 - (v - 0.8).abs()).clamp(0.0, 1.0);
+                    candidate(vec![v, v], (y * 100.0).round() as usize, 100)
+                })
+                .collect();
+            p.absorb(&gen);
+        }
+        // Generation counter is past 0 and the model is trained: screen on.
+        assert!(!p.exploring());
+        let trials = vec![
+            candidate(vec![0.8, 0.8], 0, 0),   // predicted near the incumbent
+            candidate(vec![0.05, 0.05], 0, 0), // predicted far below
+        ];
+        let verdicts = p.verdicts(&trials, &[0, 1]);
+        assert!(verdicts[0], "good candidate keeps its seat");
+        assert!(!verdicts[1], "poor candidate is demoted");
+        assert_eq!(p.stats().considered, 2);
+        assert_eq!(p.stats().screened_out, 1);
+        assert!(p.stats().refits >= 1);
+    }
+
+    #[test]
+    fn exploration_override_fires_on_cadence() {
+        let cfg = PrescreenConfig {
+            kind: PrescreenKind::Rsb,
+            min_observations: 2,
+            explore_every: 2,
+            ..PrescreenConfig::default()
+        };
+        let mut p = Prescreener::from_config(&cfg).unwrap();
+        let gen: Vec<Candidate> = (0..10)
+            .map(|i| candidate(vec![i as f64 / 10.0], i, 10))
+            .collect();
+        // Generation 0 always explores; after absorbing it (generation -> 1)
+        // the screen is active, and generation 2 explores again.
+        assert!(p.exploring());
+        p.absorb(&gen);
+        assert!(!p.exploring());
+        p.absorb(&gen);
+        assert!(p.exploring());
+    }
+
+    #[test]
+    #[should_panic(expected = "exploration cadence")]
+    fn invalid_exploration_cadence_panics() {
+        let cfg = PrescreenConfig {
+            kind: PrescreenKind::Rsb,
+            explore_every: 1,
+            ..PrescreenConfig::default()
+        };
+        cfg.validate();
+    }
+}

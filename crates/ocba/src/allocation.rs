@@ -64,6 +64,17 @@ impl fmt::Display for OcbaError {
 
 impl std::error::Error for OcbaError {}
 
+/// Maps a non-finite mean (NaN or an infinity) to the worst possible value
+/// so comparisons against it are total and it can never win a best-design
+/// selection. Finite means pass through unchanged.
+pub(crate) fn finite_or_worst(mean: f64) -> f64 {
+    if mean.is_finite() {
+        mean
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
 /// Summary statistics of one design under simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignStats {
@@ -119,8 +130,12 @@ pub fn allocate(means: &[f64], variances: &[f64], total: usize) -> Result<Vec<us
     }
 
     let s = means.len();
-    // Best design: highest mean.
-    let b = means
+    // Best design: highest mean. Non-finite means (NaN from a degenerate
+    // estimate, infinities from an overflowed one) are treated as
+    // worst-possible, so a poisoned design can never be selected as `b` and
+    // contaminate every delta below.
+    let sane: Vec<f64> = means.iter().map(|&m| finite_or_worst(m)).collect();
+    let b = sane
         .iter()
         .enumerate()
         .max_by(|a, c| a.1.partial_cmp(c.1).unwrap_or(std::cmp::Ordering::Equal))
@@ -138,7 +153,7 @@ pub fn allocate(means: &[f64], variances: &[f64], total: usize) -> Result<Vec<us
     } else {
         1e-12
     };
-    let mut deltas: Vec<f64> = means.iter().map(|&m| means[b] - m).collect();
+    let mut deltas: Vec<f64> = sane.iter().map(|&m| sane[b] - m).collect();
     let delta_floor = deltas
         .iter()
         .cloned()
@@ -258,7 +273,12 @@ pub fn allocate_incremental(stats: &[DesignStats], delta: usize) -> Result<Vec<u
         .collect();
     let mut assigned: usize = out.iter().sum();
     // Distribute the remainder to the designs with the largest shortfall.
-    let mut order: Vec<usize> = (0..stats.len()).collect();
+    // Only designs that are actually under their OCBA target may receive
+    // remainder units: cycling through the full design list would hand
+    // increments to already-over-target designs whenever the remainder
+    // exceeds the number of underfunded ones (possible through floating-point
+    // rounding of the proportional split at large deltas).
+    let mut order: Vec<usize> = (0..stats.len()).filter(|&i| shortfall[i] > 0).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(shortfall[i]));
     let mut k = 0;
     while assigned < delta {
@@ -384,6 +404,67 @@ mod tests {
         ];
         let add = allocate_incremental(&stats, 5).unwrap();
         assert_eq!(add.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn nan_mean_is_never_selected_as_best() {
+        // Pre-fix, the NaN mean wins the max_by comparison (partial_cmp
+        // returns None -> Equal -> the later element is kept), poisoning
+        // every delta and collapsing the allocation to the uniform fallback.
+        let a = allocate(&[0.9, 0.7, f64::NAN], &[0.1, 0.1, 0.1], 300).unwrap();
+        assert_eq!(a.iter().sum::<usize>(), 300);
+        assert_eq!(a[2], 0, "NaN-mean design must receive nothing: {a:?}");
+        assert!(
+            a[0] > 0 && a[1] > 0,
+            "finite designs share the budget: {a:?}"
+        );
+    }
+
+    #[test]
+    fn nan_mean_does_not_poison_the_deltas() {
+        // NaN in the *non-best* position: pre-fix the delta of the NaN design
+        // is NaN, the weight sum is NaN and every design falls back to the
+        // uniform split. Post-fix the finite designs keep their OCBA shares.
+        let a = allocate(&[f64::NAN, 0.5, 0.4], &[0.1, 0.04, 0.1], 300).unwrap();
+        assert_eq!(a.iter().sum::<usize>(), 300);
+        assert_eq!(a[0], 0, "NaN-mean design must receive nothing: {a:?}");
+        assert_ne!(a[1], a[2], "finite designs must not be uniform: {a:?}");
+        // Infinite means are equally non-finite and equally excluded.
+        let b = allocate(&[0.6, f64::INFINITY, 0.5], &[0.1, 0.1, 0.1], 300).unwrap();
+        assert_eq!(b[1], 0, "infinite-mean design must receive nothing: {b:?}");
+    }
+
+    #[test]
+    fn remainder_never_reaches_overfunded_designs() {
+        // Design 0 sits far above its OCBA target (an overfunded competitor);
+        // every remainder unit of the proportional split must land on a
+        // design with a positive shortfall, for any delta.
+        for delta in [1, 3, 7, 20, 61, 1000] {
+            let stats = vec![
+                DesignStats::new(0.9, 0.09, 5000),
+                DesignStats::new(0.88, 0.10, 15),
+                DesignStats::new(0.86, 0.12, 15),
+                DesignStats::new(0.3, 0.21, 15),
+            ];
+            let add = allocate_incremental(&stats, delta).unwrap();
+            assert_eq!(add.iter().sum::<usize>(), delta);
+            assert_eq!(
+                add[0], 0,
+                "overfunded design funded at delta {delta}: {add:?}"
+            );
+        }
+        // At large deltas the f64 proportional split rounds down by more
+        // than one unit per design, so the remainder exceeds the number of
+        // underfunded designs and the pre-fix full-list cycling wraps around
+        // into the overfunded competitor.
+        let stats = vec![
+            DesignStats::new(0.9, 0.25, 0),
+            DesignStats::new(0.2, 0.01, 1_000_000_000_000_000_000),
+        ];
+        let delta = (1usize << 60) + 127;
+        let add = allocate_incremental(&stats, delta).unwrap();
+        assert_eq!(add.iter().sum::<usize>(), delta);
+        assert_eq!(add[1], 0, "overfunded design funded: {add:?}");
     }
 
     #[test]

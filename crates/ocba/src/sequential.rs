@@ -113,13 +113,16 @@ pub struct SequentialOutcome {
 
 impl SequentialOutcome {
     /// Index of the design with the best (highest) estimated mean.
+    ///
+    /// Non-finite means (e.g. a NaN from a poisoned outcome stream) are
+    /// ranked worst-possible, so they can never win the selection.
     pub fn best_design(&self) -> usize {
         self.stats
             .iter()
             .enumerate()
             .max_by(|a, b| {
-                a.1.mean
-                    .partial_cmp(&b.1.mean)
+                crate::allocation::finite_or_worst(a.1.mean)
+                    .partial_cmp(&crate::allocation::finite_or_worst(b.1.mean))
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i)
@@ -201,13 +204,38 @@ where
         let delta = config.delta.min(remaining).max(1);
         let design_stats: Vec<DesignStats> = stats.iter().map(|s| s.to_design_stats()).collect();
         let add = allocate_incremental(&design_stats, delta)?;
-        let round: Vec<(usize, usize)> = add
+        // Clamp each grant to the design's remaining cap room, then
+        // redistribute whatever the caps swallowed to designs that still have
+        // room (one replication per design per lap, in index order). Without
+        // the redistribution, a round whose funded designs are all at
+        // `per_design_cap` comes back empty and the loop stops — stranding
+        // budget even though other designs are below their cap.
+        let mut granted: Vec<usize> = add
             .iter()
             .enumerate()
-            .filter_map(|(d, &n_add)| {
-                let n = n_add.min(cap.saturating_sub(spent[d]));
-                (n > 0).then_some((d, n))
-            })
+            .map(|(d, &n_add)| n_add.min(cap.saturating_sub(spent[d])))
+            .collect();
+        let mut leftover = delta - granted.iter().sum::<usize>();
+        while leftover > 0 {
+            let mut placed = false;
+            for d in 0..num_designs {
+                if leftover == 0 {
+                    break;
+                }
+                if spent[d] + granted[d] < cap {
+                    granted[d] += 1;
+                    leftover -= 1;
+                    placed = true;
+                }
+            }
+            if !placed {
+                break; // every design is at its cap
+            }
+        }
+        let round: Vec<(usize, usize)> = granted
+            .iter()
+            .enumerate()
+            .filter_map(|(d, &n)| (n > 0).then_some((d, n)))
             .collect();
         let progressed = run_round(&round, &mut stats, &mut spent, &mut total_spent);
         rounds += 1;
@@ -362,8 +390,54 @@ mod tests {
         for &s in &out.spent {
             assert!(s <= 40, "spent {s} exceeds cap");
         }
-        // Budget cannot be fully spent because of the cap.
-        assert!(out.total_spent <= 120);
+        // Budget cannot be fully spent because of the cap; with the capped
+        // round redistribution the loop fills every design exactly to it.
+        assert_eq!(out.total_spent, 120);
+    }
+
+    #[test]
+    fn capped_rounds_redistribute_to_uncapped_designs() {
+        // Four close competitors hog the OCBA allocation; once they hit the
+        // per-design cap, the rule still funds only them, so pre-fix the
+        // round comes back empty and the loop breaks — stranding budget even
+        // though the clearly-bad design 4 is far below its own cap.
+        let probs = vec![0.9, 0.88, 0.86, 0.84, 0.1];
+        let mut sim = FakeBernoulli::new(probs.clone());
+        let config = SequentialConfig {
+            n0: 15,
+            delta: 25,
+            total_budget: 50 * probs.len(),
+            per_design_cap: Some(30),
+        };
+        let out = run_sequential(probs.len(), config, |d, n| sim.simulate(d, n)).unwrap();
+        // Every design must be filled to its cap: the cap binds before the
+        // budget (5 * 30 < 250).
+        assert_eq!(
+            out.total_spent,
+            config.total_budget.min(probs.len() * 30),
+            "spent {:?}",
+            out.spent
+        );
+        for &s in &out.spent {
+            assert_eq!(s, 30, "all designs reach the cap: {:?}", out.spent);
+        }
+    }
+
+    #[test]
+    fn nan_mean_design_is_never_best() {
+        // A poisoned outcome stream gives design 1 a NaN mean; pre-fix the
+        // max_by tie-handling lets it win the best-design selection.
+        let mut outcome = SequentialOutcome {
+            stats: vec![RunningStats::new(); 3],
+            spent: vec![10; 3],
+            total_spent: 30,
+            rounds: 1,
+        };
+        outcome.stats[0].extend(&[1.0, 0.0, 1.0, 1.0]);
+        outcome.stats[1].push(f64::NAN);
+        outcome.stats[2].extend(&[0.0, 0.0, 1.0, 0.0]);
+        assert!(outcome.stats[1].mean.is_nan());
+        assert_eq!(outcome.best_design(), 0);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Trial-candidate filtering for the population engines.
+//!
+//! Evolutionary engines evaluate every trial vector they generate, even the
+//! ones an observer could tell are hopeless. A [`TrialFilter`] is consulted
+//! once per generation, *before* the evaluation batch is dispatched: trials
+//! it rejects are discarded unevaluated (their parents survive the
+//! selection), so an expensive problem — e.g. a Monte-Carlo yield estimate —
+//! is only paid for candidates worth measuring.
+//!
+//! The filter also receives every `(candidate, evaluation)` pair the engine
+//! *does* pay for, so an online surrogate (see `moheco-surrogate`) can learn
+//! the objective landscape as the run progresses. [`AdmitAll`] is the
+//! pass-through used by the unfiltered `run` entry points; engines behave
+//! bit-identically under it.
+
+use crate::problem::Evaluation;
+
+/// A per-generation gate over trial candidates.
+pub trait TrialFilter {
+    /// Verdict per trial vector: `true` evaluates it, `false` discards it
+    /// unevaluated (the parent keeps its population slot).
+    fn admit(&mut self, generation: usize, trials: &[Vec<f64>]) -> Vec<bool>;
+
+    /// Feedback for every candidate the engine evaluated (initial population
+    /// members included), in evaluation order.
+    fn observe(&mut self, x: &[f64], eval: &Evaluation) {
+        let _ = (x, eval);
+    }
+}
+
+/// The pass-through filter: every trial is evaluated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl TrialFilter for AdmitAll {
+    fn admit(&mut self, _generation: usize, trials: &[Vec<f64>]) -> Vec<bool> {
+        vec![true; trials.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_all_admits_everything() {
+        let mut f = AdmitAll;
+        assert_eq!(f.admit(3, &[vec![1.0], vec![2.0]]), vec![true, true]);
+        // The default observe is a no-op and must not panic.
+        f.observe(&[1.0], &Evaluation::feasible(0.0));
+    }
+}

@@ -7,6 +7,7 @@
 //! crossover, Gaussian mutation and single-member elitism.
 
 use crate::constraints::feasibility_compare;
+use crate::filter::{AdmitAll, TrialFilter};
 use crate::population::{Individual, Population};
 use crate::problem::{clamp_to_bounds, Problem};
 use crate::result::OptimizationResult;
@@ -132,19 +133,36 @@ impl GeneticAlgorithm {
         problem: &mut P,
         rng: &mut R,
     ) -> OptimizationResult {
+        self.run_filtered(problem, &mut AdmitAll, rng)
+    }
+
+    /// [`Self::run`] with a [`TrialFilter`] gating each generation's brood:
+    /// rejected children are discarded unevaluated and their first parent
+    /// inherits the population slot. Under [`AdmitAll`] this is bit-identical
+    /// to [`Self::run`] (the filter never touches the RNG stream).
+    pub fn run_filtered<P: Problem + ?Sized, T: TrialFilter + ?Sized, R: Rng + ?Sized>(
+        &self,
+        problem: &mut P,
+        filter: &mut T,
+        rng: &mut R,
+    ) -> OptimizationResult {
         let bounds = problem.bounds();
         let mut population = Population::random(problem, self.config.population_size, rng);
+        for m in &population.members {
+            filter.observe(&m.x, &m.eval);
+        }
         let mut evaluations = population.len();
         let mut best_so_far = population.best().cloned().expect("non-empty population");
         let mut history = Vec::new();
         let mut stagnation = 0usize;
         let mut generations = 0usize;
 
-        for _gen in 0..self.config.max_generations {
+        for gen in 0..self.config.max_generations {
             generations += 1;
             // Offspring derive from the previous population only, so the
             // whole brood is generated first and evaluated as one batch.
             let mut children = Vec::with_capacity(population.len().saturating_sub(1));
+            let mut parents = Vec::with_capacity(population.len().saturating_sub(1));
             while children.len() + 1 < population.len() {
                 let p1 = self.tournament(&population, rng).clone();
                 let p2 = self.tournament(&population, rng).clone();
@@ -155,18 +173,38 @@ impl GeneticAlgorithm {
                 };
                 self.mutate(&mut child_x, &bounds, rng);
                 children.push(child_x);
+                parents.push(p1);
             }
-            let child_evals = problem.evaluate_batch(&children);
-            evaluations += children.len();
-            // Elitism: keep the best member.
+            let admits = filter.admit(gen, &children);
+            debug_assert_eq!(admits.len(), children.len(), "one verdict per child");
+            // Fast path when nothing was rejected (always the case under
+            // [`AdmitAll`]): evaluate the brood in place, no copies.
+            let selected_evals = if admits.iter().all(|&keep| keep) {
+                problem.evaluate_batch(&children)
+            } else {
+                let selected: Vec<Vec<f64>> = children
+                    .iter()
+                    .zip(&admits)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(c, _)| c.clone())
+                    .collect();
+                problem.evaluate_batch(&selected)
+            };
+            evaluations += selected_evals.len();
+            // Elitism: keep the best member; rejected children fall back to
+            // their (already evaluated) first parent.
             let mut next = Vec::with_capacity(population.len());
             next.push(best_so_far.clone());
-            next.extend(
-                children
-                    .into_iter()
-                    .zip(child_evals)
-                    .map(|(x, eval)| Individual::new(x, eval)),
-            );
+            let mut eval_iter = selected_evals.into_iter();
+            for ((x, keep), parent) in children.into_iter().zip(admits).zip(parents) {
+                if keep {
+                    let eval = eval_iter.next().expect("one evaluation per admitted child");
+                    filter.observe(&x, &eval);
+                    next.push(Individual::new(x, eval));
+                } else {
+                    next.push(parent);
+                }
+            }
             population = next.into_iter().collect();
 
             let gen_best = population.best().cloned().expect("non-empty population");

@@ -36,6 +36,7 @@
 
 pub mod constraints;
 pub mod de;
+pub mod filter;
 pub mod ga;
 pub mod memetic;
 pub mod nelder_mead;
@@ -46,6 +47,7 @@ pub mod result;
 
 pub use constraints::{aggregate_violations, best_index, feasibility_compare, is_better_or_equal};
 pub use de::{de_crossover, de_mutant, DeConfig, DeStrategy, DifferentialEvolution};
+pub use filter::{AdmitAll, TrialFilter};
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use memetic::{MemeticConfig, MemeticOptimizer, StagnationTracker};
 pub use nelder_mead::{nelder_mead, NelderMeadConfig, NelderMeadResult};

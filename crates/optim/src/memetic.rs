@@ -13,6 +13,7 @@
 
 use crate::constraints::is_better_or_equal;
 use crate::de::{de_crossover, de_mutant, DeConfig};
+use crate::filter::{AdmitAll, TrialFilter};
 use crate::nelder_mead::{nelder_mead, NelderMeadConfig};
 use crate::population::{Individual, Population};
 use crate::problem::Problem;
@@ -121,8 +122,26 @@ impl MemeticOptimizer {
         problem: &mut P,
         rng: &mut R,
     ) -> OptimizationResult {
+        self.run_filtered(problem, &mut AdmitAll, rng)
+    }
+
+    /// [`Self::run`] with a [`TrialFilter`] gating each DE generation's
+    /// trial vectors (rejected trials are discarded unevaluated; their
+    /// parents survive). The Nelder–Mead refinement is *never* filtered: it
+    /// probes a small neighbourhood of the best member, exactly the region a
+    /// surrogate is least able to resolve. Under [`AdmitAll`] this is
+    /// bit-identical to [`Self::run`].
+    pub fn run_filtered<P: Problem + ?Sized, T: TrialFilter + ?Sized, R: Rng + ?Sized>(
+        &self,
+        problem: &mut P,
+        filter: &mut T,
+        rng: &mut R,
+    ) -> OptimizationResult {
         let bounds = problem.bounds();
         let mut population = Population::random(problem, self.config.de.population_size, rng);
+        for m in &population.members {
+            filter.observe(&m.x, &m.eval);
+        }
         let mut evaluations = population.len();
         let mut history = Vec::new();
         let mut tracker = StagnationTracker::new(self.config.stagnation_trigger);
@@ -130,7 +149,7 @@ impl MemeticOptimizer {
         let mut generations = 0usize;
         let mut stagnation_stop = 0usize;
 
-        for _gen in 0..self.config.de.max_generations {
+        for gen in 0..self.config.de.max_generations {
             generations += 1;
             // One synchronous DE generation, evaluated as a single batch so a
             // batch-capable problem can dispatch it in parallel.
@@ -140,9 +159,29 @@ impl MemeticOptimizer {
                     de_crossover(&population.members[i].x, &mutant, self.config.de.cr, rng)
                 })
                 .collect();
-            let trial_evals = problem.evaluate_batch(&trials);
-            evaluations += trials.len();
-            for (i, (trial_x, trial_eval)) in trials.into_iter().zip(trial_evals).enumerate() {
+            let admits = filter.admit(gen, &trials);
+            debug_assert_eq!(admits.len(), trials.len(), "one verdict per trial");
+            // Fast path when nothing was rejected (always the case under
+            // [`AdmitAll`]): evaluate the trials in place, no copies.
+            let selected_evals = if admits.iter().all(|&keep| keep) {
+                problem.evaluate_batch(&trials)
+            } else {
+                let selected: Vec<Vec<f64>> = trials
+                    .iter()
+                    .zip(&admits)
+                    .filter(|(_, &keep)| keep)
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                problem.evaluate_batch(&selected)
+            };
+            evaluations += selected_evals.len();
+            let mut eval_iter = selected_evals.into_iter();
+            for (i, (trial_x, keep)) in trials.into_iter().zip(admits).enumerate() {
+                if !keep {
+                    continue;
+                }
+                let trial_eval = eval_iter.next().expect("one evaluation per admitted trial");
+                filter.observe(&trial_x, &trial_eval);
                 if is_better_or_equal(&trial_eval, &population.members[i].eval) {
                     population.members[i] = Individual::new(trial_x, trial_eval);
                 }
@@ -241,6 +280,74 @@ mod tests {
         assert!(!t.update(9.5));
         assert!(!t.update(9.5));
         assert!(t.update(9.5));
+    }
+
+    #[test]
+    fn admit_all_filter_matches_unfiltered_run() {
+        let make_problem = || {
+            FnProblem::new(3, vec![(-3.0, 3.0); 3], |x: &[f64]| {
+                Evaluation::feasible(x.iter().map(|v| v * v).sum())
+            })
+        };
+        let config = MemeticConfig {
+            de: DeConfig {
+                population_size: 10,
+                max_generations: 15,
+                ..DeConfig::default()
+            },
+            ..MemeticConfig::default()
+        };
+        let run = |filtered: bool| {
+            let mut problem = make_problem();
+            let mut rng = StdRng::seed_from_u64(31);
+            let optimizer = MemeticOptimizer::new(config);
+            if filtered {
+                optimizer.run_filtered(&mut problem, &mut AdmitAll, &mut rng)
+            } else {
+                optimizer.run(&mut problem, &mut rng)
+            }
+        };
+        let (a, b) = (run(false), run(true));
+        assert_eq!(a.best.x, b.best.x);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn rejected_trials_are_not_evaluated() {
+        struct RejectAfterFirst {
+            observed: usize,
+        }
+        impl TrialFilter for RejectAfterFirst {
+            fn admit(&mut self, generation: usize, trials: &[Vec<f64>]) -> Vec<bool> {
+                vec![generation == 0; trials.len()]
+            }
+            fn observe(&mut self, _x: &[f64], _eval: &Evaluation) {
+                self.observed += 1;
+            }
+        }
+        let mut problem = FnProblem::new(2, vec![(-1.0, 1.0); 2], |x: &[f64]| {
+            Evaluation::feasible(x[0] * x[0] + x[1] * x[1])
+        });
+        let mut rng = StdRng::seed_from_u64(32);
+        let optimizer = MemeticOptimizer::new(MemeticConfig {
+            de: DeConfig {
+                population_size: 8,
+                max_generations: 4,
+                stagnation_limit: None,
+                ..DeConfig::default()
+            },
+            // A high trigger keeps the (unfiltered) Nelder-Mead refinement
+            // out of the evaluation count.
+            stagnation_trigger: 100,
+            ..MemeticConfig::default()
+        });
+        let mut filter = RejectAfterFirst { observed: 0 };
+        let result = optimizer.run_filtered(&mut problem, &mut filter, &mut rng);
+        // Initial population + one admitted generation; the three rejected
+        // generations cost nothing.
+        assert_eq!(result.evaluations, 8 + 8);
+        assert_eq!(filter.observed, 16);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Online yield surrogates for candidate prescreening.
+//!
+//! The offline §3.4 experiment ([`crate::rsb`]) concludes that a response
+//! surface is not accurate enough to *replace* Monte-Carlo yield estimation.
+//! It is, however, plenty accurate to *rank* candidates — the BagNet line of
+//! work shows that a cheap learned discriminator screening evolutionary
+//! candidates before simulation cuts simulator calls by a large factor. This
+//! module packages that idea as an online model trained incrementally on the
+//! `(design point, estimated yield)` pairs a run accumulates anyway.
+//!
+//! [`PrescreenModel`] is the object-safe contract the optimization layers
+//! consume; [`RsbPrescreen`] implements it over the existing
+//! [`RsbYieldModel`]. The trait keeps other regressors (e.g. a deeper
+//! [`crate::mlp::Mlp`]) pluggable without touching the consumers.
+
+use crate::levenberg_marquardt::LmConfig;
+use crate::rsb::RsbYieldModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An online surrogate that predicts the yield of a design point from the
+/// `(design, estimated yield)` pairs observed earlier in the same run.
+///
+/// Implementations own their training data and any randomness they need
+/// (seeded at construction), so the trait stays object-safe and a given seed
+/// always reproduces the same sequence of fits.
+pub trait PrescreenModel: Send {
+    /// Stable label of the model (used in results and file names).
+    fn name(&self) -> &'static str;
+
+    /// Records one observed `(design point, estimated yield)` pair.
+    fn observe(&mut self, x: &[f64], y: f64);
+
+    /// Retrains the model on the observations accumulated so far. Returns
+    /// `true` when a usable model is available afterwards.
+    fn refit(&mut self) -> bool;
+
+    /// Whether [`PrescreenModel::predict`] currently returns predictions.
+    fn ready(&self) -> bool;
+
+    /// Predicted yield of `x`, or `None` while the model is untrained (or
+    /// the dimension does not match its training data).
+    fn predict(&self, x: &[f64]) -> Option<f64>;
+
+    /// Number of observations recorded so far.
+    fn observations(&self) -> usize;
+
+    /// Number of refits performed so far.
+    fn refits(&self) -> usize;
+}
+
+/// [`PrescreenModel`] backed by the [`RsbYieldModel`] response surface.
+///
+/// Observations are kept in a sliding window (newest pairs win) so the
+/// Levenberg–Marquardt refit cost stays bounded over long runs, and the
+/// refit uses a deliberately short LM schedule: the prescreen only needs the
+/// *ranking* of candidates to be roughly right, not percent-level accuracy.
+#[derive(Debug)]
+pub struct RsbPrescreen {
+    pairs: Vec<(Vec<f64>, f64)>,
+    model: Option<RsbYieldModel>,
+    hidden: usize,
+    min_observations: usize,
+    window: usize,
+    lm: LmConfig,
+    rng: StdRng,
+    refits: usize,
+}
+
+impl RsbPrescreen {
+    /// Default number of hidden neurons of the online response surface.
+    pub const DEFAULT_HIDDEN: usize = 6;
+    /// Default minimum observations before the first fit.
+    pub const DEFAULT_MIN_OBSERVATIONS: usize = 20;
+    /// Default sliding-window size (newest observations kept).
+    pub const DEFAULT_WINDOW: usize = 160;
+
+    /// Creates an untrained prescreen whose fits are deterministic in
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            pairs: Vec::new(),
+            model: None,
+            hidden: Self::DEFAULT_HIDDEN,
+            min_observations: Self::DEFAULT_MIN_OBSERVATIONS,
+            window: Self::DEFAULT_WINDOW,
+            lm: LmConfig {
+                max_iterations: 15,
+                ..LmConfig::default()
+            },
+            rng: StdRng::seed_from_u64(seed ^ 0x5AB0_0C0D_E57A_6E17),
+            refits: 0,
+        }
+    }
+
+    /// Overrides the minimum number of observations before the first fit.
+    pub fn with_min_observations(mut self, min_observations: usize) -> Self {
+        self.min_observations = min_observations.max(2);
+        self
+    }
+}
+
+impl PrescreenModel for RsbPrescreen {
+    fn name(&self) -> &'static str {
+        "rsb"
+    }
+
+    fn observe(&mut self, x: &[f64], y: f64) {
+        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+            return; // never train on poisoned estimates
+        }
+        if let Some((first, _)) = self.pairs.first() {
+            if first.len() != x.len() {
+                return;
+            }
+        }
+        if self.pairs.len() == self.window {
+            self.pairs.remove(0);
+        }
+        self.pairs.push((x.to_vec(), y.clamp(0.0, 1.0)));
+    }
+
+    fn refit(&mut self) -> bool {
+        if self.pairs.len() < self.min_observations {
+            return self.model.is_some();
+        }
+        if let Ok(model) = RsbYieldModel::fit(&self.pairs, self.hidden, &self.lm, &mut self.rng) {
+            self.model = Some(model);
+            self.refits += 1;
+        }
+        self.model.is_some()
+    }
+
+    fn ready(&self) -> bool {
+        self.model.is_some()
+    }
+
+    fn predict(&self, x: &[f64]) -> Option<f64> {
+        let model = self.model.as_ref()?;
+        let dim = self.pairs.first().map(|(p, _)| p.len())?;
+        (x.len() == dim).then(|| model.predict(x))
+    }
+
+    fn observations(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn refits(&self) -> usize {
+        self.refits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_yield(x: &[f64]) -> f64 {
+        let d2: f64 = x.iter().map(|v| (v - 0.5).powi(2)).sum();
+        (-4.0 * d2).exp()
+    }
+
+    fn observe_grid(model: &mut RsbPrescreen, n: usize) {
+        for i in 0..n {
+            let a = (i % 7) as f64 / 7.0;
+            let b = (i % 11) as f64 / 11.0;
+            let x = vec![a, b];
+            model.observe(&x, toy_yield(&x));
+        }
+    }
+
+    #[test]
+    fn not_ready_until_min_observations() {
+        let mut m = RsbPrescreen::new(1).with_min_observations(10);
+        assert!(!m.ready());
+        assert_eq!(m.predict(&[0.5, 0.5]), None);
+        observe_grid(&mut m, 5);
+        assert!(!m.refit());
+        observe_grid(&mut m, 10);
+        assert!(m.refit());
+        assert!(m.ready());
+        assert_eq!(m.refits(), 1);
+    }
+
+    #[test]
+    fn trained_model_ranks_good_above_bad() {
+        let mut m = RsbPrescreen::new(7).with_min_observations(20);
+        observe_grid(&mut m, 80);
+        assert!(m.refit());
+        let good = m.predict(&[0.5, 0.5]).unwrap();
+        let bad = m.predict(&[0.05, 0.95]).unwrap();
+        assert!(good > bad, "good {good} bad {bad}");
+        assert!((0.0..=1.0).contains(&good));
+    }
+
+    #[test]
+    fn refits_are_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let mut m = RsbPrescreen::new(seed);
+            observe_grid(&mut m, 60);
+            m.refit();
+            m.predict(&[0.3, 0.6]).unwrap()
+        };
+        assert_eq!(run(3).to_bits(), run(3).to_bits());
+        assert_ne!(run(3).to_bits(), run(4).to_bits());
+    }
+
+    #[test]
+    fn window_bounds_the_training_set() {
+        let mut m = RsbPrescreen::new(1);
+        observe_grid(&mut m, 2 * RsbPrescreen::DEFAULT_WINDOW);
+        assert_eq!(m.observations(), RsbPrescreen::DEFAULT_WINDOW);
+    }
+
+    #[test]
+    fn poisoned_and_mismatched_observations_are_ignored() {
+        let mut m = RsbPrescreen::new(1);
+        m.observe(&[0.1, 0.2], 0.5);
+        m.observe(&[0.1, 0.2], f64::NAN);
+        m.observe(&[f64::INFINITY, 0.2], 0.5);
+        m.observe(&[0.1], 0.5); // dimension mismatch
+        assert_eq!(m.observations(), 1);
+        // Out-of-range estimates are clamped into [0, 1].
+        m.observe(&[0.3, 0.4], 1.7);
+        assert_eq!(m.observations(), 2);
+    }
+}
