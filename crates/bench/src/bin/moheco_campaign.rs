@@ -1,0 +1,266 @@
+//! `moheco-campaign` — multi-seed campaign runner over the scenario
+//! registry, the schema-v4 aggregate-gating entry point.
+//!
+//! ```text
+//! moheco-campaign [--scenario <name>|all] [--algo de|ga|memetic|two-stage]
+//!                 [--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is]
+//!                 [--prescreen off|rsb] [--seeds N] [--parallel]
+//!                 [--engine-reuse reset|shared-cache] [--max-cached-blocks N]
+//!                 [--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR]
+//! ```
+//!
+//! The scenario × algorithm × seed grid runs as one long-lived process with
+//! one engine per scenario. Each completed cell streams one deterministic
+//! JSONL row to `--jsonl` (default `<out-dir>/CAMPAIGN.jsonl`); a killed
+//! campaign restarted with the same arguments skips the rows already on
+//! disk and finishes with byte-identical output. Per-(scenario, algo)
+//! aggregates (mean/median/std/CI over the seeds) are written to
+//! `RESULTS_<scenario>.json` in `--out-dir`, and with `--baseline-dir` each
+//! aggregate is gated against the committed baseline on the cross-seed
+//! *median* yield — the single-seed gate this replaces could pass or fail on
+//! seed noise alone.
+
+use moheco::PrescreenKind;
+use moheco_bench::campaign::{run_campaign, CampaignSpec, EngineReuse};
+use moheco_bench::results::compare_aggregates;
+use moheco_bench::{Algo, BudgetClass, CliArgs};
+use moheco_sampling::EstimatorKind;
+use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: moheco-campaign [--scenario <name>|all] \
+[--algo de|ga|memetic|two-stage] [--budget tiny|small|paper] \
+[--estimator mc|lhs|antithetic|is] [--prescreen off|rsb] [--seeds N] \
+[--parallel] [--engine-reuse reset|shared-cache] [--max-cached-blocks N] \
+[--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR]";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = CliArgs::parse();
+    if let Err(e) = args.expect_only(
+        &["--parallel"],
+        &[
+            "--scenario",
+            "--algo",
+            "--budget",
+            "--estimator",
+            "--prescreen",
+            "--seeds",
+            "--engine-reuse",
+            "--max-cached-blocks",
+            "--jsonl",
+            "--out-dir",
+            "--baseline-dir",
+        ],
+    ) {
+        return fail(&e);
+    }
+
+    let scenarios: Vec<Arc<dyn Scenario>> = match args.value_of("--scenario") {
+        Err(e) => return fail(&e),
+        Ok(None) | Ok(Some("all")) => all_scenarios(),
+        Ok(Some(name)) => match find_scenario(name) {
+            Some(s) => vec![s],
+            None => {
+                let names = moheco_scenarios::scenario_names().join(", ");
+                return fail(&format!("unknown scenario {name:?}; registered: {names}"));
+            }
+        },
+    };
+    let algo = match args.value_of("--algo") {
+        Err(e) => return fail(&e),
+        Ok(None) => Algo::default(),
+        Ok(Some(v)) => match Algo::parse(v) {
+            Some(a) => a,
+            None => return fail(&format!("unknown algo {v:?}")),
+        },
+    };
+    let budget = match args.value_of("--budget") {
+        Err(e) => return fail(&e),
+        Ok(None) => BudgetClass::default(),
+        Ok(Some(v)) => match BudgetClass::parse(v) {
+            Some(b) => b,
+            None => return fail(&format!("unknown budget {v:?}")),
+        },
+    };
+    let estimator = match args.value_of("--estimator") {
+        Err(e) => return fail(&e),
+        Ok(None) => EstimatorKind::default(),
+        Ok(Some(v)) => match EstimatorKind::parse(v) {
+            Some(k) => k,
+            None => return fail(&format!("unknown estimator {v:?}")),
+        },
+    };
+    let prescreen = match args.value_of("--prescreen") {
+        Err(e) => return fail(&e),
+        Ok(None) => PrescreenKind::default(),
+        Ok(Some(v)) => match PrescreenKind::parse(v) {
+            Some(k) => k,
+            None => return fail(&format!("unknown prescreen {v:?}; expected off or rsb")),
+        },
+    };
+    let seeds = match args.u64_of("--seeds", 3) {
+        Ok(s) if s >= 1 => (1..=s).collect::<Vec<u64>>(),
+        Ok(_) => return fail("--seeds must be >= 1"),
+        Err(e) => return fail(&e),
+    };
+    let reuse = match args.value_of("--engine-reuse") {
+        Err(e) => return fail(&e),
+        Ok(None) => EngineReuse::default(),
+        Ok(Some(v)) => match EngineReuse::parse(v) {
+            Some(r) => r,
+            None => return fail(&format!("unknown engine-reuse {v:?}")),
+        },
+    };
+    let max_cached_blocks = match args.u64_of("--max-cached-blocks", 0) {
+        Ok(v) => v as usize,
+        Err(e) => return fail(&e),
+    };
+    let out_dir = match args.value_of("--out-dir") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.unwrap_or(".").to_string(),
+    };
+    let jsonl: PathBuf = match args.value_of("--jsonl") {
+        Err(e) => return fail(&e),
+        Ok(Some(p)) => PathBuf::from(p),
+        Ok(None) => Path::new(&out_dir).join("CAMPAIGN.jsonl"),
+    };
+    let baseline_dir = match args.value_of("--baseline-dir") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.map(str::to_string),
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(&format!("cannot create out dir {out_dir:?}: {e}"));
+    }
+
+    let spec = CampaignSpec {
+        scenarios,
+        algos: vec![algo],
+        budget,
+        seeds,
+        engine_kind: args.engine_kind(),
+        estimator,
+        prescreen,
+        reuse,
+        max_cached_blocks,
+    };
+    eprintln!(
+        "moheco-campaign: {} cell(s) ({} scenario(s) x {} x {} seed(s)), budget {}, estimator {}, prescreen {}, {} engine, reuse {}{}",
+        spec.cells(),
+        spec.scenarios.len(),
+        algo.label(),
+        spec.seeds.len(),
+        budget.label(),
+        estimator.label(),
+        prescreen.label(),
+        spec.engine_kind.label(),
+        reuse.label(),
+        if max_cached_blocks > 0 {
+            format!(", cache bound {max_cached_blocks} blocks")
+        } else {
+            String::new()
+        },
+    );
+
+    let report = match run_campaign(&spec, &jsonl, |line| eprintln!("  {line}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "moheco-campaign: {} executed, {} resumed from {}",
+        report.executed,
+        report.resumed,
+        jsonl.display()
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    for agg in &report.aggregates {
+        let json = agg.to_json();
+        let path = Path::new(&out_dir).join(agg.file_name());
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        match &baseline_dir {
+            None => {
+                println!(
+                    "{}/{}: yield median {:.4} mean {:.4} ±{:.4} (CI ±{:.4}) sims mean {:.0} over seeds {} -> {}",
+                    agg.scenario,
+                    agg.algo,
+                    agg.best_yield.median,
+                    agg.best_yield.mean,
+                    agg.best_yield.std_dev(),
+                    agg.best_yield_ci_half_width(),
+                    agg.simulations.mean,
+                    agg.seeds_label(),
+                    path.display()
+                );
+            }
+            Some(dir) => {
+                let baseline_path = Path::new(dir).join(agg.file_name());
+                match std::fs::read_to_string(&baseline_path) {
+                    Err(e) => {
+                        // The hint must carry every identity flag of this
+                        // invocation — a regenerated baseline with a
+                        // different estimator/prescreen/engine would fail
+                        // the identity gate forever.
+                        let mut hint = format!(
+                            "moheco-campaign --scenario {} --algo {} --budget {} --seeds {}",
+                            agg.scenario,
+                            agg.algo,
+                            budget.label(),
+                            agg.seeds.len(),
+                        );
+                        if estimator != EstimatorKind::default() {
+                            hint.push_str(&format!(" --estimator {}", estimator.label()));
+                        }
+                        if prescreen != PrescreenKind::default() {
+                            hint.push_str(&format!(" --prescreen {}", prescreen.label()));
+                        }
+                        if args.has("--parallel") {
+                            hint.push_str(" --parallel");
+                        }
+                        let msg = format!(
+                            "{}: missing baseline {} ({e}); run `{hint} --out-dir {dir}` and commit it",
+                            agg.scenario,
+                            baseline_path.display(),
+                        );
+                        println!("{msg}");
+                        failures.push(msg);
+                    }
+                    Ok(baseline) => {
+                        let cmp = compare_aggregates(&baseline, &json);
+                        println!("{}", cmp.summary);
+                        for f in &cmp.failures {
+                            eprintln!("  FAIL {f}");
+                            failures.push(format!("{}: {f}", cmp.scenario));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        if baseline_dir.is_some() {
+            println!(
+                "aggregate gate: all {} cell group(s) within tolerance",
+                report.aggregates.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("aggregate gate: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -10,11 +10,17 @@
 //! Every selected scenario is executed through the evaluation engine and
 //! written as one machine-readable `RESULTS_<scenario>.json` record in a
 //! stable schema (see `moheco-bench/src/results.rs` and `DESIGN.md`). With
-//! `--baseline-dir`, each fresh result is gated against the committed
-//! baseline of the same scenario: the binary prints a one-line trend summary
-//! per scenario and exits non-zero on schema drift, on a missing baseline,
-//! or on a yield deviation beyond ±5 percentage points — this is the CI
-//! `scenario-smoke` job.
+//! `--baseline-dir`, each fresh result is gated against a *per-run*
+//! baseline record of the same scenario: the binary prints a one-line trend
+//! summary per scenario and exits non-zero on schema drift, on a missing
+//! baseline, or on a yield deviation beyond ±5 percentage points.
+//!
+//! Note the committed `baselines/` directory holds **multi-seed aggregate**
+//! records since schema v4; the CI gate runs through `moheco-campaign`
+//! (aggregate medians over 3 seeds), while a single-seed `moheco-run`
+//! invocation stays in CI as the cheap ungated smoke path. Point
+//! `--baseline-dir` only at directories of per-run records you generated
+//! with this binary.
 
 use moheco::PrescreenKind;
 use moheco_bench::results::compare_results;

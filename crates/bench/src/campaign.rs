@@ -1,0 +1,593 @@
+//! The campaign layer: seed × scenario × algorithm grids as one long-lived
+//! process.
+//!
+//! Every verdict this repository used to produce — the CI yield gate, the
+//! prescreen study's recorded regressions, the estimator cost tables — was a
+//! *single-seed point estimate*, so a pass/fail could be pure seed noise.
+//! [`run_campaign`] executes the full grid and moves the trust boundary to
+//! statistics over repeated runs:
+//!
+//! * **Engine reuse** — one engine per scenario lives for the whole
+//!   campaign. In the default [`EngineReuse::Reset`] mode it is reseeded and
+//!   fully reset before each cell, so every row is bit-identical to a
+//!   standalone `moheco-run` invocation of the same
+//!   `(scenario, algo, budget, seed, estimator, prescreen)`. The opt-in
+//!   [`EngineReuse::SharedCache`] mode keeps the cache warm across cells:
+//!   sample streams are seed-keyed, so every *yield* is still bit-identical —
+//!   only the executed-simulation counters shrink (cache hits replace
+//!   re-simulation), which is why shared-cache rows are not byte-comparable
+//!   to standalone runs and `Reset` is the default.
+//! * **Streaming resume** — each completed cell appends one deterministic
+//!   JSONL row ([`crate::results::ScenarioResult::to_jsonl_row`]) and the
+//!   file is the source of truth: a killed campaign restarted with the same
+//!   spec skips the rows already on disk (a trailing partial line from a
+//!   mid-write kill is dropped). In the default `Reset` mode — where cells
+//!   are independent — the resumed file is **byte-identical** to an
+//!   uninterrupted run. In `SharedCache` mode only the *yields and
+//!   trajectories* of post-resume rows are guaranteed identical: skipped
+//!   cells never warmed the cache, so the executed-simulation counters of
+//!   later rows can be larger than in an uninterrupted run. A sidecar
+//!   `<jsonl>.spec` fingerprint pins the reuse mode and cache bound, so a
+//!   file can never be resumed under a different counter regime.
+//! * **Aggregation** — after the grid completes, the rows are re-read and
+//!   condensed into per-(scenario, algo) [`AggregateResult`]s
+//!   (mean/median/std/CI of `best_yield`, simulation statistics, cache
+//!   hit-rates), the schema-v4 records the CI baseline gate compares.
+
+use crate::results::{aggregate_rows, parse_flat_json, AggregateResult, JsonRecord};
+use crate::{run_scenario_on_engine, Algo, BudgetClass, EngineKind};
+use moheco::PrescreenKind;
+use moheco_runtime::{EngineConfig, EvalEngine};
+use moheco_sampling::{EstimatorKind, SamplingPlan};
+use moheco_scenarios::Scenario;
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// How the per-scenario engine is prepared between campaign cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineReuse {
+    /// Reseed + full reset before every cell: rows are bit-identical to
+    /// standalone `moheco-run` invocations (the default, and the mode the
+    /// determinism acceptance tests pin down).
+    #[default]
+    Reset,
+    /// Reseed + counter reset only, keeping the cache warm across cells.
+    /// Yields and search trajectories are unchanged (streams are seed-keyed
+    /// pure functions), but executed-simulation counters shrink, so rows are
+    /// *not* byte-comparable to standalone runs — and a *resumed*
+    /// shared-cache campaign re-runs its remaining cells against a colder
+    /// cache than an uninterrupted one would, so only the yield/trajectory
+    /// fields of post-resume rows are reproducible, not the counters.
+    /// Combine with [`CampaignSpec::max_cached_blocks`] to bound the
+    /// long-lived memory.
+    SharedCache,
+}
+
+impl EngineReuse {
+    /// Parses a `--engine-reuse` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reset" => Some(Self::Reset),
+            "shared-cache" => Some(Self::SharedCache),
+            _ => None,
+        }
+    }
+
+    /// The stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Reset => "reset",
+            Self::SharedCache => "shared-cache",
+        }
+    }
+}
+
+/// The full specification of one campaign grid.
+pub struct CampaignSpec {
+    /// Scenarios, in execution (outer-loop) order.
+    pub scenarios: Vec<Arc<dyn Scenario>>,
+    /// Algorithms, in execution (middle-loop) order.
+    pub algos: Vec<Algo>,
+    /// Budget class shared by every cell.
+    pub budget: BudgetClass,
+    /// Seeds, in execution (inner-loop) order.
+    pub seeds: Vec<u64>,
+    /// Engine implementation (serial / parallel).
+    pub engine_kind: EngineKind,
+    /// Variance-reduction estimator shared by every cell.
+    pub estimator: EstimatorKind,
+    /// Surrogate prescreen shared by every cell.
+    pub prescreen: PrescreenKind,
+    /// Engine preparation mode between cells.
+    pub reuse: EngineReuse,
+    /// Cache-block bound of the long-lived engines (0 = unbounded).
+    pub max_cached_blocks: usize,
+}
+
+impl CampaignSpec {
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.scenarios.len() * self.algos.len() * self.seeds.len()
+    }
+}
+
+/// What [`run_campaign`] did and found.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Cells skipped because their row was already on disk.
+    pub resumed: usize,
+    /// Cells executed in this invocation.
+    pub executed: usize,
+    /// Per-(scenario, algo) aggregates over the complete grid, in first-seen
+    /// row order.
+    pub aggregates: Vec<AggregateResult>,
+}
+
+/// Long-lived per-scenario engines with the between-cell preparation policy.
+///
+/// One engine must never be shared across *scenarios*: the cache keys blocks
+/// by the design point, and two scenarios of equal dimension could alias the
+/// same key to different simulation models. Scenario name → engine is the
+/// safe granularity (the estimator and bound are fixed per campaign).
+pub struct CampaignEngines {
+    kind: EngineKind,
+    estimator: EstimatorKind,
+    max_cached_blocks: usize,
+    reuse: EngineReuse,
+    engines: HashMap<String, Arc<dyn EvalEngine>>,
+}
+
+impl CampaignEngines {
+    /// Creates the (empty) engine pool.
+    pub fn new(
+        kind: EngineKind,
+        estimator: EstimatorKind,
+        max_cached_blocks: usize,
+        reuse: EngineReuse,
+    ) -> Self {
+        Self {
+            kind,
+            estimator,
+            max_cached_blocks,
+            reuse,
+            engines: HashMap::new(),
+        }
+    }
+
+    /// Returns the scenario's engine, prepared for a cell with `seed`:
+    /// reseeded, and reset according to the reuse policy.
+    pub fn prepare(&mut self, scenario: &str, seed: u64) -> Arc<dyn EvalEngine> {
+        let engine = self
+            .engines
+            .entry(scenario.to_string())
+            .or_insert_with(|| {
+                self.kind.build_with(EngineConfig {
+                    plan: SamplingPlan::LatinHypercube,
+                    seed,
+                    estimator: self.estimator,
+                    max_cached_blocks: self.max_cached_blocks,
+                    ..EngineConfig::default()
+                })
+            })
+            .clone();
+        engine.reseed(seed);
+        match self.reuse {
+            EngineReuse::Reset => engine.reset(),
+            EngineReuse::SharedCache => engine.reset_counters(),
+        }
+        engine
+    }
+
+    /// Total cache memory currently retained across all engines (bytes).
+    pub fn cache_bytes(&self) -> usize {
+        self.engines.values().map(|e| e.cache_bytes()).sum()
+    }
+
+    /// Total cache blocks currently retained across all engines.
+    pub fn cache_blocks(&self) -> usize {
+        self.engines.values().map(|e| e.cache_blocks()).sum()
+    }
+}
+
+impl CampaignSpec {
+    /// The fixed-identity fingerprint of this campaign, written to the
+    /// sidecar `<jsonl>.spec` file. It covers everything rows share (and so
+    /// cannot be cross-checked per row) **plus** the settings that shape the
+    /// counters without appearing in the rows at all — the reuse mode and
+    /// the cache bound — so a file can never be resumed under a different
+    /// counter regime.
+    fn fingerprint(&self) -> String {
+        format!(
+            "schema_version={} budget={} engine={} estimator={} prescreen={} engine_reuse={} max_cached_blocks={}\n",
+            crate::results::SCHEMA_VERSION,
+            self.budget.label(),
+            self.engine_kind.label(),
+            self.estimator.label(),
+            self.prescreen.label(),
+            self.reuse.label(),
+            self.max_cached_blocks,
+        )
+    }
+}
+
+/// The sidecar path pinning a campaign file's spec fingerprint.
+fn spec_path(jsonl_path: &Path) -> std::path::PathBuf {
+    let mut name = jsonl_path.as_os_str().to_os_string();
+    name.push(".spec");
+    std::path::PathBuf::from(name)
+}
+
+/// An existing campaign JSONL file, read once.
+struct ExistingFile {
+    /// The parsed, identity-checked complete rows.
+    rows: Vec<JsonRecord>,
+    /// The file content up to (and including) the last newline.
+    complete_text: String,
+    /// Whether bytes follow the last newline (a torn mid-write tail).
+    torn_tail: bool,
+}
+
+/// Reads the resumable rows of an existing campaign JSONL file (one read):
+/// complete, parsable lines whose fixed identity matches the spec. A
+/// trailing partial line (mid-write kill) is flagged for truncation; a
+/// *mismatched* complete row is an error, because silently mixing two
+/// campaigns' rows in one file would corrupt the aggregates. Returns `None`
+/// when the file does not exist.
+fn read_existing_rows(path: &Path, spec: &CampaignSpec) -> Result<Option<ExistingFile>, String> {
+    let mut text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let complete_through = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let torn_tail = complete_through < text.len();
+    // Every row of one file shares these; a mismatch means the file belongs
+    // to a different campaign.
+    let expect: [(&str, String); 5] = [
+        ("schema_version", crate::results::SCHEMA_VERSION.to_string()),
+        ("budget", spec.budget.label().to_string()),
+        ("engine", spec.engine_kind.label().to_string()),
+        ("estimator", spec.estimator.label().to_string()),
+        ("prescreen", spec.prescreen.label().to_string()),
+    ];
+    let mut rows = Vec::new();
+    for (lineno, line) in text[..complete_through].lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row =
+            parse_flat_json(line).map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        for (field, want) in &expect {
+            let got = row
+                .str(field)
+                .map(str::to_string)
+                .or_else(|| row.num(field).map(|v| format!("{v}")));
+            if got.as_deref() != Some(want.as_str()) {
+                return Err(format!(
+                    "{}:{}: row {field} is {got:?} but this campaign runs {want:?} — refusing to mix campaigns in one file",
+                    path.display(),
+                    lineno + 1
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    text.truncate(complete_through);
+    Ok(Some(ExistingFile {
+        rows,
+        complete_text: text,
+        torn_tail,
+    }))
+}
+
+/// Verifies (or, for a fresh campaign, writes) the sidecar spec fingerprint
+/// next to the JSONL file. The rows themselves carry most of the identity,
+/// but the reuse mode and cache bound shape the counters without appearing
+/// in any row — resuming under different settings would silently mix
+/// counter regimes in one aggregate, which is exactly what this rejects.
+fn check_spec_fingerprint(
+    jsonl_path: &Path,
+    spec: &CampaignSpec,
+    has_rows: bool,
+) -> Result<(), String> {
+    let path = spec_path(jsonl_path);
+    let fingerprint = spec.fingerprint();
+    match std::fs::read_to_string(&path) {
+        Ok(existing) if existing == fingerprint => Ok(()),
+        Ok(existing) => Err(format!(
+            "{}: campaign spec changed — file was written with\n  {}but this invocation runs\n  {}refusing to mix counter regimes in one file",
+            path.display(),
+            existing,
+            fingerprint
+        )),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            if has_rows {
+                return Err(format!(
+                    "{}: campaign rows exist but the spec fingerprint {} is missing; re-run in a fresh --jsonl location",
+                    jsonl_path.display(),
+                    path.display()
+                ));
+            }
+            std::fs::write(&path, fingerprint)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))
+        }
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Executes the campaign grid, streaming one JSONL row per completed cell to
+/// `jsonl_path` and skipping cells whose rows are already on disk.
+///
+/// `progress` receives one human-readable line per cell (executed or
+/// skipped) for the caller's log.
+///
+/// # Errors
+///
+/// Returns a message on I/O failures or when `jsonl_path` holds rows of a
+/// different campaign spec.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    jsonl_path: &Path,
+    mut progress: impl FnMut(&str),
+) -> Result<CampaignReport, String> {
+    if let Some(parent) = jsonl_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let existing = read_existing_rows(jsonl_path, spec)?;
+    check_spec_fingerprint(
+        jsonl_path,
+        spec,
+        existing.as_ref().is_some_and(|e| !e.rows.is_empty()),
+    )?;
+    let mut done: HashSet<(String, String, u64)> = HashSet::new();
+    let mut file: std::fs::File = match existing.as_ref() {
+        None => std::fs::File::create(jsonl_path)
+            .map_err(|e| format!("cannot create {}: {e}", jsonl_path.display()))?,
+        Some(ex) => {
+            for row in &ex.rows {
+                done.insert((
+                    row.str("scenario").unwrap_or_default().to_string(),
+                    row.str("algo").unwrap_or_default().to_string(),
+                    row.num("seed").unwrap_or(-1.0) as u64,
+                ));
+            }
+            // Drop a torn trailing line (mid-write kill) by re-writing the
+            // complete prefix already in memory; an intact file is opened
+            // for append untouched.
+            if ex.torn_tail {
+                std::fs::write(jsonl_path, &ex.complete_text)
+                    .map_err(|e| format!("cannot truncate {}: {e}", jsonl_path.display()))?;
+            }
+            std::fs::OpenOptions::new()
+                .append(true)
+                .open(jsonl_path)
+                .map_err(|e| format!("cannot append to {}: {e}", jsonl_path.display()))?
+        }
+    };
+    drop(existing);
+
+    let mut engines = CampaignEngines::new(
+        spec.engine_kind,
+        spec.estimator,
+        spec.max_cached_blocks,
+        spec.reuse,
+    );
+    let mut resumed = 0usize;
+    let mut executed = 0usize;
+    for scenario in &spec.scenarios {
+        for &algo in &spec.algos {
+            for &seed in &spec.seeds {
+                let key = (scenario.name().to_string(), algo.label().to_string(), seed);
+                if done.contains(&key) {
+                    resumed += 1;
+                    progress(&format!(
+                        "{}/{}/seed {}: already on disk, skipped",
+                        key.0, key.1, seed
+                    ));
+                    continue;
+                }
+                let engine = engines.prepare(scenario.name(), seed);
+                let result = run_scenario_on_engine(
+                    scenario.as_ref(),
+                    algo,
+                    spec.budget,
+                    seed,
+                    engine,
+                    spec.engine_kind.label(),
+                    spec.prescreen,
+                );
+                file.write_all(result.to_jsonl_row().as_bytes())
+                    .and_then(|()| file.flush())
+                    .map_err(|e| format!("cannot append to {}: {e}", jsonl_path.display()))?;
+                executed += 1;
+                progress(&format!(
+                    "{}/{}/seed {}: yield {:.4} sims {} ({:.0} ms, cache {} blocks / {:.1} MiB)",
+                    key.0,
+                    key.1,
+                    seed,
+                    result.best_yield,
+                    result.simulations,
+                    result.wall_time_ms,
+                    engines.cache_blocks(),
+                    engines.cache_bytes() as f64 / (1024.0 * 1024.0),
+                ));
+            }
+        }
+    }
+    drop(file);
+
+    // Aggregates are computed from the rows on disk — the same source a
+    // resumed campaign sees — so fresh and resumed runs emit byte-identical
+    // aggregate records. Only rows of the *requested* grid participate: a
+    // file written by a wider earlier invocation (more seeds, more
+    // scenarios) resumes fine, but its stale cells must not leak into this
+    // campaign's aggregates — e.g. regenerating 3-seed baselines over a
+    // 5-seed file would otherwise silently commit 5-seed aggregates.
+    let requested: HashSet<(String, String, u64)> = spec
+        .scenarios
+        .iter()
+        .flat_map(|sc| {
+            spec.algos.iter().flat_map(move |a| {
+                spec.seeds
+                    .iter()
+                    .map(move |&seed| (sc.name().to_string(), a.label().to_string(), seed))
+            })
+        })
+        .collect();
+    let rows = read_existing_rows(jsonl_path, spec)?
+        .map(|e| e.rows)
+        .unwrap_or_default();
+    let total_rows = rows.len();
+    let rows: Vec<JsonRecord> = rows
+        .into_iter()
+        .filter(|row| {
+            requested.contains(&(
+                row.str("scenario").unwrap_or_default().to_string(),
+                row.str("algo").unwrap_or_default().to_string(),
+                row.num("seed").unwrap_or(-1.0) as u64,
+            ))
+        })
+        .collect();
+    if rows.len() < total_rows {
+        progress(&format!(
+            "{} row(s) on disk lie outside the requested grid and are excluded from the aggregates",
+            total_rows - rows.len()
+        ));
+    }
+    let aggregates = aggregate_rows(&rows)?;
+    Ok(CampaignReport {
+        resumed,
+        executed,
+        aggregates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moheco_scenarios::find_scenario;
+
+    fn tiny_spec(scenario: &str) -> CampaignSpec {
+        CampaignSpec {
+            scenarios: vec![find_scenario(scenario).expect("registered")],
+            algos: vec![Algo::TwoStage],
+            budget: BudgetClass::Tiny,
+            seeds: vec![1, 2, 3],
+            engine_kind: EngineKind::Serial,
+            estimator: EstimatorKind::default(),
+            prescreen: PrescreenKind::Off,
+            reuse: EngineReuse::Reset,
+            max_cached_blocks: 0,
+        }
+    }
+
+    #[test]
+    fn reuse_labels_roundtrip() {
+        for reuse in [EngineReuse::Reset, EngineReuse::SharedCache] {
+            assert_eq!(EngineReuse::parse(reuse.label()), Some(reuse));
+        }
+        assert_eq!(EngineReuse::parse("bogus"), None);
+    }
+
+    #[test]
+    fn campaign_streams_rows_and_aggregates() {
+        let dir = std::env::temp_dir().join("moheco-campaign-test-basic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.jsonl");
+        let spec = tiny_spec("margin_wall");
+        let report = run_campaign(&spec, &path, |_| {}).expect("campaign runs");
+        assert_eq!(report.executed, 3);
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.aggregates.len(), 1);
+        let agg = &report.aggregates[0];
+        assert_eq!(agg.scenario, "margin_wall");
+        assert_eq!(agg.seeds, vec![1, 2, 3]);
+        assert_eq!(agg.best_yield.runs, 3);
+        assert!(agg.best_yield.std_dev() >= 0.0);
+        // Rows are on disk, one complete line per cell.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        // Re-running the identical spec resumes everything and re-emits the
+        // exact same aggregates.
+        let again = run_campaign(&spec, &path, |_| {}).expect("resume");
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.resumed, 3);
+        assert_eq!(again.aggregates[0].to_json(), agg.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_campaign_files_are_rejected() {
+        let dir = std::env::temp_dir().join("moheco-campaign-test-mixed");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.jsonl");
+        let spec = tiny_spec("margin_wall");
+        run_campaign(&spec, &path, |_| {}).expect("campaign runs");
+        let mut other = tiny_spec("margin_wall");
+        other.budget = BudgetClass::Small;
+        let err = run_campaign(&other, &path, |_| {}).unwrap_err();
+        assert!(err.contains("refusing to mix"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_rows_outside_the_requested_grid_are_excluded_from_aggregates() {
+        // A 3-seed campaign file resumed by a 2-seed invocation must emit
+        // 2-seed aggregates — the stale seed-3 rows stay on disk but never
+        // leak into the written baselines.
+        let dir = std::env::temp_dir().join("moheco-campaign-test-subset");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.jsonl");
+        run_campaign(&tiny_spec("margin_wall"), &path, |_| {}).expect("3-seed campaign");
+        let mut narrower = tiny_spec("margin_wall");
+        narrower.seeds = vec![1, 2];
+        let mut excluded_note = false;
+        let report = run_campaign(&narrower, &path, |line| {
+            excluded_note |= line.contains("outside the requested grid");
+        })
+        .expect("2-seed resume");
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.resumed, 2);
+        assert!(excluded_note, "exclusion must be reported");
+        assert_eq!(report.aggregates.len(), 1);
+        assert_eq!(report.aggregates[0].seeds, vec![1, 2]);
+        assert_eq!(report.aggregates[0].best_yield.runs, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counter_regime_changes_are_rejected_on_resume() {
+        // The reuse mode and cache bound shape the row counters without
+        // appearing in any row; the sidecar fingerprint must catch both.
+        let dir = std::env::temp_dir().join("moheco-campaign-test-regime");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.jsonl");
+        run_campaign(&tiny_spec("margin_wall"), &path, |_| {}).expect("campaign runs");
+
+        let mut shared = tiny_spec("margin_wall");
+        shared.reuse = EngineReuse::SharedCache;
+        let err = run_campaign(&shared, &path, |_| {}).unwrap_err();
+        assert!(err.contains("spec changed"), "{err}");
+
+        let mut bounded = tiny_spec("margin_wall");
+        bounded.max_cached_blocks = 4;
+        let err = run_campaign(&bounded, &path, |_| {}).unwrap_err();
+        assert!(err.contains("spec changed"), "{err}");
+
+        // Rows without a fingerprint (e.g. a hand-assembled file) are
+        // refused too: the counter regime cannot be established.
+        std::fs::remove_file(path.with_extension("jsonl.spec")).unwrap();
+        let err = run_campaign(&tiny_spec("margin_wall"), &path, |_| {}).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -311,6 +311,44 @@ pub fn run_scenario_prescreened(
     prescreen: PrescreenKind,
 ) -> ScenarioResult {
     let engine = engine_kind.build_configured(seed, estimator);
+    run_scenario_on_engine(
+        scenario,
+        algo,
+        budget,
+        seed,
+        engine,
+        engine_kind.label(),
+        prescreen,
+    )
+}
+
+/// [`run_scenario_prescreened`] over a *prebuilt* engine — the campaign
+/// layer's entry point, where one long-lived engine serves a whole
+/// seed × algorithm grid. The caller is responsible for the engine's state
+/// between runs ([`moheco_runtime::EvalEngine::reseed`] plus `reset()` or
+/// `reset_counters()`); this function only checks that the engine's active
+/// seed matches `seed`, because a mismatch would silently produce the wrong
+/// sample streams.
+///
+/// # Panics
+///
+/// Panics if `engine.active_seed() != seed`.
+pub fn run_scenario_on_engine(
+    scenario: &dyn Scenario,
+    algo: Algo,
+    budget: BudgetClass,
+    seed: u64,
+    engine: std::sync::Arc<dyn moheco_runtime::EvalEngine>,
+    engine_label: &str,
+    prescreen: PrescreenKind,
+) -> ScenarioResult {
+    assert_eq!(
+        engine.active_seed(),
+        seed,
+        "engine active seed does not match the run seed"
+    );
+    let estimator = engine.config().estimator;
+    let engine_label = engine_label.to_string();
     let problem = scenario.build(engine);
     let config = budget.config();
     let prescreen_config = PrescreenConfig {
@@ -430,10 +468,7 @@ pub fn run_scenario_prescreened(
         scenario: scenario.name().to_string(),
         algo: algo.label().to_string(),
         budget: budget.label().to_string(),
-        engine: match engine_kind {
-            EngineKind::Serial => "serial".to_string(),
-            EngineKind::Parallel => "parallel".to_string(),
-        },
+        engine: engine_label,
         estimator: estimator.label().to_string(),
         prescreen: prescreen.label().to_string(),
         seed,

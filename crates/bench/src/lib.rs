@@ -8,12 +8,17 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cli;
 pub mod harness;
 pub mod results;
 
+pub use campaign::{run_campaign, CampaignEngines, CampaignReport, CampaignSpec, EngineReuse};
 pub use cli::CliArgs;
-pub use harness::{run_scenario, run_scenario_prescreened, run_scenario_with, Algo, BudgetClass};
+pub use harness::{
+    run_scenario, run_scenario_on_engine, run_scenario_prescreened, run_scenario_with, Algo,
+    BudgetClass,
+};
 
 use moheco::{CircuitBench, MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};
 use moheco_analog::Testbench;
@@ -55,15 +60,28 @@ impl EngineKind {
     /// [`Self::build_seeded`] with an explicit variance-reduction estimator
     /// (`moheco-run --estimator`).
     pub fn build_configured(self, seed: u64, estimator: EstimatorKind) -> Arc<dyn EvalEngine> {
-        let config = EngineConfig {
+        self.build_with(EngineConfig {
             plan: SamplingPlan::LatinHypercube,
             seed,
             estimator,
             ..EngineConfig::default()
-        };
+        })
+    }
+
+    /// Builds a fresh engine of this kind from an explicit configuration
+    /// (the campaign layer threads `max_cached_blocks` through this).
+    pub fn build_with(self, config: EngineConfig) -> Arc<dyn EvalEngine> {
         match self {
             Self::Serial => Arc::new(SerialEngine::new(config)),
             Self::Parallel => Arc::new(ParallelEngine::new(config)),
+        }
+    }
+
+    /// The stable label used in results (`serial` / `parallel`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Serial => "serial",
+            Self::Parallel => "parallel",
         }
     }
 }

@@ -35,8 +35,15 @@ use std::fmt::Write as _;
 /// v2 added the `estimator` identity field and the `ci_half_width` outcome
 /// field (the pluggable variance-reduction estimator layer). v3 added the
 /// `prescreen` identity field and the `prescreen_skips` outcome field (the
-/// surrogate candidate-prescreening stage).
-pub const SCHEMA_VERSION: u64 = 3;
+/// surrogate candidate-prescreening stage). v4 is the campaign layer: the
+/// per-run record gains the `engine_evicted_blocks` counter (bounded-memory
+/// cache), a deterministic one-line JSONL form ([`ScenarioResult::
+/// to_jsonl_row`]) streams per-(scenario, algo, seed) campaign cells, and
+/// committed baselines become multi-seed [`AggregateResult`] records
+/// (`seeds` + mean/median/std/CI fields) gated on the aggregate median —
+/// a single-seed point estimate can pass or fail on seed noise alone, so
+/// the trust boundary moved to statistics over repeated runs.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Maximum allowed absolute deviation of `best_yield` from the committed
 /// baseline (5 percentage points, per the CI gating policy).
@@ -111,12 +118,16 @@ fn fmt_opt(v: Option<f64>) -> String {
 }
 
 impl ScenarioResult {
-    /// Serializes the result as a flat JSON object with a stable key order.
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let mut field = |k: &str, v: String| {
-            let _ = writeln!(out, "  \"{k}\": {v},");
-        };
+    /// The `(key, rendered value)` pairs of the record in schema order.
+    /// `timing` controls whether the host-dependent fields (`wall_time_ms`,
+    /// `engine_busy_nanos`) are included: the pretty per-run file keeps
+    /// them, the campaign JSONL row drops them so the row is a pure
+    /// function of `(scenario, algo, budget, seed, engine, estimator,
+    /// prescreen)` — which is what makes resumed campaigns byte-identical
+    /// and campaign rows comparable to standalone `moheco-run` output.
+    fn fields(&self, timing: bool) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::with_capacity(32);
+        let mut field = |k: &str, v: String| out.push((k.to_string(), v));
         field("schema_version", SCHEMA_VERSION.to_string());
         field("scenario", format!("\"{}\"", self.scenario));
         field("algo", format!("\"{}\"", self.algo));
@@ -140,16 +151,43 @@ impl ScenarioResult {
         field("local_searches", self.local_searches.to_string());
         field("prescreen_skips", self.prescreen_skips.to_string());
         field("trace_digest", format!("\"{}\"", self.trace_digest));
-        field("wall_time_ms", fmt_f64(self.wall_time_ms));
+        if timing {
+            field("wall_time_ms", fmt_f64(self.wall_time_ms));
+        }
         for (name, value) in self.engine_stats.counter_fields() {
+            if !timing && name == "busy_nanos" {
+                continue;
+            }
             field(&format!("engine_{name}"), value.to_string());
         }
-        // Last field without the trailing comma.
-        let _ = write!(
-            out,
-            "  \"engine_hit_rate\": {}\n}}\n",
-            fmt_f64(self.engine_stats.hit_rate())
-        );
+        field("engine_hit_rate", fmt_f64(self.engine_stats.hit_rate()));
+        out
+    }
+
+    /// Serializes the result as a flat JSON object with a stable key order.
+    pub fn to_json(&self) -> String {
+        let fields = self.fields(true);
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let comma = if i + 1 == fields.len() { "" } else { "," };
+            let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serializes the *deterministic* fields as a single JSONL line
+    /// (newline included): the campaign row format. Timing fields are
+    /// excluded, so two runs of the same cell — standalone, inside a
+    /// campaign, or after a campaign resume — produce byte-identical rows.
+    pub fn to_jsonl_row(&self) -> String {
+        let fields = self.fields(false);
+        let mut out = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let comma = if i + 1 == fields.len() { "" } else { ", " };
+            let _ = write!(out, "\"{k}\": {v}{comma}");
+        }
+        out.push_str("}\n");
         out
     }
 
@@ -412,6 +450,311 @@ pub fn compare_results(baseline_text: &str, current_text: &str) -> BaselineCompa
     }
 }
 
+/// Multi-seed aggregate of one (scenario, algo) campaign cell group: the
+/// schema-v4 baseline record. Where a v3 baseline froze one seed's point
+/// estimate — so a gate verdict could be pure seed noise — the aggregate
+/// carries the cross-seed distribution (mean / median / std / CI), and the
+/// CI gate compares *medians*, which one outlier seed cannot drag.
+///
+/// Aggregates are a pure function of the campaign's per-seed JSONL rows
+/// (timing fields are excluded end to end), so a resumed campaign emits
+/// byte-identical aggregate files too.
+#[derive(Debug, Clone)]
+pub struct AggregateResult {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Budget-class label.
+    pub budget: String,
+    /// Engine label.
+    pub engine: String,
+    /// Estimator label.
+    pub estimator: String,
+    /// Prescreen label.
+    pub prescreen: String,
+    /// The seeds aggregated over, ascending.
+    pub seeds: Vec<u64>,
+    /// Cross-seed summary of `best_yield`.
+    pub best_yield: moheco::RunSummary,
+    /// Mean per-run estimator CI half-width (within-run uncertainty).
+    pub ci_half_width_mean: f64,
+    /// Mean `|best_yield - true_yield|` where the truth is known.
+    pub true_yield_abs_error_mean: Option<f64>,
+    /// Exact total simulations across the seeds (an integer sum, not a
+    /// lossy `mean × runs` reconstruction).
+    pub simulations_total: u64,
+    /// Cross-seed summary of the simulation counts.
+    pub simulations: moheco::RunSummary,
+    /// Mean generation count.
+    pub generations_mean: f64,
+    /// Total prescreen vetoes across seeds.
+    pub prescreen_skips_total: u64,
+    /// Mean engine cache hit-rate across seeds.
+    pub cache_hit_rate_mean: f64,
+    /// Per-seed trace digests, in seed order (informational, never gated).
+    pub trace_digests: Vec<String>,
+}
+
+impl AggregateResult {
+    /// Renders the seeds as the stable `"1,2,3"` identity string.
+    pub fn seeds_label(&self) -> String {
+        self.seeds
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// 95 % confidence half-width of the cross-seed mean yield
+    /// (`Z · std / √runs`), the error bar that justifies the gate tolerance.
+    pub fn best_yield_ci_half_width(&self) -> f64 {
+        if self.best_yield.runs == 0 {
+            0.0
+        } else {
+            moheco_sampling::Z_95 * self.best_yield.std_dev() / (self.best_yield.runs as f64).sqrt()
+        }
+    }
+
+    /// Serializes the aggregate as a flat JSON object with a stable key
+    /// order (the committed-baseline format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut field = |k: &str, v: String| {
+            let _ = writeln!(out, "  \"{k}\": {v},");
+        };
+        field("schema_version", SCHEMA_VERSION.to_string());
+        field("scenario", format!("\"{}\"", self.scenario));
+        field("algo", format!("\"{}\"", self.algo));
+        field("budget", format!("\"{}\"", self.budget));
+        field("engine", format!("\"{}\"", self.engine));
+        field("estimator", format!("\"{}\"", self.estimator));
+        field("prescreen", format!("\"{}\"", self.prescreen));
+        field("seeds", format!("\"{}\"", self.seeds_label()));
+        field("runs", self.best_yield.runs.to_string());
+        field("best_yield_mean", fmt_f64(self.best_yield.mean));
+        field("best_yield_median", fmt_f64(self.best_yield.median));
+        field("best_yield_std", fmt_f64(self.best_yield.std_dev()));
+        field("best_yield_min", fmt_f64(self.best_yield.min));
+        field("best_yield_max", fmt_f64(self.best_yield.max));
+        field(
+            "best_yield_ci_half_width",
+            fmt_f64(self.best_yield_ci_half_width()),
+        );
+        field("ci_half_width_mean", fmt_f64(self.ci_half_width_mean));
+        field(
+            "true_yield_abs_error_mean",
+            fmt_opt(self.true_yield_abs_error_mean),
+        );
+        field("simulations_total", self.simulations_total.to_string());
+        field("simulations_mean", fmt_f64(self.simulations.mean));
+        field("simulations_median", fmt_f64(self.simulations.median));
+        field("simulations_std", fmt_f64(self.simulations.std_dev()));
+        field("generations_mean", fmt_f64(self.generations_mean));
+        field(
+            "prescreen_skips_total",
+            self.prescreen_skips_total.to_string(),
+        );
+        field("cache_hit_rate_mean", fmt_f64(self.cache_hit_rate_mean));
+        // Last field without the trailing comma.
+        let _ = write!(
+            out,
+            "  \"trace_digests\": \"{}\"\n}}\n",
+            self.trace_digests.join(",")
+        );
+        out
+    }
+
+    /// The baseline file name. The default (`memetic`) algorithm keeps the
+    /// historic `RESULTS_<scenario>.json` name so the committed `baselines/`
+    /// layout is stable; other algorithms are qualified.
+    pub fn file_name(&self) -> String {
+        if self.algo == "memetic" {
+            format!("RESULTS_{}.json", self.scenario)
+        } else {
+            format!("RESULTS_{}.{}.json", self.scenario, self.algo)
+        }
+    }
+}
+
+/// Groups parsed campaign rows by `(scenario, algo)` — preserving first-seen
+/// order — and condenses each group into an [`AggregateResult`].
+///
+/// # Errors
+///
+/// Returns a message when a row lacks a required field.
+pub fn aggregate_rows(rows: &[JsonRecord]) -> Result<Vec<AggregateResult>, String> {
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut groups: BTreeMap<(String, String), Vec<&JsonRecord>> = BTreeMap::new();
+    for row in rows {
+        let scenario = row
+            .str("scenario")
+            .ok_or("row without scenario")?
+            .to_string();
+        let algo = row.str("algo").ok_or("row without algo")?.to_string();
+        let key = (scenario, algo);
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(row);
+    }
+
+    let need = |row: &JsonRecord, key: &str| -> Result<f64, String> {
+        row.num(key)
+            .ok_or_else(|| format!("row without numeric {key:?}"))
+    };
+
+    let mut aggregates = Vec::with_capacity(order.len());
+    for key in order {
+        let mut rows = groups.remove(&key).expect("grouped above");
+        // Seed order is the canonical aggregate order.
+        rows.sort_by(|a, b| {
+            a.num("seed")
+                .partial_cmp(&b.num("seed"))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let first = rows[0];
+        let mut seeds = Vec::new();
+        let mut yields = Vec::new();
+        let mut cis = Vec::new();
+        let mut errors: Vec<f64> = Vec::new();
+        let mut sims = Vec::new();
+        let mut gens = Vec::new();
+        let mut skips = 0u64;
+        let mut hit_rates = Vec::new();
+        let mut digests = Vec::new();
+        for row in &rows {
+            seeds.push(need(row, "seed")? as u64);
+            yields.push(need(row, "best_yield")?);
+            cis.push(need(row, "ci_half_width")?);
+            if let Some(e) = row.num("true_yield_abs_error") {
+                errors.push(e);
+            }
+            sims.push(need(row, "simulations")?);
+            gens.push(need(row, "generations")?);
+            skips += need(row, "prescreen_skips")? as u64;
+            hit_rates.push(need(row, "engine_hit_rate")?);
+            digests.push(row.str("trace_digest").unwrap_or("?").to_string());
+        }
+        let n = rows.len() as f64;
+        aggregates.push(AggregateResult {
+            scenario: key.0,
+            algo: key.1,
+            budget: first.str("budget").unwrap_or("?").to_string(),
+            engine: first.str("engine").unwrap_or("?").to_string(),
+            estimator: first.str("estimator").unwrap_or("?").to_string(),
+            prescreen: first.str("prescreen").unwrap_or("?").to_string(),
+            seeds,
+            best_yield: moheco::RunSummary::of(&yields),
+            ci_half_width_mean: cis.iter().sum::<f64>() / n,
+            true_yield_abs_error_mean: (!errors.is_empty())
+                .then(|| errors.iter().sum::<f64>() / errors.len() as f64),
+            simulations_total: sims.iter().map(|&s| s as u64).sum(),
+            simulations: moheco::RunSummary::of(&sims),
+            generations_mean: gens.iter().sum::<f64>() / n,
+            prescreen_skips_total: skips,
+            cache_hit_rate_mean: hit_rates.iter().sum::<f64>() / n,
+            trace_digests: digests,
+        });
+    }
+    Ok(aggregates)
+}
+
+/// Identity fields of an aggregate baseline (the per-run `seed` is replaced
+/// by the `seeds` set).
+const AGGREGATE_IDENTITY_FIELDS: [&str; 8] = [
+    "schema_version",
+    "scenario",
+    "algo",
+    "budget",
+    "engine",
+    "estimator",
+    "prescreen",
+    "seeds",
+];
+
+/// Gates a fresh multi-seed aggregate (as JSON text) against its committed
+/// baseline: schema drift and identity changes fail exactly like the
+/// per-run gate, and the yield criterion compares the cross-seed *medians*
+/// within [`YIELD_TOLERANCE`]. The one-line summary reports the measured
+/// cross-seed std alongside, so the tolerance is visibly justified (or not)
+/// by the actual run-to-run noise.
+pub fn compare_aggregates(baseline_text: &str, current_text: &str) -> BaselineComparison {
+    let mut failures = Vec::new();
+    let (baseline, current) = match (
+        parse_flat_json(baseline_text),
+        parse_flat_json(current_text),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            if let Err(e) = b {
+                failures.push(format!("baseline unparsable: {e}"));
+            }
+            if let Err(e) = c {
+                failures.push(format!("result unparsable: {e}"));
+            }
+            return BaselineComparison {
+                scenario: "?".into(),
+                failures,
+                summary: "unparsable aggregate".into(),
+            };
+        }
+    };
+    let scenario = current.str("scenario").unwrap_or("?").to_string();
+
+    if baseline.keys != current.keys {
+        let missing: Vec<&String> = baseline
+            .keys
+            .iter()
+            .filter(|k| !current.keys.contains(k))
+            .collect();
+        let extra: Vec<&String> = current
+            .keys
+            .iter()
+            .filter(|k| !baseline.keys.contains(k))
+            .collect();
+        failures.push(format!(
+            "schema drift: missing keys {missing:?}, new keys {extra:?} (regenerate baselines/ deliberately if intended)"
+        ));
+    }
+    for field in AGGREGATE_IDENTITY_FIELDS {
+        if baseline.values.get(field) != current.values.get(field) {
+            failures.push(format!(
+                "identity field {field:?} changed: baseline {:?}, current {:?}",
+                baseline.values.get(field),
+                current.values.get(field)
+            ));
+        }
+    }
+
+    let b_median = baseline.num("best_yield_median").unwrap_or(f64::NAN);
+    let c_median = current.num("best_yield_median").unwrap_or(f64::NAN);
+    let dy = c_median - b_median;
+    if dy.is_nan() || dy.abs() > YIELD_TOLERANCE {
+        failures.push(format!(
+            "median yield deviation {dy:.3} exceeds the ±{YIELD_TOLERANCE} gate (baseline {b_median:.4}, current {c_median:.4})"
+        ));
+    }
+
+    let c_std = current.num("best_yield_std").unwrap_or(f64::NAN);
+    let b_sims = baseline.num("simulations_mean").unwrap_or(f64::NAN);
+    let c_sims = current.num("simulations_mean").unwrap_or(f64::NAN);
+    let sims_trend = if b_sims > 0.0 {
+        format!("{:+.1}%", 100.0 * (c_sims - b_sims) / b_sims)
+    } else {
+        "n/a".to_string()
+    };
+    let summary = format!(
+        "{scenario}: median yield {c_median:.4} (baseline {b_median:.4}, {dy:+.4}; cross-seed std {c_std:.4}) mean sims {c_sims:.0} (baseline {b_sims:.0}, {sims_trend}) {}",
+        if failures.is_empty() { "OK" } else { "FAIL" }
+    );
+    BaselineComparison {
+        scenario,
+        failures,
+        summary,
+    }
+}
+
 /// FNV-1a digest of a stream of `f64` values (the per-generation trace),
 /// rendered as 16 hex digits.
 pub fn trace_digest(values: impl IntoIterator<Item = f64>) -> String {
@@ -559,5 +902,82 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn jsonl_row_drops_timing_and_stays_parsable() {
+        let r = sample_result();
+        let row = r.to_jsonl_row();
+        assert!(row.ends_with('\n'));
+        assert_eq!(row.trim_end().lines().count(), 1, "one line per row");
+        let parsed = parse_flat_json(row.trim_end()).expect("row parses");
+        assert!(parsed.num("wall_time_ms").is_none(), "timing excluded");
+        assert!(parsed.num("engine_busy_nanos").is_none(), "timing excluded");
+        assert_eq!(parsed.num("best_yield"), Some(r.best_yield));
+        assert_eq!(parsed.str("trace_digest"), Some("00ff00ff00ff00ff"));
+    }
+
+    fn sample_rows() -> Vec<JsonRecord> {
+        [(1u64, 0.90, 1000u64), (2, 0.80, 1200), (3, 0.95, 1100)]
+            .into_iter()
+            .map(|(seed, best_yield, simulations)| {
+                let mut r = sample_result();
+                r.seed = seed;
+                r.best_yield = best_yield;
+                r.simulations = simulations;
+                parse_flat_json(r.to_jsonl_row().trim_end()).expect("row parses")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_rows_computes_cross_seed_statistics() {
+        let aggs = aggregate_rows(&sample_rows()).expect("aggregates");
+        assert_eq!(aggs.len(), 1);
+        let a = &aggs[0];
+        assert_eq!(a.scenario, "margin_wall");
+        assert_eq!(a.seeds, vec![1, 2, 3]);
+        assert_eq!(a.seeds_label(), "1,2,3");
+        assert_eq!(a.best_yield.median, 0.90);
+        assert!((a.best_yield.mean - 0.8833333333333333).abs() < 1e-12);
+        assert_eq!(a.simulations.median, 1100.0);
+        assert_eq!(a.simulations_total, 3300, "exact integer sum");
+        assert!(a.best_yield_ci_half_width() > 0.0);
+        assert_eq!(a.trace_digests.len(), 3);
+        assert_eq!(a.file_name(), "RESULTS_margin_wall.json");
+        // Non-default algorithms get a qualified file name.
+        let mut other = a.clone();
+        other.algo = "de".into();
+        assert_eq!(other.file_name(), "RESULTS_margin_wall.de.json");
+        // The serialized aggregate round-trips through the flat parser.
+        let parsed = parse_flat_json(&a.to_json()).expect("aggregate parses");
+        assert_eq!(parsed.num("best_yield_median"), Some(0.90));
+        assert_eq!(parsed.str("seeds"), Some("1,2,3"));
+        assert_eq!(parsed.num("runs"), Some(3.0));
+    }
+
+    #[test]
+    fn aggregate_gate_compares_medians_within_tolerance() {
+        let baseline = aggregate_rows(&sample_rows()).unwrap().remove(0);
+        // Small median drift passes; the mean may move freely.
+        let mut near = baseline.clone();
+        near.best_yield.median += 0.03;
+        near.best_yield.mean += 0.2;
+        let cmp = compare_aggregates(&baseline.to_json(), &near.to_json());
+        assert!(cmp.passed(), "{:?}", cmp.failures);
+        assert!(cmp.summary.contains("cross-seed std"));
+        // A large median drift fails.
+        let mut far = baseline.clone();
+        far.best_yield.median += 0.08;
+        let cmp = compare_aggregates(&baseline.to_json(), &far.to_json());
+        assert!(!cmp.passed());
+        assert!(cmp.failures[0].contains("median yield deviation"));
+        // The seed set is part of the identity: a 2-seed aggregate can never
+        // silently replace a 3-seed baseline.
+        let mut fewer = baseline.clone();
+        fewer.seeds = vec![1, 2];
+        let cmp = compare_aggregates(&baseline.to_json(), &fewer.to_json());
+        assert!(!cmp.passed());
+        assert!(cmp.failures.iter().any(|f| f.contains("seeds")));
     }
 }

@@ -34,18 +34,28 @@ fn run(
 
 #[test]
 fn prescreen_off_reproduces_the_committed_baseline_bit_for_bit() {
+    // The committed baseline is a 3-seed aggregate (schema v4); a fresh
+    // unscreened seed-1 run must reproduce the first per-seed trace digest
+    // bit-for-bit and land inside the aggregate's observed yield range.
     let baseline_path =
         Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/RESULTS_margin_wall.json");
     let baseline = parse_flat_json(&std::fs::read_to_string(baseline_path).expect("baseline"))
         .expect("well-formed baseline");
+    assert_eq!(baseline.str("seeds"), Some("1,2,3"), "3-seed aggregate");
     let fresh = run(Algo::Memetic, 1, EngineKind::Serial, PrescreenKind::Off);
+    let digests = baseline.str("trace_digests").expect("per-seed digests");
     assert_eq!(
         Some(fresh.trace_digest.as_str()),
-        baseline.str("trace_digest"),
-        "trace digest drifted from the committed baseline"
+        digests.split(',').next(),
+        "seed-1 trace digest drifted from the committed baseline"
     );
-    assert_eq!(Some(fresh.best_yield), baseline.num("best_yield"));
-    assert_eq!(Some(fresh.simulations as f64), baseline.num("simulations"));
+    let lo = baseline.num("best_yield_min").expect("min");
+    let hi = baseline.num("best_yield_max").expect("max");
+    assert!(
+        (lo..=hi).contains(&fresh.best_yield),
+        "seed-1 yield {} outside the committed range [{lo}, {hi}]",
+        fresh.best_yield
+    );
     assert_eq!(fresh.prescreen, "off");
     assert_eq!(fresh.prescreen_skips, 0);
 }

@@ -12,6 +12,10 @@ pub struct RunSummary {
     pub max: f64,
     /// Mean value.
     pub mean: f64,
+    /// Median value (midpoint of the two central values for even counts).
+    /// The campaign layer's aggregate gate compares medians because they are
+    /// robust to one outlier seed.
+    pub median: f64,
     /// Population variance.
     pub variance: f64,
     /// Number of runs.
@@ -31,10 +35,19 @@ impl RunSummary {
         let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        };
         Self {
             min,
             max,
             mean,
+            median,
             variance,
             runs: values.len(),
         }
@@ -66,6 +79,8 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(RunSummary::of(&[3.0, 1.0, 2.0]).median, 2.0);
         assert!((s.variance - 1.25).abs() < 1e-12);
         assert!((s.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
         assert_eq!(s.runs, 4);

@@ -92,10 +92,20 @@ where
         f(x)
     };
 
-    // Build the initial simplex: x0 plus one perturbed vertex per dimension.
-    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    // Build the initial simplex: x0 plus one perturbed vertex per *free*
+    // dimension. A zero-span dimension (bounds lo == hi, as produced by a
+    // frozen design variable) admits no perturbation — the clamped vertex
+    // would land back on x0, a duplicate that silently degenerates the
+    // simplex and wastes evaluations — so frozen dimensions are skipped and
+    // the simplex dimension shrinks accordingly: m free dimensions give an
+    // (m+1)-vertex simplex. Every vertex carries x0's value in the frozen
+    // coordinates, so the reflection/contraction arithmetic below never
+    // moves them.
+    let free: Vec<usize> = (0..n).filter(|&j| bounds[j].1 > bounds[j].0).collect();
+    let m = free.len();
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
     simplex.push(x0.to_vec());
-    for j in 0..n {
+    for &j in &free {
         let mut v = x0.to_vec();
         let span = bounds[j].1 - bounds[j].0;
         let step = (config.initial_step * span).max(1e-12);
@@ -109,11 +119,21 @@ where
     }
     let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evaluations)).collect();
 
+    // Every dimension frozen: nothing to search.
+    if m == 0 {
+        return NelderMeadResult {
+            x: simplex.swap_remove(0),
+            objective: values[0],
+            iterations: 0,
+            evaluations,
+        };
+    }
+
     let mut iterations = 0usize;
     while iterations < config.max_iterations {
         iterations += 1;
         // Order the simplex: best first.
-        let mut order: Vec<usize> = (0..=n).collect();
+        let mut order: Vec<usize> = (0..=m).collect();
         order.sort_by(|&a, &b| {
             values[a]
                 .partial_cmp(&values[b])
@@ -124,21 +144,21 @@ where
         simplex = reorder;
         values = revalues;
 
-        if (values[n] - values[0]).abs() < config.ftol {
+        if (values[m] - values[0]).abs() < config.ftol {
             break;
         }
 
         // Centroid of all but the worst vertex.
         let mut centroid = vec![0.0; n];
-        for v in simplex.iter().take(n) {
+        for v in simplex.iter().take(m) {
             for j in 0..n {
-                centroid[j] += v[j] / n as f64;
+                centroid[j] += v[j] / m as f64;
             }
         }
 
         // Reflection.
         let mut reflected: Vec<f64> = (0..n)
-            .map(|j| centroid[j] + config.alpha * (centroid[j] - simplex[n][j]))
+            .map(|j| centroid[j] + config.alpha * (centroid[j] - simplex[m][j]))
             .collect();
         clamp_to_bounds(&mut reflected, bounds);
         let f_reflected = eval(&reflected, &mut evaluations);
@@ -151,34 +171,38 @@ where
             clamp_to_bounds(&mut expanded, bounds);
             let f_expanded = eval(&expanded, &mut evaluations);
             if f_expanded < f_reflected {
-                simplex[n] = expanded;
-                values[n] = f_expanded;
+                simplex[m] = expanded;
+                values[m] = f_expanded;
             } else {
-                simplex[n] = reflected;
-                values[n] = f_reflected;
+                simplex[m] = reflected;
+                values[m] = f_reflected;
             }
-        } else if f_reflected < values[n - 1] {
-            simplex[n] = reflected;
-            values[n] = f_reflected;
+        } else if f_reflected < values[m - 1] {
+            simplex[m] = reflected;
+            values[m] = f_reflected;
         } else {
             // Contraction (outside or inside depending on the reflected value).
-            let towards = if f_reflected < values[n] {
+            let towards = if f_reflected < values[m] {
                 &reflected
             } else {
-                &simplex[n]
+                &simplex[m]
             };
             let mut contracted: Vec<f64> = (0..n)
                 .map(|j| centroid[j] + config.rho * (towards[j] - centroid[j]))
                 .collect();
             clamp_to_bounds(&mut contracted, bounds);
             let f_contracted = eval(&contracted, &mut evaluations);
-            if f_contracted < values[n].min(f_reflected) {
-                simplex[n] = contracted;
-                values[n] = f_contracted;
+            // Ties are accepted (standard Nelder-Mead): on a plateau the
+            // contracted point matches the reflected value exactly, and
+            // rejecting it would trigger an m-evaluation shrink per
+            // iteration for no improvement at all.
+            if f_contracted <= values[m].min(f_reflected) {
+                simplex[m] = contracted;
+                values[m] = f_contracted;
             } else {
                 // Shrink towards the best vertex.
                 let best = simplex[0].clone();
-                for i in 1..=n {
+                for i in 1..=m {
                     for j in 0..n {
                         simplex[i][j] = best[j] + config.sigma * (simplex[i][j] - best[j]);
                     }
@@ -294,6 +318,66 @@ mod tests {
     fn dimension_mismatch_panics() {
         let f = |x: &[f64]| x[0];
         let _ = nelder_mead(f, &[0.0, 0.0], &[(-1.0, 1.0)], &NelderMeadConfig::default());
+    }
+
+    #[test]
+    fn frozen_variables_do_not_degrade_the_simplex() {
+        // One free dimension, five frozen (zero-span bounds, as produced by
+        // a frozen design variable): the simplex must span only the free
+        // dimension (2 vertices), not carry 5 duplicate vertices that waste
+        // evaluations and silently degenerate the search.
+        let f = |x: &[f64]| (x[0] - 0.33).powi(2);
+        let mut bounds = vec![(0.25, 0.25); 6];
+        bounds[0] = (-1.0, 1.0);
+        let x0 = [0.9, 0.25, 0.25, 0.25, 0.25, 0.25];
+        let res = nelder_mead(f, &x0, &bounds, &NelderMeadConfig::default());
+        assert!(
+            (res.x[0] - 0.33).abs() < 1e-3,
+            "did not converge along the free dimension: {:?}",
+            res.x
+        );
+        for j in 1..6 {
+            assert_eq!(res.x[j], 0.25, "frozen variable {j} moved");
+        }
+        assert!(
+            res.evaluations <= 60,
+            "duplicate vertices wasted evaluations: {}",
+            res.evaluations
+        );
+    }
+
+    #[test]
+    fn all_frozen_dimensions_return_the_start_point() {
+        let f = |x: &[f64]| x[0] + x[1];
+        let bounds = vec![(0.5, 0.5), (0.25, 0.25)];
+        let res = nelder_mead(f, &[0.5, 0.25], &bounds, &NelderMeadConfig::default());
+        assert_eq!(res.x, vec![0.5, 0.25]);
+        assert_eq!(res.objective, 0.75);
+        assert_eq!(res.evaluations, 1);
+    }
+
+    #[test]
+    fn plateau_accepts_contraction_ties_without_shrinking() {
+        // A constant objective with ftol 0 forces the contraction path every
+        // iteration. Accepting the f_contracted == f_reflected tie (standard
+        // Nelder-Mead) keeps the cost at ~2 evaluations per iteration; the
+        // pre-fix strict `<` triggered a full n-evaluation shrink each time,
+        // which on a flat (quantized Monte-Carlo yield) objective burns most
+        // of the memetic budget for nothing.
+        let f = |_x: &[f64]| 7.0;
+        let bounds = vec![(-1.0, 1.0); 4];
+        let config = NelderMeadConfig {
+            ftol: 0.0,
+            max_iterations: 10,
+            ..NelderMeadConfig::default()
+        };
+        let res = nelder_mead(f, &[0.2; 4], &bounds, &config);
+        assert_eq!(res.objective, 7.0);
+        assert!(
+            res.evaluations <= 5 + 10 * 2,
+            "plateau triggered shrink storms: {} evaluations",
+            res.evaluations
+        );
     }
 
     #[test]

@@ -7,25 +7,57 @@
 //! negligible probability (64-bit FNV-style hash).
 //!
 //! The cache is sharded: each shard is a `Mutex<HashMap>` from key to an
-//! `Arc<Mutex<Block>>`, so workers contend only when touching the *same*
-//! block of the *same* design — which the engine's task deduplication already
-//! prevents within one batch.
+//! entry holding an `Arc<Mutex<Block>>`, so workers contend only when
+//! touching the *same* block of the *same* design — which the engine's task
+//! deduplication already prevents within one batch.
 //!
-//! There is **no eviction**: the cache's lifecycle is one optimization run,
-//! ended by `EvalEngine::reset()` (or dropping the engine). The engine keeps
-//! the retained state small — a unit point is dropped as soon as its outcome
-//! is simulated — so the per-design steady state is one `Option<f64>` per
-//! simulated sample plus the points of not-yet-simulated slots.
+//! # Lifecycle and memory
+//!
+//! Historically the cache's lifecycle was one optimization run, ended by
+//! `EvalEngine::reset()`. The campaign layer (`moheco-bench`) now keeps one
+//! engine alive across a whole seed × algorithm grid, so the cache carries
+//! two additional responsibilities:
+//!
+//! * **Memory accounting** — [`SimCache::bytes`] estimates the heap
+//!   footprint of every retained block *and* of the backing shard tables, so
+//!   a long-lived engine can be observed (and bounded) instead of trusted.
+//!   [`SimCache::clear`] releases the backing capacity too
+//!   (`shrink_to_fit`), so a per-run reset returns memory to near baseline
+//!   rather than pinning the peak forever.
+//! * **Bounded retention** — [`SimCache::enforce_limit`] implements a coarse
+//!   second-chance FIFO eviction: blocks are considered in creation order
+//!   (batch-granular, key-tiebroken, so the sweep is deterministic and
+//!   independent of worker scheduling), and a block referenced since the
+//!   previous sweep gets one reprieve before it is dropped. Eviction only
+//!   ever costs *re-simulation*: a block's points are a pure function of
+//!   `(seed, design, block index)`, so a re-created block is bit-identical
+//!   and correctness is never at stake.
 
 use moheco_sampling::splitmix64;
 use std::collections::HashMap;
+use std::mem::size_of;
 use std::sync::{Arc, Mutex};
 
 /// Number of independent shard locks.
 const SHARDS: usize = 16;
 
-/// One shard: a locked map from `(design key, block index)` to its block.
-type Shard = Mutex<HashMap<(u64, u64), Arc<Mutex<Block>>>>;
+/// Approximate per-entry bookkeeping overhead of a hash-map slot (control
+/// bytes + padding), used by the [`SimCache::bytes`] estimate.
+const MAP_SLOT_OVERHEAD: usize = 16;
+
+/// One cached block plus its eviction bookkeeping.
+struct CacheEntry {
+    block: Arc<Mutex<Block>>,
+    /// Batch sequence number at creation (FIFO eviction order; the set of
+    /// blocks created per batch is deterministic, so this is too).
+    created: u64,
+    /// Whether the entry was referenced since the last eviction sweep
+    /// (second-chance bit).
+    referenced: bool,
+}
+
+/// One shard: a locked map from `(design key, block index)` to its entry.
+type Shard = Mutex<HashMap<(u64, u64), CacheEntry>>;
 
 /// One block of a design's sample stream.
 #[derive(Debug)]
@@ -68,13 +100,43 @@ impl Block {
             outcomes: vec![None; n],
         }
     }
+
+    /// Estimated heap footprint of the block's contents in bytes.
+    pub fn bytes(&self) -> usize {
+        let inner: usize = self
+            .points
+            .iter()
+            .map(|p| p.capacity() * size_of::<f64>())
+            .sum();
+        self.points.capacity() * size_of::<Vec<f64>>()
+            + inner
+            + self.weights.capacity() * size_of::<f64>()
+            + self.outcomes.capacity() * size_of::<Option<f64>>()
+    }
+}
+
+/// One cached nominal evaluation plus its eviction stamp.
+struct NominalEntry {
+    margins: Arc<Vec<f64>>,
+    /// Batch sequence number at creation. All entries of one batch share a
+    /// stamp (the per-batch creation *set* is deterministic even under
+    /// parallel dispatch), so FIFO trimming stays order-independent.
+    created: u64,
 }
 
 /// Concurrent cache of simulation blocks and nominal evaluations.
-#[derive(Debug)]
 pub struct SimCache {
     mc: Vec<Shard>,
-    nominal: Mutex<HashMap<u64, Arc<Vec<f64>>>>,
+    nominal: Mutex<HashMap<u64, NominalEntry>>,
+}
+
+impl std::fmt::Debug for SimCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCache")
+            .field("blocks", &self.blocks())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
 }
 
 impl Default for SimCache {
@@ -98,7 +160,8 @@ impl SimCache {
     }
 
     /// Returns the block for `(design key, block index)`, creating it with
-    /// `make` if absent.
+    /// `make` if absent. `batch` is the engine's batch sequence number,
+    /// recorded as the entry's creation stamp for FIFO eviction.
     ///
     /// `make` runs *outside* the shard lock (double-checked insertion), so
     /// generating one block's points never stalls workers whose different
@@ -106,18 +169,33 @@ impl SimCache {
     /// block, both generate identical points (a pure function of the seed)
     /// and the first insertion wins — the engine's per-batch task
     /// deduplication makes that race impossible within a batch anyway.
-    pub fn block<F: FnOnce() -> Block>(&self, key: u64, block: u64, make: F) -> Arc<Mutex<Block>> {
+    pub fn block<F: FnOnce() -> Block>(
+        &self,
+        key: u64,
+        block: u64,
+        batch: u64,
+        make: F,
+    ) -> Arc<Mutex<Block>> {
         if let Some(existing) = self
             .shard(key, block)
             .lock()
             .expect("cache shard poisoned")
-            .get(&(key, block))
+            .get_mut(&(key, block))
         {
-            return existing.clone();
+            existing.referenced = true;
+            return existing.block.clone();
         }
         let fresh = Arc::new(Mutex::new(make()));
         let mut shard = self.shard(key, block).lock().expect("cache shard poisoned");
-        shard.entry((key, block)).or_insert(fresh).clone()
+        shard
+            .entry((key, block))
+            .or_insert(CacheEntry {
+                block: fresh,
+                created: batch,
+                referenced: true,
+            })
+            .block
+            .clone()
     }
 
     /// Looks up the cached nominal evaluation of a design.
@@ -126,15 +204,24 @@ impl SimCache {
             .lock()
             .expect("nominal cache poisoned")
             .get(&key)
-            .cloned()
+            .map(|e| e.margins.clone())
     }
 
-    /// Stores the nominal evaluation of a design.
-    pub fn store_nominal(&self, key: u64, margins: Arc<Vec<f64>>) {
-        self.nominal
-            .lock()
-            .expect("nominal cache poisoned")
-            .insert(key, margins);
+    /// Stores the nominal evaluation of a design; `batch` is the engine's
+    /// batch sequence number, recorded for FIFO trimming.
+    pub fn store_nominal(&self, key: u64, margins: Arc<Vec<f64>>, batch: u64) {
+        self.nominal.lock().expect("nominal cache poisoned").insert(
+            key,
+            NominalEntry {
+                margins,
+                created: batch,
+            },
+        );
+    }
+
+    /// Number of cached nominal evaluations.
+    pub fn nominals(&self) -> usize {
+        self.nominal.lock().expect("nominal cache poisoned").len()
     }
 
     /// Number of cached blocks across all shards.
@@ -145,12 +232,146 @@ impl SimCache {
             .sum()
     }
 
-    /// Drops every cached block and nominal evaluation.
+    /// Estimated heap footprint of the cache in bytes: block contents plus
+    /// the backing capacity of the shard tables and the nominal map, so a
+    /// cleared-but-not-shrunk cache is *visible* rather than hidden.
+    pub fn bytes(&self) -> usize {
+        let entry_slot = size_of::<(u64, u64)>() + size_of::<CacheEntry>() + MAP_SLOT_OVERHEAD;
+        let mut total = 0usize;
+        for shard in &self.mc {
+            let guard = shard.lock().expect("cache shard poisoned");
+            total += guard.capacity() * entry_slot;
+            for entry in guard.values() {
+                total +=
+                    size_of::<Mutex<Block>>() + entry.block.lock().expect("block poisoned").bytes();
+            }
+        }
+        let nominal = self.nominal.lock().expect("nominal cache poisoned");
+        let nominal_slot = size_of::<u64>() + size_of::<NominalEntry>() + MAP_SLOT_OVERHEAD;
+        total += nominal.capacity() * nominal_slot;
+        for entry in nominal.values() {
+            total += size_of::<Vec<f64>>() + entry.margins.capacity() * size_of::<f64>();
+        }
+        total
+    }
+
+    /// Trims the nominal-evaluation map to at most `max` entries (no-op
+    /// when `max == 0`), dropping the oldest first — `(creation batch,
+    /// key)` order, deterministic like the block sweep. A trimmed entry
+    /// only costs one nominal re-evaluation on its next request. Returns
+    /// the number of entries dropped.
+    pub fn enforce_nominal_limit(&self, max: usize) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        let mut nominal = self.nominal.lock().expect("nominal cache poisoned");
+        if nominal.len() <= max {
+            return 0;
+        }
+        let excess = nominal.len() - max;
+        let mut order: Vec<(u64, u64)> = nominal
+            .iter()
+            .map(|(&key, entry)| (entry.created, key))
+            .collect();
+        order.sort_unstable();
+        for &(_, key) in order.iter().take(excess) {
+            nominal.remove(&key);
+        }
+        excess as u64
+    }
+
+    /// Evicts blocks until at most `max` remain (no-op when `max == 0`,
+    /// which means unbounded). Returns the number of blocks evicted.
+    ///
+    /// The sweep is a coarse second-chance FIFO: candidates are visited in
+    /// `(creation batch, key)` order — deterministic regardless of worker
+    /// scheduling, because the *set* of blocks created and touched per batch
+    /// is a pure function of the request history — and an entry referenced
+    /// since the previous sweep has its reference bit cleared and survives;
+    /// if clearing every bit still leaves the cache over budget, the
+    /// reprieved entries are evicted in the same order. Evicting a block
+    /// only discards memo state: a later request re-creates it bit-for-bit
+    /// and re-simulates its outcomes, so results are unchanged.
+    ///
+    /// Callers must invoke this between batches (the engine does, after
+    /// assembly), never while tasks still expect their blocks to be present.
+    pub fn enforce_limit(&self, max: usize) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        let total = self.blocks();
+        if total <= max {
+            return 0;
+        }
+        let mut excess = total - max;
+
+        // Snapshot every entry's eviction key.
+        let mut candidates: Vec<(u64, (u64, u64), bool)> = Vec::with_capacity(total);
+        for shard in &self.mc {
+            let guard = shard.lock().expect("cache shard poisoned");
+            for (key, entry) in guard.iter() {
+                candidates.push((entry.created, *key, entry.referenced));
+            }
+        }
+        candidates.sort_unstable_by_key(|&(created, key, _)| (created, key));
+
+        let mut evicted = 0u64;
+        let mut reprieved: Vec<(u64, u64)> = Vec::new();
+        for &(_, key, referenced) in &candidates {
+            if excess == 0 {
+                break;
+            }
+            if referenced {
+                reprieved.push(key);
+            } else {
+                self.evict(key);
+                excess -= 1;
+                evicted += 1;
+            }
+        }
+        // Clear the second-chance bit of everything that used it.
+        for &key in &reprieved {
+            if let Some(entry) = self
+                .shard(key.0, key.1)
+                .lock()
+                .expect("cache shard poisoned")
+                .get_mut(&key)
+            {
+                entry.referenced = false;
+            }
+        }
+        // Still over budget: the reprieve is exhausted, evict in FIFO order.
+        for key in reprieved {
+            if excess == 0 {
+                break;
+            }
+            self.evict(key);
+            excess -= 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn evict(&self, key: (u64, u64)) {
+        self.shard(key.0, key.1)
+            .lock()
+            .expect("cache shard poisoned")
+            .remove(&key);
+    }
+
+    /// Drops every cached block and nominal evaluation *and releases the
+    /// backing capacity* of the shard tables, so a long-lived engine's
+    /// per-run reset returns memory to near baseline instead of pinning the
+    /// peak table capacity forever.
     pub fn clear(&self) {
         for shard in &self.mc {
-            shard.lock().expect("cache shard poisoned").clear();
+            let mut guard = shard.lock().expect("cache shard poisoned");
+            guard.clear();
+            guard.shrink_to_fit();
         }
-        self.nominal.lock().expect("nominal cache poisoned").clear();
+        let mut nominal = self.nominal.lock().expect("nominal cache poisoned");
+        nominal.clear();
+        nominal.shrink_to_fit();
     }
 }
 
@@ -206,14 +427,14 @@ mod tests {
     fn block_roundtrip_and_clear() {
         let cache = SimCache::new();
         let key = design_key(&[1.0, 2.0]);
-        let b = cache.block(key, 0, || Block::new(vec![vec![0.5, 0.5]; 4]));
+        let b = cache.block(key, 0, 0, || Block::new(vec![vec![0.5, 0.5]; 4]));
         {
             let mut guard = b.lock().unwrap();
             assert_eq!(guard.outcomes.len(), 4);
             guard.outcomes[0] = Some(1.0);
         }
         // Second lookup returns the same block (the stored outcome survives).
-        let b2 = cache.block(key, 0, || panic!("must not rebuild"));
+        let b2 = cache.block(key, 0, 1, || panic!("must not rebuild"));
         assert_eq!(b2.lock().unwrap().outcomes[0], Some(1.0));
         assert_eq!(cache.blocks(), 1);
         cache.clear();
@@ -225,7 +446,99 @@ mod tests {
         let cache = SimCache::new();
         let key = design_key(&[3.0]);
         assert!(cache.nominal(key).is_none());
-        cache.store_nominal(key, Arc::new(vec![0.1, 0.2]));
+        cache.store_nominal(key, Arc::new(vec![0.1, 0.2]), 0);
         assert_eq!(*cache.nominal(key).unwrap(), vec![0.1, 0.2]);
+        assert_eq!(cache.nominals(), 1);
+    }
+
+    #[test]
+    fn nominal_limit_trims_oldest_first() {
+        let cache = SimCache::new();
+        for i in 0..5u64 {
+            cache.store_nominal(design_key(&[i as f64]), Arc::new(vec![i as f64]), i);
+        }
+        assert_eq!(cache.enforce_nominal_limit(0), 0, "0 means unbounded");
+        assert_eq!(cache.enforce_nominal_limit(3), 2);
+        assert_eq!(cache.nominals(), 3);
+        assert!(cache.nominal(design_key(&[0.0])).is_none(), "oldest went");
+        assert!(cache.nominal(design_key(&[1.0])).is_none());
+        assert!(cache.nominal(design_key(&[4.0])).is_some(), "newest stays");
+    }
+
+    #[test]
+    fn bytes_track_contents_and_clear_releases_capacity() {
+        let cache = SimCache::new();
+        let baseline = cache.bytes();
+        for i in 0..200u64 {
+            let key = design_key(&[i as f64]);
+            let _ = cache.block(key, 0, i, || Block::new(vec![vec![0.5; 8]; 16]));
+        }
+        let filled = cache.bytes();
+        assert!(
+            filled > baseline + 200 * 16 * 8 * 8,
+            "bytes() must count block contents: {filled} vs baseline {baseline}"
+        );
+        cache.clear();
+        // The regression this guards: clear() used to keep the shard tables'
+        // backing capacity, so a campaign's per-run reset pinned peak memory.
+        let cleared = cache.bytes();
+        assert!(
+            cleared <= baseline + SHARDS * MAP_SLOT_OVERHEAD,
+            "clear() must release backing capacity: {cleared} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn enforce_limit_is_fifo_with_second_chance() {
+        let cache = SimCache::new();
+        let keys: Vec<u64> = (0..6).map(|i| design_key(&[i as f64])).collect();
+        for (i, &key) in keys.iter().enumerate() {
+            let _ = cache.block(key, 0, i as u64, || Block::new(vec![vec![0.0]; 2]));
+        }
+        // All entries are freshly referenced: the sweep reprieves everyone
+        // (clearing the bits), then falls back to FIFO — the two oldest go.
+        assert_eq!(cache.enforce_limit(4), 2);
+        assert_eq!(cache.blocks(), 4);
+        let mut rebuilt = false;
+        let _ = cache.block(keys[0], 0, 10, || {
+            rebuilt = true;
+            Block::new(vec![vec![0.0]; 2])
+        });
+        assert!(rebuilt, "oldest entry was evicted");
+        let mut rebuilt2 = false;
+        let _ = cache.block(keys[2], 0, 11, || {
+            rebuilt2 = true;
+            Block::new(vec![vec![0.0]; 2])
+        });
+        assert!(!rebuilt2, "younger entry survived");
+
+        // Five blocks now; keys[2] (the FIFO-oldest) was just touched while
+        // keys[3] was not. The next sweep reprieves keys[2] (second chance)
+        // and evicts keys[3] instead.
+        assert_eq!(cache.enforce_limit(4), 1);
+        let mut rebuilt3 = false;
+        let _ = cache.block(keys[3], 0, 12, || {
+            rebuilt3 = true;
+            Block::new(vec![vec![0.0]; 2])
+        });
+        assert!(rebuilt3, "unreferenced FIFO-oldest entry was evicted");
+        let mut rebuilt4 = false;
+        let _ = cache.block(keys[2], 0, 13, || {
+            rebuilt4 = true;
+            Block::new(vec![vec![0.0]; 2])
+        });
+        assert!(!rebuilt4, "referenced entry got its second chance");
+    }
+
+    #[test]
+    fn enforce_limit_zero_means_unbounded() {
+        let cache = SimCache::new();
+        for i in 0..10u64 {
+            let _ = cache.block(design_key(&[i as f64]), 0, i, || {
+                Block::new(vec![vec![0.0]; 1])
+            });
+        }
+        assert_eq!(cache.enforce_limit(0), 0);
+        assert_eq!(cache.blocks(), 10);
     }
 }

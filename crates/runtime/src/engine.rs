@@ -16,8 +16,8 @@ use crate::model::{McRequest, SimulationModel};
 use crate::pool;
 use crate::stats::{EngineStats, EngineStatsSnapshot};
 use moheco_sampling::{
-    weighted_outcome, EstimatedYield, EstimatorKind, RngStreams, SamplingPlan, SimulationCounter,
-    YieldEstimator,
+    splitmix64, weighted_outcome, EstimatedYield, EstimatorKind, RngStreams, SamplingPlan,
+    SimulationCounter, YieldEstimator,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +49,17 @@ pub struct EngineConfig {
     /// ([`EstimatorKind::MonteCarlo`]) reproduces the pre-estimator streams
     /// bit for bit.
     pub estimator: EstimatorKind,
+    /// Upper bound on retained cache blocks (`0` = unbounded, the default).
+    /// When set, the engine sweeps the cache after every Monte-Carlo batch
+    /// with a deterministic second-chance FIFO ([`SimCache::enforce_limit`])
+    /// and trims the (much smaller) nominal-evaluation map to the same
+    /// entry count after every nominal batch, so a bounded long-lived
+    /// engine is bounded in *both* retention maps. Eviction only ever costs
+    /// re-simulation — evicted blocks re-create bit-identically on the next
+    /// request — so outcomes are unchanged and parallel == serial still
+    /// holds (including the simulation counts, because the sweep order is
+    /// independent of worker scheduling).
+    pub max_cached_blocks: usize,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +70,7 @@ impl Default for EngineConfig {
             block_size: 50,
             workers: 0,
             estimator: EstimatorKind::MonteCarlo,
+            max_cached_blocks: 0,
         }
     }
 }
@@ -79,6 +91,12 @@ impl EngineConfig {
     /// Sets the variance-reduction estimator.
     pub fn with_estimator(mut self, estimator: EstimatorKind) -> Self {
         self.estimator = estimator;
+        self
+    }
+
+    /// Bounds the number of retained cache blocks (`0` = unbounded).
+    pub fn with_max_cached_blocks(mut self, max: usize) -> Self {
+        self.max_cached_blocks = max;
         self
     }
 
@@ -139,8 +157,35 @@ pub trait EvalEngine: Send + Sync {
     fn counter(&self) -> SimulationCounter;
 
     /// Resets counters *and* the cache (used between experiment repetitions,
-    /// so a repetition cannot be served from a previous run's cache).
+    /// so a repetition cannot be served from a previous run's cache). The
+    /// active seed is left untouched.
     fn reset(&self);
+
+    /// Resets only the instrumentation counters, keeping the cache warm.
+    /// Used by the campaign layer's shared-cache mode, where one long-lived
+    /// engine serves many runs and each run's counters must start at zero.
+    fn reset_counters(&self);
+
+    /// Switches the engine's *active seed*: all sample streams generated
+    /// after this call derive from the new seed, exactly as if the engine
+    /// had been constructed with it. Cache entries are keyed by the active
+    /// seed, so blocks of different seeds never alias — a reseeded engine
+    /// returns bit-identical outcomes to a fresh engine of the same seed
+    /// (the warm cache can only change *how many* simulations were executed
+    /// to serve them, never their values). Nominal evaluations are
+    /// seed-independent and stay shared across seeds.
+    fn reseed(&self, seed: u64);
+
+    /// The seed currently shaping the sample streams (the construction seed
+    /// until [`Self::reseed`] is called).
+    fn active_seed(&self) -> u64;
+
+    /// Number of blocks currently retained by the cache.
+    fn cache_blocks(&self) -> usize;
+
+    /// Estimated heap footprint of the cache in bytes (block contents plus
+    /// backing table capacity; see `SimCache::bytes`).
+    fn cache_bytes(&self) -> usize;
 
     /// Convenience: outcomes `start .. start + count` of one design.
     fn mc_single(
@@ -187,8 +232,14 @@ fn block_ranges(
 /// block of one design's stream. Ranges are kept separate (not merged into
 /// their convex hull) so that disjoint requests never cause the gap between
 /// them to be simulated.
+///
+/// `cache_key` mixes the active seed into the design key so blocks of
+/// different seeds never alias in a long-lived (reseeded) engine;
+/// `stream_key` is the plain design key, which together with the active seed
+/// derives the RNG stream exactly as before the campaign layer existed.
 struct BlockTask {
-    key: u64,
+    cache_key: u64,
+    stream_key: u64,
     block: u64,
     request_index: usize,
     ranges: Vec<(usize, usize)>,
@@ -201,6 +252,19 @@ struct EngineCore {
     cache: SimCache,
     stats: EngineStats,
     counter: SimulationCounter,
+    /// The seed currently shaping sample streams (starts at `config.seed`;
+    /// `reseed` swaps it between runs of a long-lived engine).
+    active_seed: AtomicU64,
+    /// Monotonic batch sequence, stamped on cache entries for FIFO eviction.
+    batch_seq: AtomicU64,
+}
+
+/// Mixes the active seed into a design key to form the cache-map key. The
+/// mix is a pure bijection per seed, so within one seed it only permutes
+/// keys (shard selection changes, results do not), while across seeds it
+/// separates the streams of a reseeded engine.
+fn seeded_cache_key(design_key: u64, seed: u64) -> u64 {
+    splitmix64(design_key ^ splitmix64(seed ^ 0xCA11_ED5E_ED00_0001))
 }
 
 impl EngineCore {
@@ -208,27 +272,35 @@ impl EngineCore {
         config.validate();
         Self {
             estimator: config.build_estimator(),
-            config,
             cache: SimCache::new(),
             stats: EngineStats::new(),
             counter: SimulationCounter::new(),
+            active_seed: AtomicU64::new(config.seed),
+            batch_seq: AtomicU64::new(0),
+            config,
         }
+    }
+
+    fn active_seed(&self) -> u64 {
+        self.active_seed.load(Ordering::Relaxed)
     }
 
     fn make_block(
         &self,
         model: &dyn SimulationModel,
         design: &[f64],
-        key: u64,
+        stream_key: u64,
         block: u64,
     ) -> Block {
-        // Per-(design, block) stream derived from the engine seed through the
-        // workspace's shared RngStreams scheme — independent of execution
+        // Per-(design, block) stream derived from the *active* seed through
+        // the workspace's shared RngStreams scheme — independent of execution
         // order, which is what makes parallel == serial. The estimator shapes
         // the block (plan points, LHS strata, mirrored pairs or a shifted
         // weighted cloud) but its input is only this stream, the design and
-        // the model's pure shift hint, so the guarantee is unchanged.
-        let mut rng = RngStreams::new(self.config.seed).stream(key, block);
+        // the model's pure shift hint, so the guarantee is unchanged. For a
+        // never-reseeded engine the active seed *is* the config seed, so the
+        // historic streams are reproduced bit for bit.
+        let mut rng = RngStreams::new(self.active_seed()).stream(stream_key, block);
         let shift = if self.config.estimator == EstimatorKind::ImportanceSampling {
             model.importance_shift(design)
         } else {
@@ -247,18 +319,21 @@ impl EngineCore {
     /// Splits the requests into deduplicated per-(design, block) tasks.
     fn plan_tasks(&self, requests: &[McRequest]) -> Vec<BlockTask> {
         let block_size = self.config.block_size;
+        let seed = self.active_seed();
         let mut needed: HashMap<(u64, u64), BlockTask> = HashMap::new();
         for (request_index, request) in requests.iter().enumerate() {
             if request.count == 0 {
                 continue;
             }
-            let key = design_key(&request.design);
+            let stream_key = design_key(&request.design);
+            let cache_key = seeded_cache_key(stream_key, seed);
             for (block, lo, hi) in block_ranges(request.start, request.count, block_size) {
                 needed
-                    .entry((key, block))
+                    .entry((cache_key, block))
                     .and_modify(|t| t.ranges.push((lo, hi)))
                     .or_insert(BlockTask {
-                        key,
+                        cache_key,
+                        stream_key,
                         block,
                         request_index,
                         ranges: vec![(lo, hi)],
@@ -268,7 +343,7 @@ impl EngineCore {
         let mut tasks: Vec<BlockTask> = needed.into_values().collect();
         // Deterministic dispatch order (helps reproducible profiling; the
         // results never depend on it).
-        tasks.sort_by_key(|t| (t.key, t.block));
+        tasks.sort_by_key(|t| (t.cache_key, t.block));
         tasks
     }
 
@@ -279,13 +354,14 @@ impl EngineCore {
         workers: usize,
     ) -> Vec<Vec<f64>> {
         let start_time = Instant::now();
+        let batch = self.batch_seq.fetch_add(1, Ordering::Relaxed);
         let tasks = self.plan_tasks(requests);
         let executed = AtomicU64::new(0);
 
         pool::run_tasks(&tasks, workers, |task| {
             let design = &requests[task.request_index].design;
-            let block = self.cache.block(task.key, task.block, || {
-                self.make_block(model, design, task.key, task.block)
+            let block = self.cache.block(task.cache_key, task.block, batch, || {
+                self.make_block(model, design, task.stream_key, task.block)
             });
             let mut guard = block.lock().expect("block poisoned");
             let mut ran = 0u64;
@@ -324,16 +400,17 @@ impl EngineCore {
 
         // Assemble in request order; every needed outcome now exists.
         let block_size = self.config.block_size;
+        let seed = self.active_seed();
         let results: Vec<Vec<f64>> = requests
             .iter()
             .map(|request| {
                 if request.count == 0 {
                     return Vec::new();
                 }
-                let key = design_key(&request.design);
+                let key = seeded_cache_key(design_key(&request.design), seed);
                 let mut out = Vec::with_capacity(request.count);
                 for (block, lo, hi) in block_ranges(request.start, request.count, block_size) {
-                    let entry = self.cache.block(key, block, || {
+                    let entry = self.cache.block(key, block, batch, || {
                         unreachable!("block was materialised by its task")
                     });
                     let guard = entry.lock().expect("block poisoned");
@@ -354,6 +431,15 @@ impl EngineCore {
             tasks.len() as u64,
             start_time.elapsed().as_nanos() as u64,
         );
+        // Bounded-memory engines sweep between batches, when no task holds a
+        // block handle (eviction mid-batch would break assembly). The sweep
+        // order is deterministic, so parallel == serial — counters included.
+        if self.config.max_cached_blocks > 0 {
+            let evicted = self.cache.enforce_limit(self.config.max_cached_blocks);
+            if evicted > 0 {
+                self.stats.record_evictions(evicted);
+            }
+        }
         results
     }
 
@@ -364,6 +450,7 @@ impl EngineCore {
         workers: usize,
     ) -> Vec<Vec<f64>> {
         let start_time = Instant::now();
+        let batch = self.batch_seq.fetch_add(1, Ordering::Relaxed);
         let keys: Vec<u64> = designs.iter().map(|d| design_key(d)).collect();
         let mut missing: Vec<(u64, usize)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
@@ -376,7 +463,7 @@ impl EngineCore {
 
         pool::run_tasks(&missing, workers, |&(key, i)| {
             let margins = model.nominal(&designs[i]);
-            self.cache.store_nominal(key, Arc::new(margins));
+            self.cache.store_nominal(key, Arc::new(margins), batch);
         });
 
         let ran = missing.len() as u64;
@@ -385,7 +472,8 @@ impl EngineCore {
         self.stats
             .record_nominal_batch(designs.len() as u64, start_time.elapsed().as_nanos() as u64);
 
-        keys.iter()
+        let results: Vec<Vec<f64>> = keys
+            .iter()
             .map(|&key| {
                 self.cache
                     .nominal(key)
@@ -393,13 +481,27 @@ impl EngineCore {
                     .as_ref()
                     .clone()
             })
-            .collect()
+            .collect();
+        // The same bound covers the (much smaller) nominal entries, so a
+        // bounded long-lived engine really is bounded — not just in its
+        // Monte-Carlo blocks. The trim order is deterministic, so the
+        // parallel == serial guarantee holds here too.
+        if self.config.max_cached_blocks > 0 {
+            self.cache
+                .enforce_nominal_limit(self.config.max_cached_blocks);
+        }
+        results
     }
 
     fn reset(&self) {
         self.stats.reset();
         self.counter.reset();
         self.cache.clear();
+    }
+
+    fn reset_counters(&self) {
+        self.stats.reset();
+        self.counter.reset();
     }
 
     /// Snapshot with `simulations_run` sourced from the shared counter (the
@@ -460,6 +562,26 @@ impl EvalEngine for SerialEngine {
 
     fn reset(&self) {
         self.core.reset();
+    }
+
+    fn reset_counters(&self) {
+        self.core.reset_counters();
+    }
+
+    fn reseed(&self, seed: u64) {
+        self.core.active_seed.store(seed, Ordering::Relaxed);
+    }
+
+    fn active_seed(&self) -> u64 {
+        self.core.active_seed()
+    }
+
+    fn cache_blocks(&self) -> usize {
+        self.core.cache.blocks()
+    }
+
+    fn cache_bytes(&self) -> usize {
+        self.core.cache.bytes()
     }
 }
 
@@ -530,6 +652,26 @@ impl EvalEngine for ParallelEngine {
 
     fn reset(&self) {
         self.core.reset();
+    }
+
+    fn reset_counters(&self) {
+        self.core.reset_counters();
+    }
+
+    fn reseed(&self, seed: u64) {
+        self.core.active_seed.store(seed, Ordering::Relaxed);
+    }
+
+    fn active_seed(&self) -> u64 {
+        self.core.active_seed()
+    }
+
+    fn cache_blocks(&self) -> usize {
+        self.core.cache.blocks()
+    }
+
+    fn cache_bytes(&self) -> usize {
+        self.core.cache.bytes()
     }
 }
 
@@ -833,6 +975,95 @@ mod tests {
             default_engine.mc_single(&Echo, &x, 0, 150),
             explicit.mc_single(&Echo, &x, 0, 150)
         );
+    }
+
+    #[test]
+    fn reseeded_engine_matches_fresh_engine_bit_for_bit() {
+        let fresh_a = SerialEngine::new(EngineConfig::default().with_seed(21));
+        let fresh_b = SerialEngine::new(EngineConfig::default().with_seed(22));
+        let reused = SerialEngine::new(EngineConfig::default().with_seed(21));
+        let x = vec![0.6, 0.3, 0.8];
+        assert_eq!(
+            reused.mc_single(&Echo, &x, 0, 120),
+            fresh_a.mc_single(&Echo, &x, 0, 120)
+        );
+        // Switch seeds without clearing the cache: values must match a fresh
+        // engine of the new seed (seed-keyed blocks never alias).
+        reused.reseed(22);
+        assert_eq!(reused.active_seed(), 22);
+        assert_eq!(
+            reused.mc_single(&Echo, &x, 0, 120),
+            fresh_b.mc_single(&Echo, &x, 0, 120)
+        );
+        // And back: the first seed's blocks are still cached, so re-serving
+        // them is free while the values stay those of seed 21.
+        reused.reseed(21);
+        let before = reused.simulations();
+        assert_eq!(
+            reused.mc_single(&Echo, &x, 0, 120),
+            fresh_a.mc_single(&Echo, &x, 0, 120)
+        );
+        assert_eq!(reused.simulations(), before, "seed-21 blocks were cached");
+    }
+
+    #[test]
+    fn reset_counters_keeps_the_cache_warm() {
+        let engine = SerialEngine::new(EngineConfig::default());
+        let x = vec![0.5, 0.5, 0.5];
+        let first = engine.mc_single(&Threshold, &x, 0, 30);
+        assert_eq!(engine.simulations(), 30);
+        engine.reset_counters();
+        assert_eq!(engine.simulations(), 0);
+        let second = engine.mc_single(&Threshold, &x, 0, 30);
+        assert_eq!(first, second);
+        assert_eq!(engine.simulations(), 0, "served from the warm cache");
+        assert!(engine.cache_blocks() > 0);
+        assert!(engine.cache_bytes() > 0);
+    }
+
+    #[test]
+    fn eviction_preserves_outcomes_and_determinism() {
+        // A bound tight enough to force evictions across these designs.
+        let bounded_config = EngineConfig::default()
+            .with_seed(9)
+            .with_max_cached_blocks(2);
+        let unbounded = SerialEngine::new(EngineConfig::default().with_seed(9));
+        let bounded = SerialEngine::new(bounded_config);
+        let bounded_twin = SerialEngine::new(bounded_config);
+        let parallel = ParallelEngine::new(EngineConfig {
+            workers: 4,
+            ..bounded_config
+        });
+
+        let designs: Vec<Vec<f64>> = (0..6).map(|i| vec![0.1 * i as f64, 0.2, 0.3]).collect();
+        let mut reference = Vec::new();
+        for x in &designs {
+            reference.push(unbounded.mc_single(&Echo, x, 0, 60));
+        }
+        for (i, x) in designs.iter().enumerate() {
+            assert_eq!(bounded.mc_single(&Echo, x, 0, 60), reference[i]);
+            assert_eq!(bounded_twin.mc_single(&Echo, x, 0, 60), reference[i]);
+            assert_eq!(parallel.mc_single(&Echo, x, 0, 60), reference[i]);
+        }
+        // Revisit every design: evicted blocks re-create bit-identically.
+        for (i, x) in designs.iter().enumerate() {
+            assert_eq!(bounded.mc_single(&Echo, x, 0, 60), reference[i]);
+            assert_eq!(bounded_twin.mc_single(&Echo, x, 0, 60), reference[i]);
+            assert_eq!(parallel.mc_single(&Echo, x, 0, 60), reference[i]);
+        }
+        assert!(bounded.cache_blocks() <= 2, "bound is enforced");
+        assert!(bounded.stats().evicted_blocks > 0, "evictions happened");
+        // Determinism: an identical twin (and the parallel engine) executed
+        // the exact same number of simulations, evictions included.
+        assert_eq!(bounded.simulations(), bounded_twin.simulations());
+        assert_eq!(bounded.simulations(), parallel.simulations());
+        assert_eq!(
+            parallel.stats().evicted_blocks,
+            bounded_twin.stats().evicted_blocks
+        );
+        // The unbounded engine never evicts and paid fewer re-simulations.
+        assert_eq!(unbounded.stats().evicted_blocks, 0);
+        assert!(unbounded.simulations() < bounded.simulations());
     }
 
     #[test]

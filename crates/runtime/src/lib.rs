@@ -74,7 +74,7 @@ pub mod model;
 pub mod pool;
 pub mod stats;
 
-pub use cache::{design_key, SimCache};
+pub use cache::{design_key, Block, SimCache};
 pub use engine::{EngineConfig, EvalEngine, ParallelEngine, SerialEngine};
 pub use model::{McRequest, SimulationModel};
 pub use stats::{EngineStats, EngineStatsSnapshot};

@@ -28,6 +28,8 @@ pub struct EngineStats {
     tasks: AtomicU64,
     /// Largest batch (in requested samples) seen so far.
     max_batch_samples: AtomicU64,
+    /// Cache blocks evicted by the bounded-memory policy.
+    evicted_blocks: AtomicU64,
     /// Wall-clock nanoseconds spent inside batch dispatch.
     busy_nanos: AtomicU64,
 }
@@ -59,6 +61,10 @@ impl EngineStats {
         self.cache_hits.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_evictions(&self, n: u64) {
+        self.evicted_blocks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.mc_samples_served.store(0, Ordering::Relaxed);
@@ -68,6 +74,7 @@ impl EngineStats {
         self.mc_batches.store(0, Ordering::Relaxed);
         self.tasks.store(0, Ordering::Relaxed);
         self.max_batch_samples.store(0, Ordering::Relaxed);
+        self.evicted_blocks.store(0, Ordering::Relaxed);
         self.busy_nanos.store(0, Ordering::Relaxed);
     }
 
@@ -83,6 +90,7 @@ impl EngineStats {
             mc_batches: self.mc_batches.load(Ordering::Relaxed),
             tasks: self.tasks.load(Ordering::Relaxed),
             max_batch_samples: self.max_batch_samples.load(Ordering::Relaxed),
+            evicted_blocks: self.evicted_blocks.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
         }
     }
@@ -108,6 +116,9 @@ pub struct EngineStatsSnapshot {
     pub tasks: u64,
     /// Largest batch (in requested samples) dispatched.
     pub max_batch_samples: u64,
+    /// Cache blocks evicted under [`crate::EngineConfig::max_cached_blocks`]
+    /// (0 on unbounded engines).
+    pub evicted_blocks: u64,
     /// Wall-clock nanoseconds spent inside batch dispatch.
     pub busy_nanos: u64,
 }
@@ -139,7 +150,7 @@ impl EngineStatsSnapshot {
     /// [`Self::to_json`] and the `moheco-run` result schema (which embeds
     /// the counters under an `engine_` prefix) are generated from it, so the
     /// two can never drift apart silently.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 9] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 10] {
         [
             ("simulations_run", self.simulations_run),
             ("mc_samples_served", self.mc_samples_served),
@@ -149,6 +160,7 @@ impl EngineStatsSnapshot {
             ("mc_batches", self.mc_batches),
             ("tasks", self.tasks),
             ("max_batch_samples", self.max_batch_samples),
+            ("evicted_blocks", self.evicted_blocks),
             ("busy_nanos", self.busy_nanos),
         ]
     }
