@@ -7,6 +7,7 @@
 //!                 [--prescreen off|rsb] [--seeds N] [--parallel]
 //!                 [--engine-reuse reset|shared-cache] [--max-cached-blocks N]
 //!                 [--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR]
+//!                 [--obs off|jsonl:FILE] [--metrics-out FILE]
 //! ```
 //!
 //! The scenario × algorithm × seed grid runs as one long-lived process with
@@ -19,11 +20,23 @@
 //! aggregate is gated against the committed baseline on the cross-seed
 //! *median* yield — the single-seed gate this replaces could pass or fail on
 //! seed noise alone.
+//!
+//! After the grid completes, the per-cell cost summary (simulations, wall
+//! time, cache efficiency of every cell executed in this invocation) goes to
+//! stderr. With `--obs jsonl:FILE` the cells run under a span tracer whose
+//! event stream — span exits, one `run_summary` and one live `campaign_cell`
+//! record per cell — lands in `FILE` (readable by `moheco-profile`); with
+//! `--metrics-out FILE` the campaign's final engine counters and phase
+//! attribution are written to `FILE` in the Prometheus text exposition
+//! format. Tracing never touches the search RNG, so rows and aggregates are
+//! bit-identical with observability on or off.
 
 use moheco::PrescreenKind;
-use moheco_bench::campaign::{run_campaign, CampaignSpec, EngineReuse};
+use moheco_bench::campaign::{run_campaign_traced, CampaignSpec, EngineReuse};
 use moheco_bench::results::compare_aggregates;
 use moheco_bench::{Algo, BudgetClass, CliArgs};
+use moheco_obs::{JsonlCollector, Tracer};
+use moheco_runtime::render_prometheus;
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
 use std::path::{Path, PathBuf};
@@ -34,7 +47,8 @@ const USAGE: &str = "usage: moheco-campaign [--scenario <name>|all] \
 [--algo de|ga|memetic|two-stage] [--budget tiny|small|paper] \
 [--estimator mc|lhs|antithetic|is] [--prescreen off|rsb] [--seeds N] \
 [--parallel] [--engine-reuse reset|shared-cache] [--max-cached-blocks N] \
-[--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR]";
+[--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR] [--obs off|jsonl:FILE] \
+[--metrics-out FILE]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
@@ -58,6 +72,8 @@ fn main() -> ExitCode {
             "--jsonl",
             "--out-dir",
             "--baseline-dir",
+            "--obs",
+            "--metrics-out",
         ],
     ) {
         return fail(&e);
@@ -139,6 +155,30 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         return fail(&format!("cannot create out dir {out_dir:?}: {e}"));
     }
+    let metrics_out = match args.value_of("--metrics-out") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.map(str::to_string),
+    };
+    let obs = match args.value_of("--obs") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.unwrap_or("off").to_string(),
+    };
+    let tracer = if let Some(path) = obs.strip_prefix("jsonl:") {
+        match JsonlCollector::create(Path::new(path)) {
+            Ok(c) => Tracer::new(Arc::new(c)),
+            Err(e) => return fail(&format!("cannot create obs stream {path:?}: {e}")),
+        }
+    } else if obs != "off" {
+        return fail(&format!(
+            "unknown obs mode {obs:?}; expected off or jsonl:FILE"
+        ));
+    } else if metrics_out.is_some() {
+        // Phase attribution without an event stream: the Prometheus snapshot
+        // needs the aggregated breakdown only.
+        Tracer::aggregating()
+    } else {
+        Tracer::disabled()
+    };
 
     let spec = CampaignSpec {
         scenarios,
@@ -169,19 +209,58 @@ fn main() -> ExitCode {
         },
     );
 
-    let report = match run_campaign(&spec, &jsonl, |line| eprintln!("  {line}")) {
+    let report = match run_campaign_traced(&spec, &jsonl, &tracer, |line| eprintln!("  {line}")) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    tracer.flush();
     eprintln!(
         "moheco-campaign: {} executed, {} resumed from {}",
         report.executed,
         report.resumed,
         jsonl.display()
     );
+
+    // Final per-cell cost summary: what this invocation actually spent.
+    if report.cell_costs.is_empty() {
+        eprintln!("cell costs: none (every cell resumed from disk)");
+    } else {
+        eprintln!("cell costs ({} executed):", report.cell_costs.len());
+        let mut wall_total = 0.0;
+        for c in &report.cell_costs {
+            wall_total += c.wall_time_ms;
+            eprintln!(
+                "  {}/{}/seed {}: {} sims, {:.0} ms, cache {:.1}% ({} hits)",
+                c.scenario,
+                c.algo,
+                c.seed,
+                c.engine_stats.simulations_run,
+                c.wall_time_ms,
+                100.0 * c.engine_stats.hit_rate(),
+                c.engine_stats.cache_hits,
+            );
+        }
+        let total = report.total_engine_stats();
+        eprintln!(
+            "  total: {} sims, {:.0} ms, cache {:.1}% ({} hits)",
+            total.simulations_run,
+            wall_total,
+            100.0 * total.hit_rate(),
+            total.cache_hits,
+        );
+    }
+
+    if let Some(path) = &metrics_out {
+        let text = render_prometheus(&report.total_engine_stats(), &tracer.breakdown());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics snapshot -> {path}");
+    }
 
     let mut failures: Vec<String> = Vec::new();
     for agg in &report.aggregates {

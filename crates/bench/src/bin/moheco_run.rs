@@ -4,7 +4,7 @@
 //! moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage]
 //!            [--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is]
 //!            [--prescreen off|rsb] [--seed N] [--parallel] [--out-dir DIR]
-//!            [--baseline-dir DIR] [--list]
+//!            [--baseline-dir DIR] [--obs off|jsonl:FILE] [--list]
 //! ```
 //!
 //! Every selected scenario is executed through the evaluation engine and
@@ -21,10 +21,18 @@
 //! invocation stays in CI as the cheap ungated smoke path. Point
 //! `--baseline-dir` only at directories of per-run records you generated
 //! with this binary.
+//!
+//! With `--obs jsonl:FILE`, every selected scenario runs under a span
+//! tracer: the full phase event stream (plus one `run_summary` record per
+//! scenario) is appended to `FILE`, ready for `moheco-profile`. Each
+//! scenario uses a fresh engine, so per-scenario attribution in the stream
+//! is self-contained. The tracer never touches the search RNG — results are
+//! bit-identical with observability on or off.
 
 use moheco::PrescreenKind;
 use moheco_bench::results::compare_results;
-use moheco_bench::{run_scenario_prescreened, Algo, BudgetClass, CliArgs};
+use moheco_bench::{run_scenario_traced, Algo, BudgetClass, CliArgs};
+use moheco_obs::{JsonlCollector, Tracer};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
 use std::path::Path;
@@ -33,7 +41,7 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: moheco-run [--scenario <name>|all] [--algo de|ga|memetic|two-stage] \
 [--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is] [--prescreen off|rsb] [--seed N] \
-[--parallel] [--out-dir DIR] [--baseline-dir DIR] [--list]";
+[--parallel] [--out-dir DIR] [--baseline-dir DIR] [--obs off|jsonl:FILE] [--list]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
@@ -54,6 +62,7 @@ fn main() -> ExitCode {
             "--seed",
             "--out-dir",
             "--baseline-dir",
+            "--obs",
         ],
     ) {
         return fail(&e);
@@ -140,6 +149,25 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         return fail(&format!("cannot create out dir {out_dir:?}: {e}"));
     }
+    let obs = match args.value_of("--obs") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.unwrap_or("off").to_string(),
+    };
+    // One collector (one output stream) shared by all scenarios, but a fresh
+    // tracer per scenario so each RESULTS record carries only its own
+    // phase breakdown.
+    let collector: Option<Arc<JsonlCollector>> = if obs == "off" {
+        None
+    } else if let Some(path) = obs.strip_prefix("jsonl:") {
+        match JsonlCollector::create(Path::new(path)) {
+            Ok(c) => Some(Arc::new(c)),
+            Err(e) => return fail(&format!("cannot create obs stream {path:?}: {e}")),
+        }
+    } else {
+        return fail(&format!(
+            "unknown obs mode {obs:?}; expected off or jsonl:FILE"
+        ));
+    };
 
     let engine_kind = args.engine_kind();
     let mut failures: Vec<String> = Vec::new();
@@ -156,9 +184,16 @@ fn main() -> ExitCode {
             "serial"
         },
     );
+    if let Some(path) = obs.strip_prefix("jsonl:") {
+        eprintln!("moheco-run: obs event stream -> {path}");
+    }
 
     for scenario in &scenarios {
-        let result = run_scenario_prescreened(
+        let tracer = match &collector {
+            Some(c) => Tracer::new(c.clone()),
+            None => Tracer::disabled(),
+        };
+        let result = run_scenario_traced(
             scenario.as_ref(),
             algo,
             budget,
@@ -166,6 +201,7 @@ fn main() -> ExitCode {
             engine_kind,
             estimator,
             prescreen,
+            &tracer,
         );
         let json = result.to_json();
         let path = Path::new(&out_dir).join(result.file_name());

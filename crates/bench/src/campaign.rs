@@ -34,10 +34,11 @@
 //!   (mean/median/std/CI of `best_yield`, simulation statistics, cache
 //!   hit-rates), the schema-v4 records the CI baseline gate compares.
 
-use crate::results::{aggregate_rows, parse_flat_json, AggregateResult, JsonRecord};
-use crate::{run_scenario_on_engine, Algo, BudgetClass, EngineKind};
+use crate::results::{aggregate_rows, fmt_f64, parse_flat_json, AggregateResult, JsonRecord};
+use crate::{run_scenario_on_engine_traced, Algo, BudgetClass, EngineKind};
 use moheco::PrescreenKind;
-use moheco_runtime::{EngineConfig, EvalEngine};
+use moheco_obs::Tracer;
+use moheco_runtime::{EngineConfig, EngineStatsSnapshot, EvalEngine};
 use moheco_sampling::{EstimatorKind, SamplingPlan};
 use moheco_scenarios::Scenario;
 use std::collections::{HashMap, HashSet};
@@ -113,6 +114,24 @@ impl CampaignSpec {
     }
 }
 
+/// Cost accounting of one cell executed in this invocation (resumed cells
+/// ran in an earlier process and consumed nothing here).
+#[derive(Debug, Clone)]
+pub struct CellCost {
+    /// Scenario name of the cell.
+    pub scenario: String,
+    /// Algorithm label of the cell.
+    pub algo: String,
+    /// Seed of the cell.
+    pub seed: u64,
+    /// Engine counters of the cell (counters are reset before every cell, so
+    /// these are per-cell even under [`EngineReuse::SharedCache`]).
+    pub engine_stats: EngineStatsSnapshot,
+    /// Wall-clock time of the cell in milliseconds. Timing — report it, but
+    /// never gate or digest on it.
+    pub wall_time_ms: f64,
+}
+
 /// What [`run_campaign`] did and found.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -123,6 +142,32 @@ pub struct CampaignReport {
     /// Per-(scenario, algo) aggregates over the complete grid, in first-seen
     /// row order.
     pub aggregates: Vec<AggregateResult>,
+    /// Per-cell costs of the cells executed in this invocation, in execution
+    /// order.
+    pub cell_costs: Vec<CellCost>,
+}
+
+impl CampaignReport {
+    /// Engine counters summed over the cells executed in this invocation
+    /// (`max_batch_samples` takes the maximum — it is a high-water mark, not
+    /// a count). This is the snapshot the campaign's Prometheus exposition
+    /// renders.
+    pub fn total_engine_stats(&self) -> EngineStatsSnapshot {
+        let mut total = EngineStatsSnapshot::default();
+        for cell in &self.cell_costs {
+            let s = &cell.engine_stats;
+            total.simulations_run += s.simulations_run;
+            total.mc_samples_served += s.mc_samples_served;
+            total.nominal_served += s.nominal_served;
+            total.cache_hits += s.cache_hits;
+            total.batches += s.batches;
+            total.mc_batches += s.mc_batches;
+            total.tasks += s.tasks;
+            total.max_batch_samples = total.max_batch_samples.max(s.max_batch_samples);
+            total.evicted_blocks += s.evicted_blocks;
+        }
+        total
+    }
 }
 
 /// Long-lived per-scenario engines with the between-cell preparation policy.
@@ -330,6 +375,21 @@ fn check_spec_fingerprint(
 pub fn run_campaign(
     spec: &CampaignSpec,
     jsonl_path: &Path,
+    progress: impl FnMut(&str),
+) -> Result<CampaignReport, String> {
+    run_campaign_traced(spec, jsonl_path, &Tracer::disabled(), progress)
+}
+
+/// [`run_campaign`] under a span tracer: every cell runs traced (the probe is
+/// re-pointed at the cell's engine, so a campaign-wide [`Tracer::breakdown`]
+/// aggregates phase attribution across all executed cells), and one live
+/// `campaign_cell` event is emitted per completed cell with its cost fields
+/// (`wall_time_ms` last, per the timing-segregation rule). The tracer never
+/// touches the search RNG — rows are bit-identical with tracing on or off.
+pub fn run_campaign_traced(
+    spec: &CampaignSpec,
+    jsonl_path: &Path,
+    tracer: &Tracer,
     mut progress: impl FnMut(&str),
 ) -> Result<CampaignReport, String> {
     if let Some(parent) = jsonl_path.parent() {
@@ -379,6 +439,7 @@ pub fn run_campaign(
     );
     let mut resumed = 0usize;
     let mut executed = 0usize;
+    let mut cell_costs: Vec<CellCost> = Vec::new();
     for scenario in &spec.scenarios {
         for &algo in &spec.algos {
             for &seed in &spec.seeds {
@@ -392,7 +453,7 @@ pub fn run_campaign(
                     continue;
                 }
                 let engine = engines.prepare(scenario.name(), seed);
-                let result = run_scenario_on_engine(
+                let result = run_scenario_on_engine_traced(
                     scenario.as_ref(),
                     algo,
                     spec.budget,
@@ -400,11 +461,31 @@ pub fn run_campaign(
                     engine,
                     spec.engine_kind.label(),
                     spec.prescreen,
+                    tracer,
                 );
                 file.write_all(result.to_jsonl_row().as_bytes())
                     .and_then(|()| file.flush())
                     .map_err(|e| format!("cannot append to {}: {e}", jsonl_path.display()))?;
                 executed += 1;
+                cell_costs.push(CellCost {
+                    scenario: key.0.clone(),
+                    algo: key.1.clone(),
+                    seed,
+                    engine_stats: result.engine_stats,
+                    wall_time_ms: result.wall_time_ms,
+                });
+                tracer.emit(
+                    "campaign_cell",
+                    &[
+                        ("scenario", key.0.clone()),
+                        ("algo", key.1.clone()),
+                        ("seed", seed.to_string()),
+                        ("best_yield", fmt_f64(result.best_yield)),
+                        ("simulations", result.simulations.to_string()),
+                        ("cache_hit_rate", fmt_f64(result.engine_stats.hit_rate())),
+                        ("wall_time_ms", fmt_f64(result.wall_time_ms)),
+                    ],
+                );
                 progress(&format!(
                     "{}/{}/seed {}: yield {:.4} sims {} ({:.0} ms, cache {} blocks / {:.1} MiB)",
                     key.0,
@@ -464,6 +545,7 @@ pub fn run_campaign(
         resumed,
         executed,
         aggregates,
+        cell_costs,
     })
 }
 

@@ -18,8 +18,9 @@ use moheco::{
     Benchmark, MohecoConfig, PrescreenConfig, PrescreenKind, YieldOptimizer, YieldProblem,
     YieldStrategy,
 };
+use moheco_obs::{Span, Tracer};
 use moheco_optim::de::{DeConfig, DifferentialEvolution};
-use moheco_optim::filter::TrialFilter;
+use moheco_optim::filter::{AdmitAll, TrialFilter};
 use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
 use moheco_optim::problem::{Evaluation, Problem};
 use moheco_optim::result::OptimizationResult;
@@ -310,8 +311,38 @@ pub fn run_scenario_prescreened(
     estimator: EstimatorKind,
     prescreen: PrescreenKind,
 ) -> ScenarioResult {
+    run_scenario_traced(
+        scenario,
+        algo,
+        budget,
+        seed,
+        engine_kind,
+        estimator,
+        prescreen,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_scenario_prescreened`] under an observability [`Tracer`]: the whole
+/// run becomes a `"run"` root span, the engine's counters are probed at every
+/// span boundary (so each phase is charged exactly the simulations it spent),
+/// and a final `run_summary` event records the run identity plus the engine
+/// totals for downstream reconciliation (`moheco-profile --check`). With
+/// [`Tracer::disabled`] this is [`run_scenario_prescreened`] exactly —
+/// bit-identical results, no collector traffic.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_traced(
+    scenario: &dyn Scenario,
+    algo: Algo,
+    budget: BudgetClass,
+    seed: u64,
+    engine_kind: EngineKind,
+    estimator: EstimatorKind,
+    prescreen: PrescreenKind,
+    tracer: &Tracer,
+) -> ScenarioResult {
     let engine = engine_kind.build_configured(seed, estimator);
-    run_scenario_on_engine(
+    run_scenario_on_engine_traced(
         scenario,
         algo,
         budget,
@@ -319,6 +350,7 @@ pub fn run_scenario_prescreened(
         engine,
         engine_kind.label(),
         prescreen,
+        tracer,
     )
 }
 
@@ -342,6 +374,35 @@ pub fn run_scenario_on_engine(
     engine_label: &str,
     prescreen: PrescreenKind,
 ) -> ScenarioResult {
+    run_scenario_on_engine_traced(
+        scenario,
+        algo,
+        budget,
+        seed,
+        engine,
+        engine_label,
+        prescreen,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_scenario_on_engine`] under an observability [`Tracer`] (see
+/// [`run_scenario_traced`] for the span/probe contract).
+///
+/// # Panics
+///
+/// Panics if `engine.active_seed() != seed`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_on_engine_traced(
+    scenario: &dyn Scenario,
+    algo: Algo,
+    budget: BudgetClass,
+    seed: u64,
+    engine: std::sync::Arc<dyn moheco_runtime::EvalEngine>,
+    engine_label: &str,
+    prescreen: PrescreenKind,
+    tracer: &Tracer,
+) -> ScenarioResult {
     assert_eq!(
         engine.active_seed(),
         seed,
@@ -349,7 +410,12 @@ pub fn run_scenario_on_engine(
     );
     let estimator = engine.config().estimator;
     let engine_label = engine_label.to_string();
-    let problem = scenario.build(engine);
+    // The probe must be wired before the root span opens so the counter
+    // baseline predates every attribution boundary; scenario construction
+    // runs no simulations, so the root span still covers the whole spend.
+    moheco_runtime::attach_engine_probe(tracer, &engine);
+    let run_span = Span::enter(tracer, "run");
+    let problem = scenario.build(engine).with_tracer(tracer.clone());
     let config = budget.config();
     let prescreen_config = PrescreenConfig {
         seed,
@@ -421,8 +487,8 @@ pub fn run_scenario_on_engine(
                     ..DeConfig::default()
                 });
                 match filter.as_mut() {
-                    Some(f) => de.run_filtered(&mut search, f, &mut rng),
-                    None => de.run(&mut search, &mut rng),
+                    Some(f) => de.run_traced_filtered(&mut search, f, tracer, &mut rng),
+                    None => de.run_traced_filtered(&mut search, &mut AdmitAll, tracer, &mut rng),
                 }
             } else {
                 let ga = GeneticAlgorithm::new(GaConfig {
@@ -433,14 +499,15 @@ pub fn run_scenario_on_engine(
                     ..GaConfig::default()
                 });
                 match filter.as_mut() {
-                    Some(f) => ga.run_filtered(&mut search, f, &mut rng),
-                    None => ga.run(&mut search, &mut rng),
+                    Some(f) => ga.run_traced_filtered(&mut search, f, tracer, &mut rng),
+                    None => ga.run_traced_filtered(&mut search, &mut AdmitAll, tracer, &mut rng),
                 }
             };
             let digest = trace_digest(result.history.iter().copied());
             let best_x = result.best.x.clone();
             // Final report at the accurate n_max budget, like the MOHECO
             // variants (served partly from the engine cache).
+            let report_span = Span::enter(tracer, "final_report");
             let rep = problem.feasibility(&best_x);
             let (best_yield, ci, feasible) = if rep.is_feasible() {
                 let est = problem.estimate_with_ci(&best_x, config.n_max, rep.decision);
@@ -448,6 +515,7 @@ pub fn run_scenario_on_engine(
             } else {
                 (0.0, 0.0, false)
             };
+            drop(report_span);
             (
                 best_x,
                 best_yield,
@@ -461,9 +529,26 @@ pub fn run_scenario_on_engine(
         }
     };
 
+    drop(run_span);
     let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
     let true_yield = problem.true_yield(&best_x);
     let bench = scenario.bench();
+    let engine_stats = problem.engine_stats();
+    if tracer.is_enabled() {
+        tracer.emit(
+            "run_summary",
+            &[
+                ("scenario", scenario.name().to_string()),
+                ("algo", algo.label().to_string()),
+                ("budget", budget.label().to_string()),
+                ("seed", seed.to_string()),
+                ("best_yield", crate::results::fmt_f64(best_yield)),
+                ("simulations_run", engine_stats.simulations_run.to_string()),
+                ("cache_hits", engine_stats.cache_hits.to_string()),
+            ],
+        );
+        tracer.flush();
+    }
     ScenarioResult {
         scenario: scenario.name().to_string(),
         algo: algo.label().to_string(),
@@ -485,7 +570,9 @@ pub fn run_scenario_on_engine(
         prescreen_skips,
         trace_digest: digest,
         wall_time_ms,
-        engine_stats: problem.engine_stats(),
+        engine_stats,
+        engine_timing: problem.engine().timing(),
+        phase_breakdown: tracer.breakdown(),
     }
 }
 

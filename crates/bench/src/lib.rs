@@ -16,8 +16,8 @@ pub mod results;
 pub use campaign::{run_campaign, CampaignEngines, CampaignReport, CampaignSpec, EngineReuse};
 pub use cli::CliArgs;
 pub use harness::{
-    run_scenario, run_scenario_on_engine, run_scenario_prescreened, run_scenario_with, Algo,
-    BudgetClass,
+    run_scenario, run_scenario_on_engine, run_scenario_on_engine_traced, run_scenario_prescreened,
+    run_scenario_traced, run_scenario_with, Algo, BudgetClass,
 };
 
 use moheco::{CircuitBench, MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};

@@ -25,7 +25,8 @@
 //! No serialization crates exist in this build environment, so the module
 //! carries its own minimal JSON writer and parser.
 
-use moheco_runtime::EngineStatsSnapshot;
+use moheco_obs::PhaseBreakdown;
+use moheco_runtime::{EngineStatsSnapshot, EngineTiming};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -42,8 +43,13 @@ use std::fmt::Write as _;
 /// committed baselines become multi-seed [`AggregateResult`] records
 /// (`seeds` + mean/median/std/CI fields) gated on the aggregate median —
 /// a single-seed point estimate can pass or fail on seed noise alone, so
-/// the trust boundary moved to statistics over repeated runs.
-pub const SCHEMA_VERSION: u64 = 4;
+/// the trust boundary moved to statistics over repeated runs. v5 is the
+/// observability layer: `engine_busy_nanos` now comes from the segregated
+/// [`EngineTiming`] struct instead of the counter snapshot, and a traced
+/// run's pretty file carries a compact `phase_breakdown` summary (treated
+/// like a timing field, so never in JSONL rows; the full span stream lives in the
+/// `--obs jsonl:` event file read by `moheco-profile`).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Maximum allowed absolute deviation of `best_yield` from the committed
 /// baseline (5 percentage points, per the CI gating policy).
@@ -97,8 +103,14 @@ pub struct ScenarioResult {
     pub trace_digest: String,
     /// Wall-clock time of the run in milliseconds (reported, never gated).
     pub wall_time_ms: f64,
-    /// Engine instrumentation snapshot.
+    /// Engine instrumentation snapshot (deterministic counters only).
     pub engine_stats: EngineStatsSnapshot,
+    /// Engine wall-clock accounting, segregated from the gated counters.
+    pub engine_timing: EngineTiming,
+    /// Per-phase budget attribution of the run; empty unless the run was
+    /// traced. Like the other timing-adjacent data it appears only in the
+    /// pretty per-run file (compact form), never in JSONL rows.
+    pub phase_breakdown: PhaseBreakdown,
 }
 
 /// Formats a float for the flat-JSON writers (full round-trip precision so
@@ -153,14 +165,21 @@ impl ScenarioResult {
         field("trace_digest", format!("\"{}\"", self.trace_digest));
         if timing {
             field("wall_time_ms", fmt_f64(self.wall_time_ms));
+            field(
+                "engine_busy_nanos",
+                self.engine_timing.busy_nanos.to_string(),
+            );
         }
         for (name, value) in self.engine_stats.counter_fields() {
-            if !timing && name == "busy_nanos" {
-                continue;
-            }
             field(&format!("engine_{name}"), value.to_string());
         }
         field("engine_hit_rate", fmt_f64(self.engine_stats.hit_rate()));
+        if timing && !self.phase_breakdown.is_empty() {
+            field(
+                "phase_breakdown",
+                format!("\"{}\"", self.phase_breakdown.to_compact()),
+            );
+        }
         out
     }
 
@@ -795,6 +814,8 @@ mod tests {
             trace_digest: "00ff00ff00ff00ff".into(),
             wall_time_ms: 12.5,
             engine_stats: EngineStatsSnapshot::default(),
+            engine_timing: EngineTiming::default(),
+            phase_breakdown: PhaseBreakdown::default(),
         }
     }
 
@@ -915,6 +936,28 @@ mod tests {
         assert!(parsed.num("engine_busy_nanos").is_none(), "timing excluded");
         assert_eq!(parsed.num("best_yield"), Some(r.best_yield));
         assert_eq!(parsed.str("trace_digest"), Some("00ff00ff00ff00ff"));
+    }
+
+    #[test]
+    fn phase_breakdown_appears_only_in_the_traced_pretty_file() {
+        use moheco_obs::SpanEvent;
+        let mut r = sample_result();
+        // Untraced run: no phase field anywhere.
+        assert!(!r.to_json().contains("phase_breakdown"));
+        r.phase_breakdown = PhaseBreakdown::from_span_events([SpanEvent {
+            seq: 0,
+            path: "run".into(),
+            depth: 0,
+            simulations: 1234,
+            cache_hits: 0,
+            evictions: 0,
+            wall_nanos: 10,
+        }]);
+        let pretty = parse_flat_json(&r.to_json()).expect("pretty parses");
+        assert_eq!(pretty.str("phase_breakdown"), Some("run=1:1234:0:0"));
+        // Timing-adjacent data never reaches the deterministic JSONL row.
+        let row = parse_flat_json(r.to_jsonl_row().trim_end()).expect("row parses");
+        assert!(row.str("phase_breakdown").is_none());
     }
 
     fn sample_rows() -> Vec<JsonRecord> {

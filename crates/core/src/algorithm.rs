@@ -21,6 +21,7 @@ use crate::prescreen::{PrescreenStats, Prescreener};
 use crate::problem::YieldProblem;
 use crate::trace::{GenerationRecord, Trace};
 use crate::two_stage::{estimate_fixed_budget, estimate_two_stage_prescreened, AllocationRecord};
+use moheco_obs::{PhaseBreakdown, Span};
 use moheco_optim::de::{de_crossover, de_mutant, DeConfig, DeStrategy};
 use moheco_optim::memetic::StagnationTracker;
 use moheco_optim::nelder_mead::{nelder_mead, NelderMeadConfig};
@@ -55,6 +56,13 @@ pub struct RunResult {
     pub engine_stats: EngineStatsSnapshot,
     /// Surrogate-prescreen counters (all zero when prescreening is off).
     pub prescreen_stats: PrescreenStats,
+    /// Per-phase budget attribution for the run, aggregated from the
+    /// problem's tracer. Empty when tracing is disabled (the default); with
+    /// an aggregating or collecting tracer attached via
+    /// [`YieldProblem::with_tracer`](crate::problem::YieldProblem::with_tracer),
+    /// the per-phase *self* simulation counts of a fresh-engine run sum to
+    /// [`Self::total_simulations`].
+    pub phase_breakdown: PhaseBreakdown,
 }
 
 impl RunResult {
@@ -120,6 +128,10 @@ impl YieldOptimizer {
         let bounds = problem.bounds();
         let sims_at_start = problem.simulations();
         let hits_at_start = problem.engine_stats().cache_hits;
+        // Everything below runs under the "optimize" phase; harnesses may
+        // wrap this call in an outer span of their own (e.g. "run").
+        let tracer = problem.tracer().clone();
+        let run_span = Span::enter(&tracer, "optimize");
 
         // Step 0: initial population — warm-start seeds first, random fill —
         // screened for feasibility as one engine batch.
@@ -244,6 +256,7 @@ impl YieldOptimizer {
 
         // Final report: make sure the best candidate carries an n_max-sample
         // estimate (it may still be a stage-1 estimate for the fixed variants).
+        let report_span = Span::enter(&tracer, "final_report");
         if best.feasible && best.estimate.samples < cfg.n_max {
             let missing = cfg.n_max - best.estimate.samples;
             let outcomes = problem.outcomes(&best.x, best.estimate.samples, missing);
@@ -259,6 +272,8 @@ impl YieldOptimizer {
         } else {
             EstimatedYield::empty(problem.estimator())
         };
+        drop(report_span);
+        drop(run_span);
 
         RunResult {
             best_x: best.x.clone(),
@@ -270,6 +285,7 @@ impl YieldOptimizer {
             trace,
             engine_stats: problem.engine_stats(),
             prescreen_stats: prescreener.map(|p| p.stats()).unwrap_or_default(),
+            phase_breakdown: tracer.breakdown(),
         }
     }
 
@@ -280,6 +296,7 @@ impl YieldOptimizer {
         problem: &YieldProblem<B>,
         xs: Vec<Vec<f64>>,
     ) -> Vec<Candidate> {
+        let _span = Span::enter(problem.tracer(), "screening");
         let reports = problem.feasibility_batch(&xs);
         xs.into_iter()
             .zip(reports)
@@ -300,6 +317,7 @@ impl YieldOptimizer {
         candidates: &mut [Candidate],
         prescreener: Option<&mut Prescreener>,
     ) -> AllocationRecord {
+        let _span = Span::enter(problem.tracer(), "estimation");
         match self.config.strategy {
             YieldStrategy::TwoStageOo => {
                 estimate_two_stage_prescreened(problem, candidates, &self.config, prescreener)
@@ -322,6 +340,7 @@ impl YieldOptimizer {
         start: &Candidate,
         bounds: &[(f64, f64)],
     ) -> Option<Candidate> {
+        let _span = Span::enter(problem.tracer(), "nm_refine");
         let cfg = &self.config;
         let nm_cfg = NelderMeadConfig {
             max_iterations: cfg.nm_iterations,
@@ -365,7 +384,7 @@ impl YieldOptimizer {
             num_feasible: population.iter().filter(|c| c.feasible).count(),
             simulations_so_far: problem.simulations() - sims_at_start,
             cache_hits_so_far: problem.engine_stats().cache_hits - hits_at_start,
-            simulations_this_generation: alloc.total,
+            simulations_this_generation: alloc.total as u64,
             candidates: population
                 .iter()
                 .enumerate()

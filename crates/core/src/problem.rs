@@ -56,6 +56,7 @@ pub struct YieldProblem<B: Benchmark + ?Sized> {
     bench: Arc<B>,
     acceptance: AcceptanceSampler,
     engine: Arc<dyn EvalEngine>,
+    tracer: moheco_obs::Tracer,
 }
 
 impl<T: Testbench> YieldProblem<CircuitBench<T>> {
@@ -105,7 +106,25 @@ impl<B: Benchmark + ?Sized> YieldProblem<B> {
             bench,
             acceptance: AcceptanceSampler::default(),
             engine,
+            tracer: moheco_obs::Tracer::disabled(),
         }
+    }
+
+    /// Attaches an observability tracer, wiring this problem's engine as the
+    /// tracer's budget-attribution probe: simulations, cache hits and
+    /// evictions are attributed to whichever phase span is innermost when
+    /// they happen. With the default disabled tracer every span operation is
+    /// a no-op, so traced and untraced runs are bit-identical.
+    pub fn with_tracer(mut self, tracer: moheco_obs::Tracer) -> Self {
+        moheco_runtime::attach_engine_probe(&tracer, &self.engine);
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached observability tracer ([`moheco_obs::Tracer::disabled`]
+    /// unless [`Self::with_tracer`] was called).
+    pub fn tracer(&self) -> &moheco_obs::Tracer {
+        &self.tracer
     }
 
     /// The benchmark under optimization.

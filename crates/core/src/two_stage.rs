@@ -26,6 +26,7 @@ use crate::candidate::{Candidate, Stage};
 use crate::config::MohecoConfig;
 use crate::prescreen::Prescreener;
 use crate::problem::YieldProblem;
+use moheco_obs::Span;
 use moheco_ocba::sequential::{run_sequential_batched, SequentialConfig};
 use moheco_runtime::McRequest;
 use moheco_sampling::{AsDecision, YieldEstimate};
@@ -114,6 +115,7 @@ pub fn estimate_two_stage_prescreened<B: Benchmark + ?Sized>(
     // engine batch, so they still carry a (coarse) measured estimate into
     // the DE selection and the stage-2 promotion check below.
     if !probed_idx.is_empty() {
+        let _probe_span = Span::enter(problem.tracer(), "prescreen_probe");
         let probe = prescreener
             .as_deref()
             .map(|p| p.config().probe_samples)
@@ -145,6 +147,7 @@ pub fn estimate_two_stage_prescreened<B: Benchmark + ?Sized>(
             // A single ranked candidate: no ranking problem to solve, just
             // give it the average budget (clamped so prior samples plus this
             // allocation never exceed the n_max ceiling).
+            let _span = Span::enter(problem.tracer(), "stage1/single");
             let i = ranked_idx[0];
             let start = candidates[i].estimate.samples;
             let take = config.sim_ave.min(config.n_max.saturating_sub(start));
@@ -160,6 +163,7 @@ pub fn estimate_two_stage_prescreened<B: Benchmark + ?Sized>(
             // Sequential OCBA over the ranked subset; every round becomes
             // one engine batch. Per-design cursors track how many samples of
             // each design's stream have been consumed so far.
+            let _stage1_span = Span::enter(problem.tracer(), "stage1");
             let total_budget = config.sim_ave * ranked_idx.len();
             let seq = SequentialConfig {
                 n0: config.n0,
@@ -175,6 +179,10 @@ pub fn estimate_two_stage_prescreened<B: Benchmark + ?Sized>(
                 ranked_idx.iter().map(|&i| candidates[i].estimate).collect();
             let mut cursors: Vec<usize> = prior.iter().map(|e| e.samples).collect();
             let outcome = run_sequential_batched(ranked_idx.len(), seq, |round| {
+                // Each OCBA round is one engine batch and one span
+                // occurrence: the per-round spans aggregate under
+                // `.../stage1/ocba_round` in the phase breakdown.
+                let _round_span = Span::enter(problem.tracer(), "ocba_round");
                 // The sequential loop's internal cap only tracks samples of
                 // *this call*; clamp each allocation against the design's
                 // whole stream position so candidates entering with prior
@@ -226,6 +234,7 @@ pub fn estimate_two_stage_prescreened<B: Benchmark + ?Sized>(
         }
     }
     if !topups.is_empty() {
+        let _promotion_span = Span::enter(problem.tracer(), "stage2_promotion");
         let requests: Vec<McRequest> = topups
             .iter()
             .map(|&(i, missing)| {
@@ -271,6 +280,7 @@ pub fn estimate_fixed_budget<B: Benchmark + ?Sized>(
         promoted: Vec::new(),
         total: 0,
     };
+    let _span = Span::enter(problem.tracer(), "fixed_budget");
     for (i, c) in candidates.iter_mut().enumerate() {
         if !c.feasible {
             continue;

@@ -1,0 +1,390 @@
+//! Aggregated per-phase budget attribution and its renderers.
+
+use crate::span::SpanEvent;
+use std::collections::BTreeMap;
+
+/// One phase (full `/`-joined path) of a [`PhaseBreakdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseEntry {
+    /// Full phase path, e.g. `optimize/estimation/stage1/ocba_round`.
+    pub path: String,
+    /// Number of span occurrences aggregated into this entry.
+    pub spans: u64,
+    /// Simulations attributed to this phase itself (children excluded).
+    pub simulations: u64,
+    /// Cache hits attributed to this phase itself (children excluded).
+    pub cache_hits: u64,
+    /// Cache evictions attributed to this phase itself (children excluded).
+    pub evictions: u64,
+    /// Inclusive wall time of all occurrences. Timing — excluded from
+    /// [`PhaseBreakdown::digest`] and from every gated serialization.
+    pub wall_nanos: u64,
+}
+
+/// The per-phase budget attribution of a traced run: a tree of phases
+/// (encoded by their `/`-joined paths), each with self counters and
+/// inclusive wall time.
+///
+/// The central invariant (tested across the workspace): when a root span
+/// covers an entire run on a fresh engine, the sum of per-phase
+/// `simulations` equals the engine's `simulations_run` counter exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Entries sorted by path (lexicographic, which places every parent
+    /// before its children).
+    pub phases: Vec<PhaseEntry>,
+}
+
+impl PhaseBreakdown {
+    /// Rebuilds a breakdown by aggregating raw span events (as read back
+    /// from a JSONL stream) by path.
+    pub fn from_span_events<I: IntoIterator<Item = SpanEvent>>(events: I) -> Self {
+        let mut map: BTreeMap<String, PhaseEntry> = BTreeMap::new();
+        for event in events {
+            let entry = map.entry(event.path.clone()).or_insert_with(|| PhaseEntry {
+                path: event.path.clone(),
+                spans: 0,
+                simulations: 0,
+                cache_hits: 0,
+                evictions: 0,
+                wall_nanos: 0,
+            });
+            entry.spans += 1;
+            entry.simulations += event.simulations;
+            entry.cache_hits += event.cache_hits;
+            entry.evictions += event.evictions;
+            entry.wall_nanos += event.wall_nanos;
+        }
+        Self {
+            phases: map.into_values().collect(),
+        }
+    }
+
+    /// Whether any phase was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The entry for `path`, if recorded.
+    pub fn get(&self, path: &str) -> Option<&PhaseEntry> {
+        self.phases.iter().find(|e| e.path == path)
+    }
+
+    /// Sum of per-phase self simulations — equals the engine's
+    /// `simulations_run` when a root span covered the whole run.
+    pub fn total_simulations(&self) -> u64 {
+        self.phases.iter().map(|e| e.simulations).sum()
+    }
+
+    /// Sum of per-phase self cache hits.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.phases.iter().map(|e| e.cache_hits).sum()
+    }
+
+    /// FNV-1a digest over the deterministic fields (paths and counters;
+    /// wall time deliberately excluded), matching the workspace's
+    /// `trace_digest` format: 16 lowercase hex digits.
+    pub fn digest(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for entry in &self.phases {
+            eat(entry.path.as_bytes());
+            eat(&[0xff]);
+            eat(&entry.spans.to_le_bytes());
+            eat(&entry.simulations.to_le_bytes());
+            eat(&entry.cache_hits.to_le_bytes());
+            eat(&entry.evictions.to_le_bytes());
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Compact single-line deterministic encoding
+    /// (`path=spans:sims:hits:evictions;...`), used to embed a breakdown
+    /// summary in flat result records. Timing is excluded by construction.
+    pub fn to_compact(&self) -> String {
+        self.phases
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}={}:{}:{}:{}",
+                    e.path, e.spans, e.simulations, e.cache_hits, e.evictions
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Index of the nearest recorded ancestor of each entry (`None` for
+    /// roots): the longest entry path that is a proper `/`-prefix.
+    fn ancestors(&self) -> Vec<Option<usize>> {
+        self.phases
+            .iter()
+            .map(|entry| {
+                self.phases
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| {
+                        entry.path.len() > a.path.len()
+                            && entry.path.starts_with(&a.path)
+                            && entry.path.as_bytes()[a.path.len()] == b'/'
+                    })
+                    .max_by_key(|(_, a)| a.path.len())
+                    .map(|(i, _)| i)
+            })
+            .collect()
+    }
+
+    /// Inclusive simulations per entry: self plus all recorded descendants.
+    fn inclusive_simulations(&self) -> Vec<u64> {
+        self.phases
+            .iter()
+            .map(|entry| {
+                let prefix = format!("{}/", entry.path);
+                entry.simulations
+                    + self
+                        .phases
+                        .iter()
+                        .filter(|d| d.path.starts_with(&prefix))
+                        .map(|d| d.simulations)
+                        .sum::<u64>()
+            })
+            .collect()
+    }
+
+    /// Self wall time per entry: inclusive wall minus the inclusive wall of
+    /// direct recorded children (saturating, since timings are measured
+    /// independently).
+    fn self_wall_nanos(&self) -> Vec<u64> {
+        let ancestors = self.ancestors();
+        let mut self_wall: Vec<u64> = self.phases.iter().map(|e| e.wall_nanos).collect();
+        for (i, ancestor) in ancestors.iter().enumerate() {
+            if let Some(parent) = ancestor {
+                self_wall[*parent] = self_wall[*parent].saturating_sub(self.phases[i].wall_nanos);
+            }
+        }
+        self_wall
+    }
+
+    /// Renders a self-time table sorted by self simulations (descending,
+    /// ties by path).
+    pub fn render_table(&self) -> String {
+        let total = self.total_simulations().max(1);
+        let self_wall = self.self_wall_nanos();
+        let mut order: Vec<usize> = (0..self.phases.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.phases[b]
+                .simulations
+                .cmp(&self.phases[a].simulations)
+                .then_with(|| self.phases[a].path.cmp(&self.phases[b].path))
+        });
+        let mut out = format!(
+            "{:<44} {:>7} {:>10} {:>6} {:>10} {:>8} {:>10} {:>10}\n",
+            "phase", "spans", "sims", "sims%", "hits", "evict", "self ms", "total ms"
+        );
+        for i in order {
+            let e = &self.phases[i];
+            out.push_str(&format!(
+                "{:<44} {:>7} {:>10} {:>5.1}% {:>10} {:>8} {:>10.2} {:>10.2}\n",
+                e.path,
+                e.spans,
+                e.simulations,
+                100.0 * e.simulations as f64 / total as f64,
+                e.cache_hits,
+                e.evictions,
+                self_wall[i] as f64 / 1e6,
+                e.wall_nanos as f64 / 1e6,
+            ));
+        }
+        out
+    }
+
+    /// Renders a text flamegraph: tree-indented phases with bars sized by
+    /// *inclusive* simulations (self plus descendants).
+    pub fn render_flamegraph(&self) -> String {
+        let ancestors = self.ancestors();
+        let inclusive = self.inclusive_simulations();
+        let grand_total: u64 = ancestors
+            .iter()
+            .zip(&inclusive)
+            .filter(|(a, _)| a.is_none())
+            .map(|(_, &sims)| sims)
+            .sum::<u64>()
+            .max(1);
+        let depth_of = |mut i: usize| {
+            let mut depth = 0usize;
+            while let Some(parent) = ancestors[i] {
+                depth += 1;
+                i = parent;
+            }
+            depth
+        };
+        let mut out = String::new();
+        for (i, entry) in self.phases.iter().enumerate() {
+            let depth = depth_of(i);
+            let label = match ancestors[i] {
+                Some(parent) => &entry.path[self.phases[parent].path.len() + 1..],
+                None => entry.path.as_str(),
+            };
+            let frac = inclusive[i] as f64 / grand_total as f64;
+            let bar = "#".repeat(((frac * 40.0).round() as usize).clamp(1, 40));
+            out.push_str(&format!(
+                "{:<44} {:>10} sims {:>5.1}% {bar}\n",
+                format!("{}{label}", "  ".repeat(depth)),
+                inclusive[i],
+                100.0 * frac,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhaseBreakdown {
+        PhaseBreakdown {
+            phases: vec![
+                PhaseEntry {
+                    path: "run".to_string(),
+                    spans: 1,
+                    simulations: 10,
+                    cache_hits: 0,
+                    evictions: 0,
+                    wall_nanos: 10_000_000,
+                },
+                PhaseEntry {
+                    path: "run/estimation".to_string(),
+                    spans: 4,
+                    simulations: 20,
+                    cache_hits: 5,
+                    evictions: 0,
+                    wall_nanos: 6_000_000,
+                },
+                PhaseEntry {
+                    path: "run/estimation/stage1/ocba_round".to_string(),
+                    spans: 12,
+                    simulations: 70,
+                    cache_hits: 30,
+                    evictions: 1,
+                    wall_nanos: 4_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let b = sample();
+        assert_eq!(b.total_simulations(), 100);
+        assert_eq!(b.total_cache_hits(), 35);
+        assert_eq!(b.get("run/estimation").unwrap().spans, 4);
+        assert!(b.get("missing").is_none());
+    }
+
+    #[test]
+    fn digest_ignores_wall_time_but_not_counters() {
+        let b = sample();
+        let mut timing_only = b.clone();
+        timing_only.phases[0].wall_nanos = 999;
+        assert_eq!(b.digest(), timing_only.digest());
+        let mut changed = b.clone();
+        changed.phases[0].simulations += 1;
+        assert_ne!(b.digest(), changed.digest());
+        assert_eq!(b.digest().len(), 16);
+    }
+
+    #[test]
+    fn from_span_events_aggregates_by_path() {
+        let events = vec![
+            SpanEvent {
+                seq: 1,
+                path: "run/round".to_string(),
+                depth: 1,
+                simulations: 3,
+                cache_hits: 1,
+                evictions: 0,
+                wall_nanos: 10,
+            },
+            SpanEvent {
+                seq: 2,
+                path: "run/round".to_string(),
+                depth: 1,
+                simulations: 4,
+                cache_hits: 0,
+                evictions: 0,
+                wall_nanos: 20,
+            },
+            SpanEvent {
+                seq: 3,
+                path: "run".to_string(),
+                depth: 0,
+                simulations: 1,
+                cache_hits: 0,
+                evictions: 0,
+                wall_nanos: 50,
+            },
+        ];
+        let b = PhaseBreakdown::from_span_events(events);
+        assert_eq!(b.phases.len(), 2);
+        assert_eq!(b.phases[0].path, "run"); // sorted, parent first
+        let round = b.get("run/round").unwrap();
+        assert_eq!(round.spans, 2);
+        assert_eq!(round.simulations, 7);
+        assert_eq!(round.wall_nanos, 30);
+    }
+
+    #[test]
+    fn ancestor_skips_unrecorded_intermediate_segments() {
+        // "run/estimation/stage1/ocba_round" has no recorded
+        // "run/estimation/stage1" entry; its nearest ancestor is
+        // "run/estimation".
+        let b = sample();
+        let ancestors = b.ancestors();
+        assert_eq!(ancestors[0], None);
+        assert_eq!(ancestors[1], Some(0));
+        assert_eq!(ancestors[2], Some(1));
+    }
+
+    #[test]
+    fn renderers_cover_every_phase() {
+        let b = sample();
+        let table = b.render_table();
+        let flame = b.render_flamegraph();
+        for entry in &b.phases {
+            assert!(table.contains(&entry.path), "table missing {}", entry.path);
+        }
+        assert!(flame.contains("ocba_round"));
+        // Table is self-sims sorted: the OCBA rounds dominate.
+        let first_row = table.lines().nth(1).unwrap();
+        assert!(first_row.starts_with("run/estimation/stage1/ocba_round"));
+        // Flamegraph bars scale with inclusive sims: the root covers 100%.
+        let root_line = flame.lines().next().unwrap();
+        assert!(root_line.contains("100.0%"), "{root_line}");
+        assert!(root_line.contains(&"#".repeat(40)));
+    }
+
+    #[test]
+    fn compact_encoding_is_deterministic_and_timing_free() {
+        let b = sample();
+        assert_eq!(
+            b.to_compact(),
+            "run=1:10:0:0;run/estimation=4:20:5:0;run/estimation/stage1/ocba_round=12:70:30:1"
+        );
+    }
+
+    #[test]
+    fn empty_breakdown_renders_without_panic() {
+        let b = PhaseBreakdown::default();
+        assert!(b.is_empty());
+        assert_eq!(b.total_simulations(), 0);
+        assert_eq!(b.to_compact(), "");
+        let _ = b.render_table();
+        let _ = b.render_flamegraph();
+    }
+}

@@ -1,0 +1,170 @@
+//! Prometheus text-exposition helpers.
+//!
+//! The campaign process (and anything else that wants a metrics endpoint)
+//! renders point-in-time snapshots in the [Prometheus text exposition
+//! format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! `# HELP` / `# TYPE` headers followed by `name{labels} value` samples.
+//! Rendering is pull-style and allocation-only — no sockets, no background
+//! threads — so callers can write the snapshot to a file, stderr, or an
+//! HTTP response as they see fit.
+
+use crate::breakdown::PhaseBreakdown;
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends a `# HELP` / `# TYPE` header for one metric family.
+pub fn push_header(out: &mut String, name: &str, metric_type: &str, help: &str) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {metric_type}\n"
+    ));
+}
+
+/// Appends one sample line, e.g.
+/// `moheco_phase_simulations_total{phase="run/screening"} 40`.
+pub fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (key, val)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{key}=\"{}\"", escape_label(val)));
+        }
+        out.push('}');
+    }
+    // Counters are integers in practice; render them without a fraction so
+    // the output is stable and diff-friendly.
+    if value.fract() == 0.0 && value.abs() < 9e15 {
+        out.push_str(&format!(" {}\n", value as i64));
+    } else {
+        out.push_str(&format!(" {value}\n"));
+    }
+}
+
+/// Renders the per-phase attribution of `breakdown` as four counter
+/// families (`spans`, `simulations`, `cache_hits` and `wall_seconds`), each
+/// labelled by phase path.
+pub fn render_phase_metrics(breakdown: &PhaseBreakdown) -> String {
+    let mut out = String::new();
+    if breakdown.is_empty() {
+        return out;
+    }
+    push_header(
+        &mut out,
+        "moheco_phase_spans_total",
+        "counter",
+        "Span occurrences per phase.",
+    );
+    for e in &breakdown.phases {
+        push_sample(
+            &mut out,
+            "moheco_phase_spans_total",
+            &[("phase", &e.path)],
+            e.spans as f64,
+        );
+    }
+    push_header(
+        &mut out,
+        "moheco_phase_simulations_total",
+        "counter",
+        "Simulations attributed to each phase (self, children excluded).",
+    );
+    for e in &breakdown.phases {
+        push_sample(
+            &mut out,
+            "moheco_phase_simulations_total",
+            &[("phase", &e.path)],
+            e.simulations as f64,
+        );
+    }
+    push_header(
+        &mut out,
+        "moheco_phase_cache_hits_total",
+        "counter",
+        "Cache hits attributed to each phase (self, children excluded).",
+    );
+    for e in &breakdown.phases {
+        push_sample(
+            &mut out,
+            "moheco_phase_cache_hits_total",
+            &[("phase", &e.path)],
+            e.cache_hits as f64,
+        );
+    }
+    push_header(
+        &mut out,
+        "moheco_phase_wall_seconds_total",
+        "counter",
+        "Inclusive wall time per phase.",
+    );
+    for e in &breakdown.phases {
+        push_sample(
+            &mut out,
+            "moheco_phase_wall_seconds_total",
+            &[("phase", &e.path)],
+            e.wall_nanos as f64 / 1e9,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::PhaseEntry;
+
+    #[test]
+    fn sample_lines_follow_the_exposition_format() {
+        let mut out = String::new();
+        push_header(&mut out, "moheco_test_total", "counter", "A test metric.");
+        push_sample(
+            &mut out,
+            "moheco_test_total",
+            &[("phase", "run/a\"b"), ("algo", "memetic")],
+            42.0,
+        );
+        push_sample(&mut out, "moheco_test_total", &[], 0.5);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "# HELP moheco_test_total A test metric.");
+        assert_eq!(lines[1], "# TYPE moheco_test_total counter");
+        assert_eq!(
+            lines[2],
+            "moheco_test_total{phase=\"run/a\\\"b\",algo=\"memetic\"} 42"
+        );
+        assert_eq!(lines[3], "moheco_test_total 0.5");
+    }
+
+    #[test]
+    fn phase_metrics_cover_all_families_and_phases() {
+        let breakdown = PhaseBreakdown {
+            phases: vec![PhaseEntry {
+                path: "run/screening".to_string(),
+                spans: 2,
+                simulations: 40,
+                cache_hits: 10,
+                evictions: 0,
+                wall_nanos: 1_500_000_000,
+            }],
+        };
+        let text = render_phase_metrics(&breakdown);
+        assert!(text.contains("moheco_phase_spans_total{phase=\"run/screening\"} 2"));
+        assert!(text.contains("moheco_phase_simulations_total{phase=\"run/screening\"} 40"));
+        assert!(text.contains("moheco_phase_cache_hits_total{phase=\"run/screening\"} 10"));
+        assert!(text.contains("moheco_phase_wall_seconds_total{phase=\"run/screening\"} 1.5"));
+        assert_eq!(render_phase_metrics(&PhaseBreakdown::default()), "");
+    }
+}

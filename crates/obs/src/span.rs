@@ -1,0 +1,467 @@
+//! The tracer, its counter probe, and the RAII span guard.
+
+use crate::breakdown::{PhaseBreakdown, PhaseEntry};
+use crate::collector::Collector;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A point-in-time reading of the budget counters a tracer attributes to
+/// phases.
+///
+/// The probe installed with [`Tracer::set_probe`] returns the *cumulative*
+/// values as seen by the engine; the tracer works in deltas between span
+/// boundaries, so the absolute origin does not matter (a reused engine with
+/// prior history attributes only what happens while spans are active).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounters {
+    /// Circuit simulations actually executed.
+    pub simulations: u64,
+    /// Samples served from the engine cache without running a simulation.
+    pub cache_hits: u64,
+    /// Cache blocks evicted by the bounded-memory policy.
+    pub evictions: u64,
+}
+
+impl ProbeCounters {
+    /// Counter-wise saturating difference `self - earlier`.
+    pub fn delta_since(&self, earlier: &ProbeCounters) -> ProbeCounters {
+        ProbeCounters {
+            simulations: self.simulations.saturating_sub(earlier.simulations),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// One completed span occurrence, as delivered to a [`Collector`].
+///
+/// The counter fields (`simulations`, `cache_hits`, `evictions`) are **self**
+/// values: work attributed to this span while it was the innermost active
+/// phase, excluding its children. `wall_nanos` is the **inclusive** duration
+/// of the occurrence (children included) and is the only timing field — it
+/// must stay segregated from deterministic data (see the crate docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Monotonic sequence number of the exit event within this tracer.
+    pub seq: u64,
+    /// Full `/`-joined phase path, e.g. `optimize/stage1/ocba_round`.
+    pub path: String,
+    /// Nesting depth of the span guard (root guard = 0).
+    pub depth: u32,
+    /// Simulations attributed to this occurrence (self, not children).
+    pub simulations: u64,
+    /// Cache hits attributed to this occurrence (self, not children).
+    pub cache_hits: u64,
+    /// Evictions attributed to this occurrence (self, not children).
+    pub evictions: u64,
+    /// Inclusive wall-clock duration of the occurrence. Timing — never
+    /// digest or gate on it.
+    pub wall_nanos: u64,
+}
+
+/// Per-phase accumulation kept inside the tracer, keyed by full path.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseAccum {
+    spans: u64,
+    counters: ProbeCounters,
+    wall_nanos: u64,
+}
+
+struct ActiveSpan {
+    path: String,
+    start: Instant,
+    self_counters: ProbeCounters,
+}
+
+type Probe = Box<dyn Fn() -> ProbeCounters + Send>;
+
+struct TraceState {
+    probe: Option<Probe>,
+    last_probe: ProbeCounters,
+    stack: Vec<ActiveSpan>,
+    phases: BTreeMap<String, PhaseAccum>,
+    seq: u64,
+}
+
+struct TracerInner {
+    collector: Arc<dyn Collector>,
+    state: Mutex<TraceState>,
+}
+
+/// The tracing handle threaded through engine, optimizer and campaign code.
+///
+/// A `Tracer` is cheap to clone (it is an `Arc` internally, or nothing at
+/// all when disabled). The default is [`Tracer::disabled`], under which
+/// every operation is a no-op with near-zero cost — instrumented code is
+/// bit-identical to uninstrumented code.
+///
+/// Spans must be entered and dropped on a single orchestration thread in
+/// LIFO order (the RAII [`Span`] guard guarantees this); the evaluation
+/// engine itself may be parallel, because counter attribution only reads the
+/// probe at span boundaries, where the engine is quiescent.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that does nothing at all (the default).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled tracer delivering span events to `collector`.
+    ///
+    /// Phase aggregation ([`Tracer::breakdown`]) always happens on an enabled
+    /// tracer, independent of what the collector does with the event stream;
+    /// pass a [`crate::NoopCollector`] for aggregation-only tracing.
+    pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                collector,
+                state: Mutex::new(TraceState {
+                    probe: None,
+                    last_probe: ProbeCounters::default(),
+                    stack: Vec::new(),
+                    phases: BTreeMap::new(),
+                    seq: 0,
+                }),
+            })),
+        }
+    }
+
+    /// An enabled tracer with a [`crate::NoopCollector`]: phase aggregation
+    /// only, no event stream.
+    pub fn aggregating() -> Self {
+        Self::new(Arc::new(crate::NoopCollector))
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Installs the counter probe used for budget attribution.
+    ///
+    /// The probe is read at every span boundary; deltas between consecutive
+    /// readings are attributed to the innermost active phase. Installing a
+    /// probe when one is already present first settles attribution under the
+    /// outgoing probe, then rebases the baseline on the incoming one — so a
+    /// long-lived tracer may be pointed at a fresh engine (e.g. between
+    /// campaign cells) without mis-attributing the counter discontinuity.
+    /// On a disabled tracer this is a no-op.
+    pub fn set_probe<F>(&self, probe: F)
+    where
+        F: Fn() -> ProbeCounters + Send + 'static,
+    {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("tracer state poisoned");
+            if state.probe.is_some() {
+                let settle = state.probe.as_ref().map(|p| p()).unwrap_or_default();
+                attribute_to_top(&mut state, settle);
+            }
+            state.probe = Some(Box::new(probe));
+            // Baseline from the new probe: counts that predate it (engine
+            // history, or another engine entirely) attribute to nothing.
+            state.last_probe = state.probe.as_ref().map(|p| p()).unwrap_or_default();
+        }
+    }
+
+    /// Emits a custom (non-span) event to the collector, e.g. a campaign
+    /// progress or `run_summary` record. Callers must keep timing fields
+    /// (if any) last, matching the span-event discipline.
+    pub fn emit(&self, kind: &str, fields: &[(&str, String)]) {
+        if let Some(inner) = &self.inner {
+            inner.collector.event(kind, fields);
+        }
+    }
+
+    /// Flushes the collector (a no-op for non-buffering collectors).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.collector.flush();
+        }
+    }
+
+    /// The per-phase budget attribution accumulated so far, sorted by path.
+    ///
+    /// Only *closed* spans contribute their span count and wall time; the
+    /// counter deltas of still-open spans up to the last boundary are
+    /// included. Call after the root guard has dropped for a complete view.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        let Some(inner) = &self.inner else {
+            return PhaseBreakdown::default();
+        };
+        let state = inner.state.lock().expect("tracer state poisoned");
+        PhaseBreakdown {
+            phases: state
+                .phases
+                .iter()
+                .map(|(path, accum)| PhaseEntry {
+                    path: path.clone(),
+                    spans: accum.spans,
+                    simulations: accum.counters.simulations,
+                    cache_hits: accum.counters.cache_hits,
+                    evictions: accum.counters.evictions,
+                    wall_nanos: accum.wall_nanos,
+                })
+                .collect(),
+        }
+    }
+
+    fn enter_inner(&self, name: &str) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.state.lock().expect("tracer state poisoned");
+        let now = state.probe.as_ref().map(|p| p()).unwrap_or_default();
+        attribute_to_top(&mut state, now);
+        let path = match state.stack.last() {
+            Some(top) => format!("{}/{name}", top.path),
+            None => name.to_string(),
+        };
+        state.stack.push(ActiveSpan {
+            path,
+            start: Instant::now(),
+            self_counters: ProbeCounters::default(),
+        });
+    }
+
+    fn exit_inner(&self) {
+        let Some(inner) = &self.inner else { return };
+        let event = {
+            let mut state = inner.state.lock().expect("tracer state poisoned");
+            let now = state.probe.as_ref().map(|p| p()).unwrap_or_default();
+            attribute_to_top(&mut state, now);
+            let Some(span) = state.stack.pop() else {
+                return; // unbalanced exit: ignore rather than panic in Drop
+            };
+            let wall_nanos = span.start.elapsed().as_nanos() as u64;
+            let depth = state.stack.len() as u32;
+            let accum = state.phases.entry(span.path.clone()).or_default();
+            accum.spans += 1;
+            accum.wall_nanos += wall_nanos;
+            state.seq += 1;
+            SpanEvent {
+                seq: state.seq,
+                path: span.path,
+                depth,
+                simulations: span.self_counters.simulations,
+                cache_hits: span.self_counters.cache_hits,
+                evictions: span.self_counters.evictions,
+                wall_nanos,
+            }
+        };
+        inner.collector.span(&event);
+    }
+}
+
+/// Attributes the counter delta since the last boundary to the innermost
+/// active span (both its occurrence-local counters and the per-phase
+/// aggregate), then advances the baseline.
+fn attribute_to_top(state: &mut TraceState, now: ProbeCounters) {
+    let delta = now.delta_since(&state.last_probe);
+    if let Some(top) = state.stack.last_mut() {
+        top.self_counters.simulations += delta.simulations;
+        top.self_counters.cache_hits += delta.cache_hits;
+        top.self_counters.evictions += delta.evictions;
+        let path = top.path.clone();
+        let accum = state.phases.entry(path).or_default();
+        accum.counters.simulations += delta.simulations;
+        accum.counters.cache_hits += delta.cache_hits;
+        accum.counters.evictions += delta.evictions;
+    }
+    state.last_probe = now;
+}
+
+/// RAII guard for an active phase span.
+///
+/// Created with [`Span::enter`]; the phase closes (and its event is emitted)
+/// when the guard drops. Guards nest: the full phase path is the `/`-joined
+/// chain of enclosing span names, and a single name may itself contain `/`
+/// to declare sub-phases without nested guards (`stage2/ocba_round`).
+#[must_use = "the span closes when this guard drops"]
+pub struct Span {
+    tracer: Tracer,
+}
+
+impl Span {
+    /// Enters a phase on `tracer`, returning the guard that closes it.
+    ///
+    /// On a disabled tracer this is free (no allocation, no locking).
+    pub fn enter(tracer: &Tracer, name: &str) -> Span {
+        tracer.enter_inner(name);
+        Span {
+            tracer: tracer.clone(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.tracer.exit_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::MemoryCollector;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counting_tracer() -> (Tracer, Arc<MemoryCollector>, Arc<AtomicU64>) {
+        let sims = Arc::new(AtomicU64::new(0));
+        let collector = Arc::new(MemoryCollector::new());
+        let tracer = Tracer::new(collector.clone());
+        let probe_sims = sims.clone();
+        tracer.set_probe(move || ProbeCounters {
+            simulations: probe_sims.load(Ordering::Relaxed),
+            cache_hits: 0,
+            evictions: 0,
+        });
+        (tracer, collector, sims)
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let _span = Span::enter(&tracer, "anything");
+        tracer.emit("kind", &[]);
+        tracer.flush();
+        assert!(tracer.breakdown().is_empty());
+    }
+
+    #[test]
+    fn deltas_attribute_to_the_innermost_phase() {
+        let (tracer, _collector, sims) = counting_tracer();
+        {
+            let _root = Span::enter(&tracer, "run");
+            sims.fetch_add(3, Ordering::Relaxed);
+            {
+                let _inner = Span::enter(&tracer, "stage1");
+                sims.fetch_add(7, Ordering::Relaxed);
+            }
+            sims.fetch_add(2, Ordering::Relaxed);
+        }
+        let b = tracer.breakdown();
+        assert_eq!(b.get("run").unwrap().simulations, 5);
+        assert_eq!(b.get("run/stage1").unwrap().simulations, 7);
+        assert_eq!(b.total_simulations(), 12);
+    }
+
+    #[test]
+    fn pre_probe_counts_are_not_attributed() {
+        let sims = Arc::new(AtomicU64::new(1_000)); // engine history predates tracing
+        let tracer = Tracer::aggregating();
+        let probe_sims = sims.clone();
+        tracer.set_probe(move || ProbeCounters {
+            simulations: probe_sims.load(Ordering::Relaxed),
+            cache_hits: 0,
+            evictions: 0,
+        });
+        {
+            let _root = Span::enter(&tracer, "run");
+            sims.fetch_add(4, Ordering::Relaxed);
+        }
+        assert_eq!(tracer.breakdown().total_simulations(), 4);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_by_path() {
+        let (tracer, collector, sims) = counting_tracer();
+        let _root = Span::enter(&tracer, "run");
+        for add in [1u64, 2, 3] {
+            let _round = Span::enter(&tracer, "ocba_round");
+            sims.fetch_add(add, Ordering::Relaxed);
+        }
+        let b = tracer.breakdown();
+        let round = b.get("run/ocba_round").unwrap();
+        assert_eq!(round.spans, 3);
+        assert_eq!(round.simulations, 6);
+        // Three exit events so far (root still open).
+        assert_eq!(collector.spans().len(), 3);
+        assert!(collector.spans().iter().all(|e| e.depth == 1));
+    }
+
+    #[test]
+    fn events_carry_self_counters_and_sequence() {
+        let (tracer, collector, sims) = counting_tracer();
+        {
+            let _root = Span::enter(&tracer, "run");
+            let _child = Span::enter(&tracer, "screening");
+            sims.fetch_add(9, Ordering::Relaxed);
+        }
+        let events = collector.spans();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].path, "run/screening");
+        assert_eq!(events[0].simulations, 9);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].path, "run");
+        assert_eq!(events[1].simulations, 0);
+        assert_eq!(events[1].seq, 2);
+    }
+
+    #[test]
+    fn custom_events_reach_the_collector() {
+        let (tracer, collector, _sims) = counting_tracer();
+        tracer.emit("run_summary", &[("simulations_run", "12".to_string())]);
+        let events = collector.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, "run_summary");
+        assert_eq!(
+            events[0].1[0],
+            ("simulations_run".to_string(), "12".to_string())
+        );
+    }
+
+    #[test]
+    fn reinstalling_a_probe_rebases_across_engines() {
+        let (tracer, _collector, sims_a) = counting_tracer();
+        let _root = Span::enter(&tracer, "campaign");
+        sims_a.fetch_add(10, Ordering::Relaxed);
+        // Second "engine": its counters restart near zero. The switch must
+        // settle the 10 sims from engine A, then attribute only deltas
+        // observed under engine B.
+        let sims_b = Arc::new(AtomicU64::new(2));
+        let probe_sims = sims_b.clone();
+        tracer.set_probe(move || ProbeCounters {
+            simulations: probe_sims.load(Ordering::Relaxed),
+            cache_hits: 0,
+            evictions: 0,
+        });
+        sims_b.fetch_add(5, Ordering::Relaxed);
+        {
+            let _cell = Span::enter(&tracer, "cell");
+            sims_b.fetch_add(4, Ordering::Relaxed);
+        }
+        let b = tracer.breakdown();
+        assert_eq!(b.get("campaign").unwrap().simulations, 15);
+        assert_eq!(b.get("campaign/cell").unwrap().simulations, 4);
+    }
+
+    #[test]
+    fn slash_in_a_span_name_declares_sub_phases() {
+        let (tracer, _collector, sims) = counting_tracer();
+        {
+            let _root = Span::enter(&tracer, "run");
+            let _s = Span::enter(&tracer, "stage2/promotion");
+            sims.fetch_add(5, Ordering::Relaxed);
+        }
+        assert_eq!(
+            tracer
+                .breakdown()
+                .get("run/stage2/promotion")
+                .unwrap()
+                .simulations,
+            5
+        );
+    }
+}

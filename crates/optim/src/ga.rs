@@ -11,6 +11,7 @@ use crate::filter::{AdmitAll, TrialFilter};
 use crate::population::{Individual, Population};
 use crate::problem::{clamp_to_bounds, Problem};
 use crate::result::OptimizationResult;
+use moheco_obs::{Span, Tracer};
 use rand::Rng;
 use std::cmp::Ordering;
 
@@ -146,6 +147,37 @@ impl GeneticAlgorithm {
         filter: &mut T,
         rng: &mut R,
     ) -> OptimizationResult {
+        self.run_traced_filtered(problem, filter, &Tracer::disabled(), rng)
+    }
+
+    /// [`Self::run`] under an observability [`Tracer`]: the whole run becomes
+    /// a `"ga"` span with one `"generation"` child span per generation. With
+    /// [`Tracer::disabled`] the spans are inert and the run is bit-identical
+    /// to [`Self::run`].
+    pub fn run_traced<P: Problem + ?Sized, R: Rng + ?Sized>(
+        &self,
+        problem: &mut P,
+        tracer: &Tracer,
+        rng: &mut R,
+    ) -> OptimizationResult {
+        self.run_traced_filtered(problem, &mut AdmitAll, tracer, rng)
+    }
+
+    /// The fully general entry point: [`Self::run_filtered`] plus the span
+    /// instrumentation of [`Self::run_traced`].
+    pub fn run_traced_filtered<P, T, R>(
+        &self,
+        problem: &mut P,
+        filter: &mut T,
+        tracer: &Tracer,
+        rng: &mut R,
+    ) -> OptimizationResult
+    where
+        P: Problem + ?Sized,
+        T: TrialFilter + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let _run_span = Span::enter(tracer, "ga");
         let bounds = problem.bounds();
         let mut population = Population::random(problem, self.config.population_size, rng);
         for m in &population.members {
@@ -158,6 +190,7 @@ impl GeneticAlgorithm {
         let mut generations = 0usize;
 
         for gen in 0..self.config.max_generations {
+            let _gen_span = Span::enter(tracer, "generation");
             generations += 1;
             // Offspring derive from the previous population only, so the
             // whole brood is generated first and evaluated as one batch.

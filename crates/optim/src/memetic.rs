@@ -18,6 +18,7 @@ use crate::nelder_mead::{nelder_mead, NelderMeadConfig};
 use crate::population::{Individual, Population};
 use crate::problem::Problem;
 use crate::result::OptimizationResult;
+use moheco_obs::{Span, Tracer};
 use rand::Rng;
 
 /// Tracks how many consecutive generations the best objective has failed to
@@ -137,6 +138,39 @@ impl MemeticOptimizer {
         filter: &mut T,
         rng: &mut R,
     ) -> OptimizationResult {
+        self.run_traced_filtered(problem, filter, &Tracer::disabled(), rng)
+    }
+
+    /// [`Self::run`] under an observability [`Tracer`]: the run becomes a
+    /// `"memetic"` span with one `"de_generation"` child per DE generation
+    /// and an `"nm_refine"` child for every Nelder–Mead refinement, so a
+    /// probe-equipped tracer splits the evaluation budget between global and
+    /// local search. With [`Tracer::disabled`] the spans are inert and the
+    /// run is bit-identical to [`Self::run`].
+    pub fn run_traced<P: Problem + ?Sized, R: Rng + ?Sized>(
+        &self,
+        problem: &mut P,
+        tracer: &Tracer,
+        rng: &mut R,
+    ) -> OptimizationResult {
+        self.run_traced_filtered(problem, &mut AdmitAll, tracer, rng)
+    }
+
+    /// The fully general entry point: [`Self::run_filtered`] plus the span
+    /// instrumentation of [`Self::run_traced`].
+    pub fn run_traced_filtered<P, T, R>(
+        &self,
+        problem: &mut P,
+        filter: &mut T,
+        tracer: &Tracer,
+        rng: &mut R,
+    ) -> OptimizationResult
+    where
+        P: Problem + ?Sized,
+        T: TrialFilter + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let _run_span = Span::enter(tracer, "memetic");
         let bounds = problem.bounds();
         let mut population = Population::random(problem, self.config.de.population_size, rng);
         for m in &population.members {
@@ -150,6 +184,7 @@ impl MemeticOptimizer {
         let mut stagnation_stop = 0usize;
 
         for gen in 0..self.config.de.max_generations {
+            let _gen_span = Span::enter(tracer, "de_generation");
             generations += 1;
             // One synchronous DE generation, evaluated as a single batch so a
             // batch-capable problem can dispatch it in parallel.
@@ -206,6 +241,7 @@ impl MemeticOptimizer {
                 f64::INFINITY
             };
             if tracker.update(trigger_value) && gen_best.eval.is_feasible() {
+                let _nm_span = Span::enter(tracer, "nm_refine");
                 let best_idx = population.best_index().expect("non-empty population");
                 let start = population.members[best_idx].x.clone();
                 // Local objective: feasible candidates by objective, infeasible

@@ -14,7 +14,7 @@
 use crate::cache::{design_key, Block, SimCache};
 use crate::model::{McRequest, SimulationModel};
 use crate::pool;
-use crate::stats::{EngineStats, EngineStatsSnapshot};
+use crate::stats::{EngineStats, EngineStatsSnapshot, EngineTiming};
 use moheco_sampling::{
     splitmix64, weighted_outcome, EstimatedYield, EstimatorKind, RngStreams, SamplingPlan,
     SimulationCounter, YieldEstimator,
@@ -147,8 +147,11 @@ pub trait EvalEngine: Send + Sync {
     /// the specification margins per design. Cached by design.
     fn nominal_batch(&self, model: &dyn SimulationModel, designs: &[Vec<f64>]) -> Vec<Vec<f64>>;
 
-    /// Instrumentation snapshot.
+    /// Instrumentation snapshot (deterministic counters only).
     fn stats(&self) -> EngineStatsSnapshot;
+
+    /// Wall-clock accounting, segregated from the gated counter snapshot.
+    fn timing(&self) -> EngineTiming;
 
     /// Total circuit simulations executed so far (Monte-Carlo + nominal).
     fn simulations(&self) -> u64;
@@ -552,6 +555,10 @@ impl EvalEngine for SerialEngine {
         self.core.snapshot()
     }
 
+    fn timing(&self) -> EngineTiming {
+        self.core.stats.timing()
+    }
+
     fn simulations(&self) -> u64 {
         self.core.counter.total()
     }
@@ -640,6 +647,10 @@ impl EvalEngine for ParallelEngine {
 
     fn stats(&self) -> EngineStatsSnapshot {
         self.core.snapshot()
+    }
+
+    fn timing(&self) -> EngineTiming {
+        self.core.stats.timing()
     }
 
     fn simulations(&self) -> u64 {

@@ -70,11 +70,13 @@
 
 pub mod cache;
 pub mod engine;
+pub mod metrics;
 pub mod model;
 pub mod pool;
 pub mod stats;
 
 pub use cache::{design_key, Block, SimCache};
 pub use engine::{EngineConfig, EvalEngine, ParallelEngine, SerialEngine};
+pub use metrics::{attach_engine_probe, render_prometheus};
 pub use model::{McRequest, SimulationModel};
-pub use stats::{EngineStats, EngineStatsSnapshot};
+pub use stats::{EngineStats, EngineStatsSnapshot, EngineTiming};

@@ -79,7 +79,8 @@ impl EngineStats {
     }
 
     /// Captures the current counter values (`simulations_run` is filled in
-    /// by the engine from its shared counter).
+    /// by the engine from its shared counter). Wall-clock timing is *not*
+    /// part of the snapshot — see [`EngineStats::timing`].
     pub fn snapshot(&self) -> EngineStatsSnapshot {
         EngineStatsSnapshot {
             simulations_run: 0,
@@ -91,8 +92,40 @@ impl EngineStats {
             tasks: self.tasks.load(Ordering::Relaxed),
             max_batch_samples: self.max_batch_samples.load(Ordering::Relaxed),
             evicted_blocks: self.evicted_blocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Captures the engine's wall-clock accounting.
+    ///
+    /// Timing lives in its own struct — deliberately segregated from
+    /// [`EngineStatsSnapshot`], whose counter fields feed gated, baselined
+    /// serializations that must stay bit-identical across machines. Nothing
+    /// in [`EngineTiming`] may ever enter a digest or a baseline gate.
+    pub fn timing(&self) -> EngineTiming {
+        EngineTiming {
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Wall-clock accounting of an engine, split from [`EngineStatsSnapshot`]
+/// so non-deterministic timing can never be gated on by accident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTiming {
+    /// Wall-clock nanoseconds spent inside batch dispatch.
+    pub busy_nanos: u64,
+}
+
+impl EngineTiming {
+    /// Busy time in milliseconds.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_nanos as f64 / 1e6
+    }
+}
+
+impl std::fmt::Display for EngineTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ms busy", self.busy_ms())
     }
 }
 
@@ -119,8 +152,6 @@ pub struct EngineStatsSnapshot {
     /// Cache blocks evicted under [`crate::EngineConfig::max_cached_blocks`]
     /// (0 on unbounded engines).
     pub evicted_blocks: u64,
-    /// Wall-clock nanoseconds spent inside batch dispatch.
-    pub busy_nanos: u64,
 }
 
 impl EngineStatsSnapshot {
@@ -149,8 +180,10 @@ impl EngineStatsSnapshot {
     /// This is the single source of the snapshot's serialized shape: both
     /// [`Self::to_json`] and the `moheco-run` result schema (which embeds
     /// the counters under an `engine_` prefix) are generated from it, so the
-    /// two can never drift apart silently.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 10] {
+    /// two can never drift apart silently. Every field here is
+    /// deterministic; wall-clock timing lives in [`EngineTiming`] and is
+    /// serialized separately (never gated).
+    pub fn counter_fields(&self) -> [(&'static str, u64); 9] {
         [
             ("simulations_run", self.simulations_run),
             ("mc_samples_served", self.mc_samples_served),
@@ -161,7 +194,6 @@ impl EngineStatsSnapshot {
             ("tasks", self.tasks),
             ("max_batch_samples", self.max_batch_samples),
             ("evicted_blocks", self.evicted_blocks),
-            ("busy_nanos", self.busy_nanos),
         ]
     }
 
@@ -181,13 +213,12 @@ impl std::fmt::Display for EngineStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} sims run, {} samples served ({:.1}% cached), {} batches, {} tasks, {:.1} ms busy",
+            "{} sims run, {} samples served ({:.1}% cached), {} batches, {} tasks",
             self.simulations_run,
             self.mc_samples_served,
             100.0 * self.hit_rate(),
             self.batches,
             self.tasks,
-            self.busy_nanos as f64 / 1e6
         )
     }
 }
@@ -211,11 +242,30 @@ mod tests {
         assert_eq!(snap.mc_batches, 2);
         assert_eq!(snap.tasks, 4);
         assert_eq!(snap.max_batch_samples, 40);
-        assert_eq!(snap.busy_nanos, 1_600);
+        assert_eq!(stats.timing().busy_nanos, 1_600);
         assert!((snap.hit_rate() - 50.0 / 68.0).abs() < 1e-12);
         assert!((snap.mean_batch_samples() - 30.0).abs() < 1e-12);
         stats.reset();
         assert_eq!(stats.snapshot(), EngineStatsSnapshot::default());
+        assert_eq!(stats.timing(), EngineTiming::default());
+    }
+
+    #[test]
+    fn timing_is_segregated_from_the_counter_schema() {
+        let stats = EngineStats::new();
+        stats.record_mc_batch(4, 1, 1_500_000);
+        let snap = stats.snapshot();
+        assert!(
+            snap.counter_fields()
+                .iter()
+                .all(|(name, _)| !name.contains("nanos")),
+            "wall-clock timing must never appear among gated counter fields"
+        );
+        assert!(!snap.to_json().contains("busy_nanos"));
+        let timing = stats.timing();
+        assert_eq!(timing.busy_nanos, 1_500_000);
+        assert!((timing.busy_ms() - 1.5).abs() < 1e-12);
+        assert_eq!(timing.to_string(), "1.5 ms busy");
     }
 
     #[test]
