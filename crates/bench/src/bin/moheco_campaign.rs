@@ -32,11 +32,11 @@
 //! bit-identical with observability on or off.
 
 use moheco::PrescreenKind;
-use moheco_bench::campaign::{run_campaign_traced, CampaignSpec, EngineReuse};
+use moheco_bench::campaign::run_campaign_traced;
 use moheco_bench::results::compare_aggregates;
-use moheco_bench::{Algo, BudgetClass, CliArgs};
+use moheco_bench::{Algo, BudgetClass, CliArgs, EngineReuse, JobSpec};
 use moheco_obs::{JsonlCollector, Tracer};
-use moheco_runtime::render_prometheus;
+use moheco_runtime::{render_pool_cache, render_prometheus};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
 use std::path::{Path, PathBuf};
@@ -180,12 +180,12 @@ fn main() -> ExitCode {
         Tracer::disabled()
     };
 
-    let spec = CampaignSpec {
-        scenarios,
+    let spec = JobSpec {
+        scenarios: scenarios.iter().map(|s| s.name().to_string()).collect(),
         algos: vec![algo],
         budget,
         seeds,
-        engine_kind: args.engine_kind(),
+        engine: args.engine_kind(),
         estimator,
         prescreen,
         reuse,
@@ -200,7 +200,7 @@ fn main() -> ExitCode {
         budget.label(),
         estimator.label(),
         prescreen.label(),
-        spec.engine_kind.label(),
+        spec.engine.label(),
         reuse.label(),
         if max_cached_blocks > 0 {
             format!(", cache bound {max_cached_blocks} blocks")
@@ -254,8 +254,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &metrics_out {
-        let text = render_prometheus(&report.total_engine_stats(), &tracer.breakdown());
-        if let Err(e) = std::fs::write(path, text) {
+        let mut text = render_prometheus(&report.total_engine_stats(), &tracer.breakdown());
+        text.push_str(&render_pool_cache(&report.engine_cache));
+        if let Err(e) = std::fs::write(path, &text) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

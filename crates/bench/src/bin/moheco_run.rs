@@ -31,7 +31,7 @@
 
 use moheco::PrescreenKind;
 use moheco_bench::results::compare_results;
-use moheco_bench::{run_scenario_traced, Algo, BudgetClass, CliArgs};
+use moheco_bench::{Algo, BudgetClass, CliArgs, RunSpec};
 use moheco_obs::{JsonlCollector, Tracer};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::{all_scenarios, find_scenario, Scenario};
@@ -193,16 +193,14 @@ fn main() -> ExitCode {
             Some(c) => Tracer::new(c.clone()),
             None => Tracer::disabled(),
         };
-        let result = run_scenario_traced(
-            scenario.as_ref(),
-            algo,
-            budget,
-            seed,
-            engine_kind,
-            estimator,
-            prescreen,
-            &tracer,
-        );
+        let result = RunSpec::new(scenario.as_ref(), algo)
+            .budget(budget)
+            .seed(seed)
+            .engine_kind(engine_kind)
+            .estimator(estimator)
+            .prescreen(prescreen)
+            .tracer(&tracer)
+            .execute();
         let json = result.to_json();
         let path = Path::new(&out_dir).join(result.file_name());
         if let Err(e) = std::fs::write(&path, &json) {

@@ -34,9 +34,9 @@
 //! ```
 
 use moheco::{PrescreenKind, RunSummary};
-use moheco_bench::campaign::{CampaignEngines, EngineReuse};
+use moheco_bench::campaign::CampaignEngines;
 use moheco_bench::results::{fmt_f64, YIELD_TOLERANCE};
-use moheco_bench::{run_scenario_on_engine, Algo, BudgetClass, CliArgs, EngineKind};
+use moheco_bench::{Algo, BudgetClass, CliArgs, EngineKind, EngineReuse, RunSpec};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::all_scenarios;
 use std::fmt::Write as _;
@@ -157,15 +157,13 @@ fn main() -> ExitCode {
                 .enumerate()
             {
                 let engine = engines.prepare(scenario.name(), seed);
-                let r = run_scenario_on_engine(
-                    scenario.as_ref(),
-                    Algo::TwoStage,
-                    budget,
-                    seed,
-                    engine,
-                    EngineKind::Serial.label(),
-                    kind,
-                );
+                let r = RunSpec::new(scenario.as_ref(), Algo::TwoStage)
+                    .budget(budget)
+                    .seed(seed)
+                    .engine(engine)
+                    .engine_label(EngineKind::Serial.label())
+                    .prescreen(kind)
+                    .execute();
                 per_kind[i] = r.simulations;
                 match kind {
                     PrescreenKind::Off => yields_off.push(r.best_yield),

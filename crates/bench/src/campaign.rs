@@ -4,8 +4,8 @@
 //! Every verdict this repository used to produce — the CI yield gate, the
 //! prescreen study's recorded regressions, the estimator cost tables — was a
 //! *single-seed point estimate*, so a pass/fail could be pure seed noise.
-//! [`run_campaign`] executes the full grid and moves the trust boundary to
-//! statistics over repeated runs:
+//! [`run_campaign`] executes the full grid of a [`JobSpec`] and moves the
+//! trust boundary to statistics over repeated runs:
 //!
 //! * **Engine reuse** — one engine per scenario lives for the whole
 //!   campaign. In the default [`EngineReuse::Reset`] mode it is reseeded and
@@ -18,101 +18,39 @@
 //!   re-simulation), which is why shared-cache rows are not byte-comparable
 //!   to standalone runs and `Reset` is the default.
 //! * **Streaming resume** — each completed cell appends one deterministic
-//!   JSONL row ([`crate::results::ScenarioResult::to_jsonl_row`]) and the
-//!   file is the source of truth: a killed campaign restarted with the same
-//!   spec skips the rows already on disk (a trailing partial line from a
-//!   mid-write kill is dropped). In the default `Reset` mode — where cells
-//!   are independent — the resumed file is **byte-identical** to an
-//!   uninterrupted run. In `SharedCache` mode only the *yields and
-//!   trajectories* of post-resume rows are guaranteed identical: skipped
-//!   cells never warmed the cache, so the executed-simulation counters of
-//!   later rows can be larger than in an uninterrupted run. A sidecar
-//!   `<jsonl>.spec` fingerprint pins the reuse mode and cache bound, so a
-//!   file can never be resumed under a different counter regime.
+//!   JSONL row ([`crate::results::ScenarioResult::to_jsonl_row`]) through a
+//!   [`CellWriter`], and the file is the source of truth: a killed campaign
+//!   restarted with the same spec skips the rows already on disk (a
+//!   trailing partial line from a mid-write kill is dropped). In the
+//!   default `Reset` mode — where cells are independent — the resumed file
+//!   is **byte-identical** to an uninterrupted run. In `SharedCache` mode
+//!   only the *yields and trajectories* of post-resume rows are guaranteed
+//!   identical: skipped cells never warmed the cache, so the
+//!   executed-simulation counters of later rows can be larger than in an
+//!   uninterrupted run. A sidecar `<jsonl>.spec` fingerprint
+//!   ([`JobSpec::fingerprint`]) pins the reuse mode and cache bound, so a
+//!   file can never be resumed under a different counter regime. The same
+//!   `CellWriter` machinery backs `moheco-serve`'s HTTP jobs, so a killed
+//!   and resumed *streamed* job reproduces the identical bytes too.
 //! * **Aggregation** — after the grid completes, the rows are re-read and
 //!   condensed into per-(scenario, algo) [`AggregateResult`]s
 //!   (mean/median/std/CI of `best_yield`, simulation statistics, cache
 //!   hit-rates), the schema-v4 records the CI baseline gate compares.
 
-use crate::results::{aggregate_rows, fmt_f64, parse_flat_json, AggregateResult, JsonRecord};
-use crate::{run_scenario_on_engine_traced, Algo, BudgetClass, EngineKind};
-use moheco::PrescreenKind;
+pub use crate::jobspec::{EngineReuse, JobSpec};
+
+use crate::harness::RunSpec;
+use crate::results::{
+    aggregate_rows, fmt_f64, parse_flat_json, AggregateResult, JsonRecord, ScenarioResult,
+};
+use crate::EngineKind;
 use moheco_obs::Tracer;
-use moheco_runtime::{EngineConfig, EngineStatsSnapshot, EvalEngine};
+use moheco_runtime::{EngineCacheUsage, EngineConfig, EngineStatsSnapshot, EvalEngine};
 use moheco_sampling::{EstimatorKind, SamplingPlan};
-use moheco_scenarios::Scenario;
 use std::collections::{HashMap, HashSet};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-
-/// How the per-scenario engine is prepared between campaign cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineReuse {
-    /// Reseed + full reset before every cell: rows are bit-identical to
-    /// standalone `moheco-run` invocations (the default, and the mode the
-    /// determinism acceptance tests pin down).
-    #[default]
-    Reset,
-    /// Reseed + counter reset only, keeping the cache warm across cells.
-    /// Yields and search trajectories are unchanged (streams are seed-keyed
-    /// pure functions), but executed-simulation counters shrink, so rows are
-    /// *not* byte-comparable to standalone runs — and a *resumed*
-    /// shared-cache campaign re-runs its remaining cells against a colder
-    /// cache than an uninterrupted one would, so only the yield/trajectory
-    /// fields of post-resume rows are reproducible, not the counters.
-    /// Combine with [`CampaignSpec::max_cached_blocks`] to bound the
-    /// long-lived memory.
-    SharedCache,
-}
-
-impl EngineReuse {
-    /// Parses a `--engine-reuse` value.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "reset" => Some(Self::Reset),
-            "shared-cache" => Some(Self::SharedCache),
-            _ => None,
-        }
-    }
-
-    /// The stable label.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Self::Reset => "reset",
-            Self::SharedCache => "shared-cache",
-        }
-    }
-}
-
-/// The full specification of one campaign grid.
-pub struct CampaignSpec {
-    /// Scenarios, in execution (outer-loop) order.
-    pub scenarios: Vec<Arc<dyn Scenario>>,
-    /// Algorithms, in execution (middle-loop) order.
-    pub algos: Vec<Algo>,
-    /// Budget class shared by every cell.
-    pub budget: BudgetClass,
-    /// Seeds, in execution (inner-loop) order.
-    pub seeds: Vec<u64>,
-    /// Engine implementation (serial / parallel).
-    pub engine_kind: EngineKind,
-    /// Variance-reduction estimator shared by every cell.
-    pub estimator: EstimatorKind,
-    /// Surrogate prescreen shared by every cell.
-    pub prescreen: PrescreenKind,
-    /// Engine preparation mode between cells.
-    pub reuse: EngineReuse,
-    /// Cache-block bound of the long-lived engines (0 = unbounded).
-    pub max_cached_blocks: usize,
-}
-
-impl CampaignSpec {
-    /// Number of grid cells.
-    pub fn cells(&self) -> usize {
-        self.scenarios.len() * self.algos.len() * self.seeds.len()
-    }
-}
 
 /// Cost accounting of one cell executed in this invocation (resumed cells
 /// ran in an earlier process and consumed nothing here).
@@ -145,6 +83,10 @@ pub struct CampaignReport {
     /// Per-cell costs of the cells executed in this invocation, in execution
     /// order.
     pub cell_costs: Vec<CellCost>,
+    /// Final cache footprint of every pool engine (per-scenario breakdown
+    /// plus implied totals), captured after the last cell so quota and
+    /// bound enforcement are observable in `--metrics-out`.
+    pub engine_cache: Vec<EngineCacheUsage>,
 }
 
 impl CampaignReport {
@@ -155,16 +97,7 @@ impl CampaignReport {
     pub fn total_engine_stats(&self) -> EngineStatsSnapshot {
         let mut total = EngineStatsSnapshot::default();
         for cell in &self.cell_costs {
-            let s = &cell.engine_stats;
-            total.simulations_run += s.simulations_run;
-            total.mc_samples_served += s.mc_samples_served;
-            total.nominal_served += s.nominal_served;
-            total.cache_hits += s.cache_hits;
-            total.batches += s.batches;
-            total.mc_batches += s.mc_batches;
-            total.tasks += s.tasks;
-            total.max_batch_samples = total.max_batch_samples.max(s.max_batch_samples);
-            total.evicted_blocks += s.evicted_blocks;
+            total.absorb(&cell.engine_stats);
         }
         total
     }
@@ -201,6 +134,16 @@ impl CampaignEngines {
         }
     }
 
+    /// The engine pool matching a job's engine settings.
+    pub fn for_spec(spec: &JobSpec) -> Self {
+        Self::new(
+            spec.engine,
+            spec.estimator,
+            spec.max_cached_blocks,
+            spec.reuse,
+        )
+    }
+
     /// Returns the scenario's engine, prepared for a cell with `seed`:
     /// reseeded, and reset according to the reuse policy.
     pub fn prepare(&mut self, scenario: &str, seed: u64) -> Arc<dyn EvalEngine> {
@@ -234,34 +177,28 @@ impl CampaignEngines {
     pub fn cache_blocks(&self) -> usize {
         self.engines.values().map(|e| e.cache_blocks()).sum()
     }
-}
 
-impl CampaignSpec {
-    /// The fixed-identity fingerprint of this campaign, written to the
-    /// sidecar `<jsonl>.spec` file. It covers everything rows share (and so
-    /// cannot be cross-checked per row) **plus** the settings that shape the
-    /// counters without appearing in the rows at all — the reuse mode and
-    /// the cache bound — so a file can never be resumed under a different
-    /// counter regime.
-    fn fingerprint(&self) -> String {
-        format!(
-            "schema_version={} budget={} engine={} estimator={} prescreen={} engine_reuse={} max_cached_blocks={}\n",
-            crate::results::SCHEMA_VERSION,
-            self.budget.label(),
-            self.engine_kind.label(),
-            self.estimator.label(),
-            self.prescreen.label(),
-            self.reuse.label(),
-            self.max_cached_blocks,
-        )
+    /// Per-engine cache footprint, sorted by scenario name (deterministic).
+    pub fn usage(&self) -> Vec<EngineCacheUsage> {
+        let mut usage: Vec<EngineCacheUsage> = self
+            .engines
+            .iter()
+            .map(|(name, e)| EngineCacheUsage {
+                label: name.clone(),
+                blocks: e.cache_blocks(),
+                bytes: e.cache_bytes(),
+            })
+            .collect();
+        usage.sort_by(|a, b| a.label.cmp(&b.label));
+        usage
     }
 }
 
 /// The sidecar path pinning a campaign file's spec fingerprint.
-fn spec_path(jsonl_path: &Path) -> std::path::PathBuf {
+fn spec_path(jsonl_path: &Path) -> PathBuf {
     let mut name = jsonl_path.as_os_str().to_os_string();
     name.push(".spec");
-    std::path::PathBuf::from(name)
+    PathBuf::from(name)
 }
 
 /// An existing campaign JSONL file, read once.
@@ -280,7 +217,7 @@ struct ExistingFile {
 /// *mismatched* complete row is an error, because silently mixing two
 /// campaigns' rows in one file would corrupt the aggregates. Returns `None`
 /// when the file does not exist.
-fn read_existing_rows(path: &Path, spec: &CampaignSpec) -> Result<Option<ExistingFile>, String> {
+fn read_existing_rows(path: &Path, spec: &JobSpec) -> Result<Option<ExistingFile>, String> {
     let mut text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -293,7 +230,7 @@ fn read_existing_rows(path: &Path, spec: &CampaignSpec) -> Result<Option<Existin
     let expect: [(&str, String); 5] = [
         ("schema_version", crate::results::SCHEMA_VERSION.to_string()),
         ("budget", spec.budget.label().to_string()),
-        ("engine", spec.engine_kind.label().to_string()),
+        ("engine", spec.engine.label().to_string()),
         ("estimator", spec.estimator.label().to_string()),
         ("prescreen", spec.prescreen.label().to_string()),
     ];
@@ -332,11 +269,7 @@ fn read_existing_rows(path: &Path, spec: &CampaignSpec) -> Result<Option<Existin
 /// but the reuse mode and cache bound shape the counters without appearing
 /// in any row — resuming under different settings would silently mix
 /// counter regimes in one aggregate, which is exactly what this rejects.
-fn check_spec_fingerprint(
-    jsonl_path: &Path,
-    spec: &CampaignSpec,
-    has_rows: bool,
-) -> Result<(), String> {
+fn check_spec_fingerprint(jsonl_path: &Path, spec: &JobSpec, has_rows: bool) -> Result<(), String> {
     let path = spec_path(jsonl_path);
     let fingerprint = spec.fingerprint();
     match std::fs::read_to_string(&path) {
@@ -362,6 +295,94 @@ fn check_spec_fingerprint(
     }
 }
 
+/// The resumable JSONL cell sink shared by `moheco-campaign` and the
+/// `moheco-serve` job executor — the whole torn-write/resume protocol in
+/// one place.
+///
+/// Opening a writer (1) creates the parent directories, (2) reads and
+/// identity-checks any rows already on disk, (3) verifies or writes the
+/// sidecar spec fingerprint, and (4) truncates a torn trailing line left by
+/// a mid-write kill. Afterwards [`CellWriter::is_done`] answers whether a
+/// cell's row is already on disk and [`CellWriter::append`] streams one
+/// flushed row per completed cell.
+pub struct CellWriter {
+    path: PathBuf,
+    file: std::fs::File,
+    done: HashSet<(String, String, u64)>,
+}
+
+impl CellWriter {
+    /// Opens (or creates) the campaign file for `spec`, enforcing the
+    /// fingerprint/resume protocol described above.
+    pub fn open(jsonl_path: &Path, spec: &JobSpec) -> Result<Self, String> {
+        if let Some(parent) = jsonl_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let existing = read_existing_rows(jsonl_path, spec)?;
+        check_spec_fingerprint(
+            jsonl_path,
+            spec,
+            existing.as_ref().is_some_and(|e| !e.rows.is_empty()),
+        )?;
+        let mut done: HashSet<(String, String, u64)> = HashSet::new();
+        let file = match existing {
+            None => std::fs::File::create(jsonl_path)
+                .map_err(|e| format!("cannot create {}: {e}", jsonl_path.display()))?,
+            Some(ex) => {
+                for row in &ex.rows {
+                    done.insert((
+                        row.str("scenario").unwrap_or_default().to_string(),
+                        row.str("algo").unwrap_or_default().to_string(),
+                        row.num("seed").unwrap_or(-1.0) as u64,
+                    ));
+                }
+                // Drop a torn trailing line (mid-write kill) by re-writing
+                // the complete prefix already in memory; an intact file is
+                // opened for append untouched.
+                if ex.torn_tail {
+                    std::fs::write(jsonl_path, &ex.complete_text)
+                        .map_err(|e| format!("cannot truncate {}: {e}", jsonl_path.display()))?;
+                }
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(jsonl_path)
+                    .map_err(|e| format!("cannot append to {}: {e}", jsonl_path.display()))?
+            }
+        };
+        Ok(Self {
+            path: jsonl_path.to_path_buf(),
+            file,
+            done,
+        })
+    }
+
+    /// Whether this cell's row is already on disk.
+    pub fn is_done(&self, scenario: &str, algo: &str, seed: u64) -> bool {
+        self.done
+            .contains(&(scenario.to_string(), algo.to_string(), seed))
+    }
+
+    /// Number of identity-checked rows that were on disk at open time.
+    pub fn resumed_rows(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Appends one cell row and flushes it to disk (the row *is* the commit
+    /// point of the resume protocol).
+    pub fn append(&mut self, result: &ScenarioResult) -> Result<(), String> {
+        self.file
+            .write_all(result.to_jsonl_row().as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("cannot append to {}: {e}", self.path.display()))?;
+        self.done
+            .insert((result.scenario.clone(), result.algo.clone(), result.seed));
+        Ok(())
+    }
+}
+
 /// Executes the campaign grid, streaming one JSONL row per completed cell to
 /// `jsonl_path` and skipping cells whose rows are already on disk.
 ///
@@ -370,10 +391,10 @@ fn check_spec_fingerprint(
 ///
 /// # Errors
 ///
-/// Returns a message on I/O failures or when `jsonl_path` holds rows of a
-/// different campaign spec.
+/// Returns a message on I/O failures, on an invalid spec, or when
+/// `jsonl_path` holds rows of a different campaign spec.
 pub fn run_campaign(
-    spec: &CampaignSpec,
+    spec: &JobSpec,
     jsonl_path: &Path,
     progress: impl FnMut(&str),
 ) -> Result<CampaignReport, String> {
@@ -387,64 +408,23 @@ pub fn run_campaign(
 /// (`wall_time_ms` last, per the timing-segregation rule). The tracer never
 /// touches the search RNG — rows are bit-identical with tracing on or off.
 pub fn run_campaign_traced(
-    spec: &CampaignSpec,
+    spec: &JobSpec,
     jsonl_path: &Path,
     tracer: &Tracer,
     mut progress: impl FnMut(&str),
 ) -> Result<CampaignReport, String> {
-    if let Some(parent) = jsonl_path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
-        }
-    }
-    let existing = read_existing_rows(jsonl_path, spec)?;
-    check_spec_fingerprint(
-        jsonl_path,
-        spec,
-        existing.as_ref().is_some_and(|e| !e.rows.is_empty()),
-    )?;
-    let mut done: HashSet<(String, String, u64)> = HashSet::new();
-    let mut file: std::fs::File = match existing.as_ref() {
-        None => std::fs::File::create(jsonl_path)
-            .map_err(|e| format!("cannot create {}: {e}", jsonl_path.display()))?,
-        Some(ex) => {
-            for row in &ex.rows {
-                done.insert((
-                    row.str("scenario").unwrap_or_default().to_string(),
-                    row.str("algo").unwrap_or_default().to_string(),
-                    row.num("seed").unwrap_or(-1.0) as u64,
-                ));
-            }
-            // Drop a torn trailing line (mid-write kill) by re-writing the
-            // complete prefix already in memory; an intact file is opened
-            // for append untouched.
-            if ex.torn_tail {
-                std::fs::write(jsonl_path, &ex.complete_text)
-                    .map_err(|e| format!("cannot truncate {}: {e}", jsonl_path.display()))?;
-            }
-            std::fs::OpenOptions::new()
-                .append(true)
-                .open(jsonl_path)
-                .map_err(|e| format!("cannot append to {}: {e}", jsonl_path.display()))?
-        }
-    };
-    drop(existing);
-
-    let mut engines = CampaignEngines::new(
-        spec.engine_kind,
-        spec.estimator,
-        spec.max_cached_blocks,
-        spec.reuse,
-    );
+    spec.validate()?;
+    let scenarios = spec.resolve_scenarios()?;
+    let mut writer = CellWriter::open(jsonl_path, spec)?;
+    let mut engines = CampaignEngines::for_spec(spec);
     let mut resumed = 0usize;
     let mut executed = 0usize;
     let mut cell_costs: Vec<CellCost> = Vec::new();
-    for scenario in &spec.scenarios {
+    for scenario in &scenarios {
         for &algo in &spec.algos {
             for &seed in &spec.seeds {
                 let key = (scenario.name().to_string(), algo.label().to_string(), seed);
-                if done.contains(&key) {
+                if writer.is_done(&key.0, &key.1, seed) {
                     resumed += 1;
                     progress(&format!(
                         "{}/{}/seed {}: already on disk, skipped",
@@ -453,19 +433,15 @@ pub fn run_campaign_traced(
                     continue;
                 }
                 let engine = engines.prepare(scenario.name(), seed);
-                let result = run_scenario_on_engine_traced(
-                    scenario.as_ref(),
-                    algo,
-                    spec.budget,
-                    seed,
-                    engine,
-                    spec.engine_kind.label(),
-                    spec.prescreen,
-                    tracer,
-                );
-                file.write_all(result.to_jsonl_row().as_bytes())
-                    .and_then(|()| file.flush())
-                    .map_err(|e| format!("cannot append to {}: {e}", jsonl_path.display()))?;
+                let result = RunSpec::new(scenario.as_ref(), algo)
+                    .budget(spec.budget)
+                    .seed(seed)
+                    .engine(engine)
+                    .engine_label(spec.engine.label())
+                    .prescreen(spec.prescreen)
+                    .tracer(tracer)
+                    .execute();
+                writer.append(&result)?;
                 executed += 1;
                 cell_costs.push(CellCost {
                     scenario: key.0.clone(),
@@ -500,7 +476,7 @@ pub fn run_campaign_traced(
             }
         }
     }
-    drop(file);
+    drop(writer);
 
     // Aggregates are computed from the rows on disk — the same source a
     // resumed campaign sees — so fresh and resumed runs emit byte-identical
@@ -509,17 +485,7 @@ pub fn run_campaign_traced(
     // scenarios) resumes fine, but its stale cells must not leak into this
     // campaign's aggregates — e.g. regenerating 3-seed baselines over a
     // 5-seed file would otherwise silently commit 5-seed aggregates.
-    let requested: HashSet<(String, String, u64)> = spec
-        .scenarios
-        .iter()
-        .flat_map(|sc| {
-            spec.algos.iter().flat_map(move |a| {
-                spec.seeds
-                    .iter()
-                    .map(move |&seed| (sc.name().to_string(), a.label().to_string(), seed))
-            })
-        })
-        .collect();
+    let requested = spec.cell_set();
     let rows = read_existing_rows(jsonl_path, spec)?
         .map(|e| e.rows)
         .unwrap_or_default();
@@ -546,34 +512,28 @@ pub fn run_campaign_traced(
         executed,
         aggregates,
         cell_costs,
+        engine_cache: engines.usage(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moheco_scenarios::find_scenario;
+    use crate::{Algo, BudgetClass};
+    use moheco::PrescreenKind;
 
-    fn tiny_spec(scenario: &str) -> CampaignSpec {
-        CampaignSpec {
-            scenarios: vec![find_scenario(scenario).expect("registered")],
+    fn tiny_spec(scenario: &str) -> JobSpec {
+        JobSpec {
+            scenarios: vec![scenario.to_string()],
             algos: vec![Algo::TwoStage],
             budget: BudgetClass::Tiny,
             seeds: vec![1, 2, 3],
-            engine_kind: EngineKind::Serial,
+            engine: EngineKind::Serial,
             estimator: EstimatorKind::default(),
             prescreen: PrescreenKind::Off,
             reuse: EngineReuse::Reset,
             max_cached_blocks: 0,
         }
-    }
-
-    #[test]
-    fn reuse_labels_roundtrip() {
-        for reuse in [EngineReuse::Reset, EngineReuse::SharedCache] {
-            assert_eq!(EngineReuse::parse(reuse.label()), Some(reuse));
-        }
-        assert_eq!(EngineReuse::parse("bogus"), None);
     }
 
     #[test]
@@ -592,6 +552,9 @@ mod tests {
         assert_eq!(agg.seeds, vec![1, 2, 3]);
         assert_eq!(agg.best_yield.runs, 3);
         assert!(agg.best_yield.std_dev() >= 0.0);
+        // The final pool breakdown names the scenario's engine.
+        assert_eq!(report.engine_cache.len(), 1);
+        assert_eq!(report.engine_cache[0].label, "margin_wall");
         // Rows are on disk, one complete line per cell.
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 3);
@@ -671,5 +634,17 @@ mod tests {
         let err = run_campaign(&tiny_spec("margin_wall"), &path, |_| {}).unwrap_err();
         assert!(err.contains("fingerprint"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_touching_disk() {
+        let dir = std::env::temp_dir().join("moheco-campaign-test-invalid");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("campaign.jsonl");
+        let mut spec = tiny_spec("margin_wall");
+        spec.seeds.clear();
+        let err = run_campaign(&spec, &path, |_| {}).unwrap_err();
+        assert!(err.contains("no seeds"), "{err}");
+        assert!(!path.exists(), "invalid spec must not create files");
     }
 }

@@ -1,8 +1,18 @@
 //! The unified experiment harness behind the `moheco-run` binary.
 //!
-//! [`run_scenario`] executes one (scenario, algorithm, budget, seed, engine)
+//! [`RunSpec`] executes one (scenario, algorithm, budget, seed, engine)
 //! combination through the PR-1 evaluation engine and condenses it into one
-//! [`ScenarioResult`]. Four algorithms are
+//! [`ScenarioResult`]:
+//!
+//! ```text
+//! RunSpec::new(scenario, algo)
+//!     .budget(..).seed(..).estimator(..).prescreen(..)
+//!     .tracer(..).engine(..)        // all optional
+//!     .execute()
+//! ```
+//!
+//! The historical `run_scenario*` free functions remain as one-line
+//! deprecated shims over the builder for one release. Four algorithms are
 //! exposed:
 //!
 //! * `memetic` — full MOHECO (two-stage OO estimation + DE/NM search);
@@ -24,11 +34,13 @@ use moheco_optim::filter::{AdmitAll, TrialFilter};
 use moheco_optim::ga::{GaConfig, GeneticAlgorithm};
 use moheco_optim::problem::{Evaluation, Problem};
 use moheco_optim::result::OptimizationResult;
+use moheco_runtime::EvalEngine;
 use moheco_sampling::{EstimatorKind, Z_95};
 use moheco_scenarios::Scenario;
 use moheco_surrogate::{PrescreenModel, RsbPrescreen};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The algorithms `moheco-run --algo` accepts.
@@ -250,9 +262,340 @@ impl TrialFilter for SurrogateTrialFilter {
     }
 }
 
+/// A fully-specified single experiment run, built incrementally and executed
+/// with [`RunSpec::execute`] — the one entry point every binary, test and the
+/// job server drive runs through.
+///
+/// Defaults mirror `moheco-run`'s: [`BudgetClass::Small`], seed 1, serial
+/// engine, plain Monte-Carlo estimator, no prescreen, disabled tracer.
+///
+/// Two engine modes:
+///
+/// * **Owned** (default): `execute()` builds a fresh engine of
+///   [`RunSpec::engine_kind`] seeded with the run seed and configured with
+///   the requested estimator.
+/// * **Pooled** ([`RunSpec::engine`]): the run executes on a caller-provided
+///   long-lived engine (the campaign/server pools). The caller is
+///   responsible for the engine's state between runs
+///   ([`moheco_runtime::EvalEngine::reseed`] plus `reset()` or
+///   `reset_counters()`); `execute()` only checks that the engine's active
+///   seed matches the run seed, because a mismatch would silently produce
+///   the wrong sample streams. In this mode the estimator is read from the
+///   engine's configuration (the estimator shapes the cached sample blocks,
+///   so it cannot differ from what the pool built).
+pub struct RunSpec<'a> {
+    scenario: &'a dyn Scenario,
+    algo: Algo,
+    budget: BudgetClass,
+    seed: u64,
+    engine_kind: EngineKind,
+    estimator: EstimatorKind,
+    prescreen: PrescreenKind,
+    tracer: Tracer,
+    engine: Option<Arc<dyn EvalEngine>>,
+    engine_label: Option<String>,
+}
+
+impl<'a> RunSpec<'a> {
+    /// Starts a run specification with the default budget, seed, engine,
+    /// estimator and prescreen.
+    pub fn new(scenario: &'a dyn Scenario, algo: Algo) -> Self {
+        Self {
+            scenario,
+            algo,
+            budget: BudgetClass::default(),
+            seed: 1,
+            engine_kind: EngineKind::default(),
+            estimator: EstimatorKind::default(),
+            prescreen: PrescreenKind::default(),
+            tracer: Tracer::disabled(),
+            engine: None,
+            engine_label: None,
+        }
+    }
+
+    /// Sets the budget class.
+    pub fn budget(mut self, budget: BudgetClass) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the run seed (search RNG, engine streams and prescreen model).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the engine implementation built by `execute()` (ignored when
+    /// a prebuilt engine is supplied via [`RunSpec::engine`]).
+    pub fn engine_kind(mut self, kind: EngineKind) -> Self {
+        self.engine_kind = kind;
+        self
+    }
+
+    /// Sets the variance-reduction estimator (ignored when a prebuilt
+    /// engine is supplied — the engine's configured estimator wins, because
+    /// it already shaped the cached sample blocks).
+    pub fn estimator(mut self, estimator: EstimatorKind) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the surrogate prescreen mode.
+    pub fn prescreen(mut self, prescreen: PrescreenKind) -> Self {
+        self.prescreen = prescreen;
+        self
+    }
+
+    /// Runs under an observability [`Tracer`]: the whole run becomes a
+    /// `"run"` root span, the engine's counters are probed at every span
+    /// boundary (so each phase is charged exactly the simulations it
+    /// spent), and a final `run_summary` event records the run identity
+    /// plus the engine totals for downstream reconciliation
+    /// (`moheco-profile --check`). With [`Tracer::disabled`] (the default)
+    /// results are bit-identical and no collector traffic occurs.
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Runs on a *prebuilt* long-lived engine (the campaign/server pools)
+    /// instead of a fresh one. The result's `engine` label defaults to
+    /// [`moheco_runtime::EvalEngine::name`]; override it with
+    /// [`RunSpec::engine_label`].
+    pub fn engine(mut self, engine: Arc<dyn EvalEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Overrides the engine label recorded in the result row.
+    pub fn engine_label(mut self, label: &str) -> Self {
+        self.engine_label = Some(label.to_string());
+        self
+    }
+
+    /// Executes the run and condenses it into the machine-readable result
+    /// record (including the estimator's 95 % CI half-width for the final
+    /// yield estimate).
+    ///
+    /// With a prescreen, the `memetic` / `two-stage` algorithms demote
+    /// predicted-poor candidates out of the stage-1 OCBA round (see
+    /// `moheco::prescreen`), while `de` / `ga` gate their trial vectors
+    /// through a [`TrialFilter`] so rejected trials never buy their fixed
+    /// Monte-Carlo budget. The surrogate is seeded from the run seed, so
+    /// results stay deterministic in
+    /// `(scenario, algo, budget, seed, estimator, prescreen)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prebuilt engine was supplied whose
+    /// `active_seed()` does not match the run seed.
+    pub fn execute(self) -> ScenarioResult {
+        let Self {
+            scenario,
+            algo,
+            budget,
+            seed,
+            engine_kind,
+            estimator,
+            prescreen,
+            tracer,
+            engine,
+            engine_label,
+        } = self;
+        let tracer = &tracer;
+        let (engine, estimator, engine_label) = match engine {
+            Some(engine) => {
+                assert_eq!(
+                    engine.active_seed(),
+                    seed,
+                    "engine active seed does not match the run seed"
+                );
+                let estimator = engine.config().estimator;
+                let label = engine_label.unwrap_or_else(|| engine.name().to_string());
+                (engine, estimator, label)
+            }
+            None => {
+                let engine = engine_kind.build_configured(seed, estimator);
+                let label = engine_label.unwrap_or_else(|| engine_kind.label().to_string());
+                (engine, estimator, label)
+            }
+        };
+        // The probe must be wired before the root span opens so the counter
+        // baseline predates every attribution boundary; scenario
+        // construction runs no simulations, so the root span still covers
+        // the whole spend.
+        moheco_runtime::attach_engine_probe(tracer, &engine);
+        let run_span = Span::enter(tracer, "run");
+        let problem = scenario.build(engine).with_tracer(tracer.clone());
+        let config = budget.config();
+        let prescreen_config = PrescreenConfig {
+            seed,
+            ..PrescreenConfig::of_kind(prescreen)
+        };
+        let started = Instant::now();
+
+        let (
+            best_x,
+            best_yield,
+            ci_half_width,
+            feasible,
+            generations,
+            local_searches,
+            prescreen_skips,
+            digest,
+        ) = match algo {
+            Algo::Memetic | Algo::TwoStage => {
+                let config = if algo == Algo::Memetic {
+                    MohecoConfig {
+                        memetic_enabled: true,
+                        strategy: YieldStrategy::TwoStageOo,
+                        ..config
+                    }
+                } else {
+                    config.as_oo_without_memetic()
+                };
+                let config = config.with_prescreen(prescreen_config);
+                let optimizer = YieldOptimizer::new(config);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let result = optimizer.run_from(&problem, &scenario.warm_start(), &mut rng);
+                let digest = trace_digest(
+                    result
+                        .trace
+                        .records
+                        .iter()
+                        .flat_map(|r| [r.best_yield, r.simulations_so_far as f64]),
+                );
+                let feasible = problem.feasibility(&result.best_x).is_feasible();
+                (
+                    result.best_x,
+                    result.reported_yield,
+                    result.best_report.half_width(Z_95),
+                    feasible,
+                    result.generations,
+                    result.local_searches,
+                    result.prescreen_stats.screened_out,
+                    digest,
+                )
+            }
+            Algo::De | Algo::Ga => {
+                let mut search = YieldSearchProblem {
+                    problem: &problem,
+                    samples: budget.fixed_sims(),
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut filter: Option<SurrogateTrialFilter> = match prescreen {
+                    PrescreenKind::Off => None,
+                    PrescreenKind::Rsb => Some(SurrogateTrialFilter::new(&prescreen_config)),
+                };
+                let result: OptimizationResult = if algo == Algo::De {
+                    let de = DifferentialEvolution::new(DeConfig {
+                        population_size: config.population_size,
+                        f: config.de_f,
+                        cr: config.de_cr,
+                        max_generations: config.max_generations,
+                        stagnation_limit: Some(config.stop_stagnation),
+                        target_objective: None,
+                        ..DeConfig::default()
+                    });
+                    match filter.as_mut() {
+                        Some(f) => de.run_traced_filtered(&mut search, f, tracer, &mut rng),
+                        None => {
+                            de.run_traced_filtered(&mut search, &mut AdmitAll, tracer, &mut rng)
+                        }
+                    }
+                } else {
+                    let ga = GeneticAlgorithm::new(GaConfig {
+                        population_size: config.population_size,
+                        max_generations: config.max_generations,
+                        stagnation_limit: Some(config.stop_stagnation),
+                        target_objective: None,
+                        ..GaConfig::default()
+                    });
+                    match filter.as_mut() {
+                        Some(f) => ga.run_traced_filtered(&mut search, f, tracer, &mut rng),
+                        None => {
+                            ga.run_traced_filtered(&mut search, &mut AdmitAll, tracer, &mut rng)
+                        }
+                    }
+                };
+                let digest = trace_digest(result.history.iter().copied());
+                let best_x = result.best.x.clone();
+                // Final report at the accurate n_max budget, like the MOHECO
+                // variants (served partly from the engine cache).
+                let report_span = Span::enter(tracer, "final_report");
+                let rep = problem.feasibility(&best_x);
+                let (best_yield, ci, feasible) = if rep.is_feasible() {
+                    let est = problem.estimate_with_ci(&best_x, config.n_max, rep.decision);
+                    (est.value, est.half_width(Z_95), true)
+                } else {
+                    (0.0, 0.0, false)
+                };
+                drop(report_span);
+                (
+                    best_x,
+                    best_yield,
+                    ci,
+                    feasible,
+                    result.generations,
+                    0,
+                    filter.map(|f| f.skips).unwrap_or(0),
+                    digest,
+                )
+            }
+        };
+
+        drop(run_span);
+        let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
+        let true_yield = problem.true_yield(&best_x);
+        let bench = scenario.bench();
+        let engine_stats = problem.engine_stats();
+        if tracer.is_enabled() {
+            tracer.emit(
+                "run_summary",
+                &[
+                    ("scenario", scenario.name().to_string()),
+                    ("algo", algo.label().to_string()),
+                    ("budget", budget.label().to_string()),
+                    ("seed", seed.to_string()),
+                    ("best_yield", crate::results::fmt_f64(best_yield)),
+                    ("simulations_run", engine_stats.simulations_run.to_string()),
+                    ("cache_hits", engine_stats.cache_hits.to_string()),
+                ],
+            );
+            tracer.flush();
+        }
+        ScenarioResult {
+            scenario: scenario.name().to_string(),
+            algo: algo.label().to_string(),
+            budget: budget.label().to_string(),
+            engine: engine_label,
+            estimator: estimator.label().to_string(),
+            prescreen: prescreen.label().to_string(),
+            seed,
+            dimension: bench.dimension() as u64,
+            statistical_dimension: bench.unit_dimension() as u64,
+            feasible,
+            best_yield,
+            ci_half_width,
+            true_yield,
+            true_yield_abs_error: true_yield.map(|t| (best_yield - t).abs()),
+            simulations: problem.simulations(),
+            generations: generations as u64,
+            local_searches: local_searches as u64,
+            prescreen_skips,
+            trace_digest: digest,
+            wall_time_ms,
+            engine_stats,
+            engine_timing: problem.engine().timing(),
+            phase_breakdown: tracer.breakdown(),
+        }
+    }
+}
+
 /// Executes one scenario with one algorithm and condenses the run into the
-/// machine-readable result record ([`run_scenario_with`] with the default
-/// plain Monte-Carlo estimator).
+/// machine-readable result record.
+#[deprecated(note = "use RunSpec::new(scenario, algo)…execute()")]
 pub fn run_scenario(
     scenario: &dyn Scenario,
     algo: Algo,
@@ -260,18 +603,15 @@ pub fn run_scenario(
     seed: u64,
     engine_kind: EngineKind,
 ) -> ScenarioResult {
-    run_scenario_with(
-        scenario,
-        algo,
-        budget,
-        seed,
-        engine_kind,
-        EstimatorKind::default(),
-    )
+    RunSpec::new(scenario, algo)
+        .budget(budget)
+        .seed(seed)
+        .engine_kind(engine_kind)
+        .execute()
 }
 
-/// [`run_scenario_prescreened`] with prescreening off (the historical entry
-/// point; bit-identical results to pre-prescreen builds).
+/// [`run_scenario`] with an explicit variance-reduction estimator.
+#[deprecated(note = "use RunSpec::new(scenario, algo)…estimator(..)…execute()")]
 pub fn run_scenario_with(
     scenario: &dyn Scenario,
     algo: Algo,
@@ -280,28 +620,16 @@ pub fn run_scenario_with(
     engine_kind: EngineKind,
     estimator: EstimatorKind,
 ) -> ScenarioResult {
-    run_scenario_prescreened(
-        scenario,
-        algo,
-        budget,
-        seed,
-        engine_kind,
-        estimator,
-        PrescreenKind::Off,
-    )
+    RunSpec::new(scenario, algo)
+        .budget(budget)
+        .seed(seed)
+        .engine_kind(engine_kind)
+        .estimator(estimator)
+        .execute()
 }
 
-/// Executes one scenario with one algorithm, an explicit variance-reduction
-/// estimator and an optional surrogate prescreen, condensing the run into
-/// the machine-readable result record (including the estimator's 95 % CI
-/// half-width for the final yield estimate).
-///
-/// With a prescreen, the `memetic` / `two-stage` algorithms demote
-/// predicted-poor candidates out of the stage-1 OCBA round (see
-/// `moheco::prescreen`), while `de` / `ga` gate their trial vectors through
-/// a [`TrialFilter`] so rejected trials never buy their fixed Monte-Carlo
-/// budget. The surrogate is seeded from the run seed, so results stay
-/// deterministic in `(scenario, algo, budget, seed, estimator, prescreen)`.
+/// [`run_scenario_with`] with an explicit surrogate prescreen.
+#[deprecated(note = "use RunSpec::new(scenario, algo)…prescreen(..)…execute()")]
 pub fn run_scenario_prescreened(
     scenario: &dyn Scenario,
     algo: Algo,
@@ -311,25 +639,17 @@ pub fn run_scenario_prescreened(
     estimator: EstimatorKind,
     prescreen: PrescreenKind,
 ) -> ScenarioResult {
-    run_scenario_traced(
-        scenario,
-        algo,
-        budget,
-        seed,
-        engine_kind,
-        estimator,
-        prescreen,
-        &Tracer::disabled(),
-    )
+    RunSpec::new(scenario, algo)
+        .budget(budget)
+        .seed(seed)
+        .engine_kind(engine_kind)
+        .estimator(estimator)
+        .prescreen(prescreen)
+        .execute()
 }
 
-/// [`run_scenario_prescreened`] under an observability [`Tracer`]: the whole
-/// run becomes a `"run"` root span, the engine's counters are probed at every
-/// span boundary (so each phase is charged exactly the simulations it spent),
-/// and a final `run_summary` event records the run identity plus the engine
-/// totals for downstream reconciliation (`moheco-profile --check`). With
-/// [`Tracer::disabled`] this is [`run_scenario_prescreened`] exactly —
-/// bit-identical results, no collector traffic.
+/// [`run_scenario_prescreened`] under an observability [`Tracer`].
+#[deprecated(note = "use RunSpec::new(scenario, algo)…tracer(..)…execute()")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_scenario_traced(
     scenario: &dyn Scenario,
@@ -341,239 +661,57 @@ pub fn run_scenario_traced(
     prescreen: PrescreenKind,
     tracer: &Tracer,
 ) -> ScenarioResult {
-    let engine = engine_kind.build_configured(seed, estimator);
-    run_scenario_on_engine_traced(
-        scenario,
-        algo,
-        budget,
-        seed,
-        engine,
-        engine_kind.label(),
-        prescreen,
-        tracer,
-    )
+    RunSpec::new(scenario, algo)
+        .budget(budget)
+        .seed(seed)
+        .engine_kind(engine_kind)
+        .estimator(estimator)
+        .prescreen(prescreen)
+        .tracer(tracer)
+        .execute()
 }
 
-/// [`run_scenario_prescreened`] over a *prebuilt* engine — the campaign
-/// layer's entry point, where one long-lived engine serves a whole
-/// seed × algorithm grid. The caller is responsible for the engine's state
-/// between runs ([`moheco_runtime::EvalEngine::reseed`] plus `reset()` or
-/// `reset_counters()`); this function only checks that the engine's active
-/// seed matches `seed`, because a mismatch would silently produce the wrong
-/// sample streams.
-///
-/// # Panics
-///
-/// Panics if `engine.active_seed() != seed`.
+/// Executes a run over a *prebuilt* engine (see [`RunSpec::engine`]).
+#[deprecated(note = "use RunSpec::new(scenario, algo)…engine(..)…execute()")]
 pub fn run_scenario_on_engine(
     scenario: &dyn Scenario,
     algo: Algo,
     budget: BudgetClass,
     seed: u64,
-    engine: std::sync::Arc<dyn moheco_runtime::EvalEngine>,
+    engine: Arc<dyn EvalEngine>,
     engine_label: &str,
     prescreen: PrescreenKind,
 ) -> ScenarioResult {
-    run_scenario_on_engine_traced(
-        scenario,
-        algo,
-        budget,
-        seed,
-        engine,
-        engine_label,
-        prescreen,
-        &Tracer::disabled(),
-    )
+    RunSpec::new(scenario, algo)
+        .budget(budget)
+        .seed(seed)
+        .engine(engine)
+        .engine_label(engine_label)
+        .prescreen(prescreen)
+        .execute()
 }
 
-/// [`run_scenario_on_engine`] under an observability [`Tracer`] (see
-/// [`run_scenario_traced`] for the span/probe contract).
-///
-/// # Panics
-///
-/// Panics if `engine.active_seed() != seed`.
+/// [`run_scenario_on_engine`] under an observability [`Tracer`].
+#[deprecated(note = "use RunSpec::new(scenario, algo)…engine(..).tracer(..)…execute()")]
 #[allow(clippy::too_many_arguments)]
 pub fn run_scenario_on_engine_traced(
     scenario: &dyn Scenario,
     algo: Algo,
     budget: BudgetClass,
     seed: u64,
-    engine: std::sync::Arc<dyn moheco_runtime::EvalEngine>,
+    engine: Arc<dyn EvalEngine>,
     engine_label: &str,
     prescreen: PrescreenKind,
     tracer: &Tracer,
 ) -> ScenarioResult {
-    assert_eq!(
-        engine.active_seed(),
-        seed,
-        "engine active seed does not match the run seed"
-    );
-    let estimator = engine.config().estimator;
-    let engine_label = engine_label.to_string();
-    // The probe must be wired before the root span opens so the counter
-    // baseline predates every attribution boundary; scenario construction
-    // runs no simulations, so the root span still covers the whole spend.
-    moheco_runtime::attach_engine_probe(tracer, &engine);
-    let run_span = Span::enter(tracer, "run");
-    let problem = scenario.build(engine).with_tracer(tracer.clone());
-    let config = budget.config();
-    let prescreen_config = PrescreenConfig {
-        seed,
-        ..PrescreenConfig::of_kind(prescreen)
-    };
-    let started = Instant::now();
-
-    let (
-        best_x,
-        best_yield,
-        ci_half_width,
-        feasible,
-        generations,
-        local_searches,
-        prescreen_skips,
-        digest,
-    ) = match algo {
-        Algo::Memetic | Algo::TwoStage => {
-            let config = if algo == Algo::Memetic {
-                MohecoConfig {
-                    memetic_enabled: true,
-                    strategy: YieldStrategy::TwoStageOo,
-                    ..config
-                }
-            } else {
-                config.as_oo_without_memetic()
-            };
-            let config = config.with_prescreen(prescreen_config);
-            let optimizer = YieldOptimizer::new(config);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let result = optimizer.run_from(&problem, &scenario.warm_start(), &mut rng);
-            let digest = trace_digest(
-                result
-                    .trace
-                    .records
-                    .iter()
-                    .flat_map(|r| [r.best_yield, r.simulations_so_far as f64]),
-            );
-            let feasible = problem.feasibility(&result.best_x).is_feasible();
-            (
-                result.best_x,
-                result.reported_yield,
-                result.best_report.half_width(Z_95),
-                feasible,
-                result.generations,
-                result.local_searches,
-                result.prescreen_stats.screened_out,
-                digest,
-            )
-        }
-        Algo::De | Algo::Ga => {
-            let mut search = YieldSearchProblem {
-                problem: &problem,
-                samples: budget.fixed_sims(),
-            };
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut filter: Option<SurrogateTrialFilter> = match prescreen {
-                PrescreenKind::Off => None,
-                PrescreenKind::Rsb => Some(SurrogateTrialFilter::new(&prescreen_config)),
-            };
-            let result: OptimizationResult = if algo == Algo::De {
-                let de = DifferentialEvolution::new(DeConfig {
-                    population_size: config.population_size,
-                    f: config.de_f,
-                    cr: config.de_cr,
-                    max_generations: config.max_generations,
-                    stagnation_limit: Some(config.stop_stagnation),
-                    target_objective: None,
-                    ..DeConfig::default()
-                });
-                match filter.as_mut() {
-                    Some(f) => de.run_traced_filtered(&mut search, f, tracer, &mut rng),
-                    None => de.run_traced_filtered(&mut search, &mut AdmitAll, tracer, &mut rng),
-                }
-            } else {
-                let ga = GeneticAlgorithm::new(GaConfig {
-                    population_size: config.population_size,
-                    max_generations: config.max_generations,
-                    stagnation_limit: Some(config.stop_stagnation),
-                    target_objective: None,
-                    ..GaConfig::default()
-                });
-                match filter.as_mut() {
-                    Some(f) => ga.run_traced_filtered(&mut search, f, tracer, &mut rng),
-                    None => ga.run_traced_filtered(&mut search, &mut AdmitAll, tracer, &mut rng),
-                }
-            };
-            let digest = trace_digest(result.history.iter().copied());
-            let best_x = result.best.x.clone();
-            // Final report at the accurate n_max budget, like the MOHECO
-            // variants (served partly from the engine cache).
-            let report_span = Span::enter(tracer, "final_report");
-            let rep = problem.feasibility(&best_x);
-            let (best_yield, ci, feasible) = if rep.is_feasible() {
-                let est = problem.estimate_with_ci(&best_x, config.n_max, rep.decision);
-                (est.value, est.half_width(Z_95), true)
-            } else {
-                (0.0, 0.0, false)
-            };
-            drop(report_span);
-            (
-                best_x,
-                best_yield,
-                ci,
-                feasible,
-                result.generations,
-                0,
-                filter.map(|f| f.skips).unwrap_or(0),
-                digest,
-            )
-        }
-    };
-
-    drop(run_span);
-    let wall_time_ms = started.elapsed().as_secs_f64() * 1e3;
-    let true_yield = problem.true_yield(&best_x);
-    let bench = scenario.bench();
-    let engine_stats = problem.engine_stats();
-    if tracer.is_enabled() {
-        tracer.emit(
-            "run_summary",
-            &[
-                ("scenario", scenario.name().to_string()),
-                ("algo", algo.label().to_string()),
-                ("budget", budget.label().to_string()),
-                ("seed", seed.to_string()),
-                ("best_yield", crate::results::fmt_f64(best_yield)),
-                ("simulations_run", engine_stats.simulations_run.to_string()),
-                ("cache_hits", engine_stats.cache_hits.to_string()),
-            ],
-        );
-        tracer.flush();
-    }
-    ScenarioResult {
-        scenario: scenario.name().to_string(),
-        algo: algo.label().to_string(),
-        budget: budget.label().to_string(),
-        engine: engine_label,
-        estimator: estimator.label().to_string(),
-        prescreen: prescreen.label().to_string(),
-        seed,
-        dimension: bench.dimension() as u64,
-        statistical_dimension: bench.unit_dimension() as u64,
-        feasible,
-        best_yield,
-        ci_half_width,
-        true_yield,
-        true_yield_abs_error: true_yield.map(|t| (best_yield - t).abs()),
-        simulations: problem.simulations(),
-        generations: generations as u64,
-        local_searches: local_searches as u64,
-        prescreen_skips,
-        trace_digest: digest,
-        wall_time_ms,
-        engine_stats,
-        engine_timing: problem.engine().timing(),
-        phase_breakdown: tracer.breakdown(),
-    }
+    RunSpec::new(scenario, algo)
+        .budget(budget)
+        .seed(seed)
+        .engine(engine)
+        .engine_label(engine_label)
+        .prescreen(prescreen)
+        .tracer(tracer)
+        .execute()
 }
 
 #[cfg(test)]
@@ -598,13 +736,10 @@ mod tests {
     #[test]
     fn tiny_memetic_run_produces_a_consistent_result() {
         let scenario = find_scenario("margin_wall").expect("registered");
-        let r = run_scenario(
-            scenario.as_ref(),
-            Algo::Memetic,
-            BudgetClass::Tiny,
-            1,
-            EngineKind::Serial,
-        );
+        let r = RunSpec::new(scenario.as_ref(), Algo::Memetic)
+            .budget(BudgetClass::Tiny)
+            .seed(1)
+            .execute();
         assert_eq!(r.scenario, "margin_wall");
         assert!(r.simulations > 0);
         assert!(r.generations >= 1);
@@ -619,13 +754,10 @@ mod tests {
     fn runs_are_deterministic_in_the_seed() {
         let scenario = find_scenario("quadratic_feasibility").expect("registered");
         let run = |seed| {
-            run_scenario(
-                scenario.as_ref(),
-                Algo::TwoStage,
-                BudgetClass::Tiny,
-                seed,
-                EngineKind::Serial,
-            )
+            RunSpec::new(scenario.as_ref(), Algo::TwoStage)
+                .budget(BudgetClass::Tiny)
+                .seed(seed)
+                .execute()
         };
         let (a, b, c) = (run(5), run(5), run(6));
         assert_eq!(a.best_yield, b.best_yield);
@@ -641,13 +773,10 @@ mod tests {
     fn de_and_ga_report_an_accurate_final_estimate() {
         let scenario = find_scenario("margin_wall").expect("registered");
         for algo in [Algo::De, Algo::Ga] {
-            let r = run_scenario(
-                scenario.as_ref(),
-                algo,
-                BudgetClass::Tiny,
-                2,
-                EngineKind::Serial,
-            );
+            let r = RunSpec::new(scenario.as_ref(), algo)
+                .budget(BudgetClass::Tiny)
+                .seed(2)
+                .execute();
             assert_eq!(r.algo, algo.label());
             assert!(r.simulations > 0, "{}", algo.label());
             assert_eq!(r.local_searches, 0);
@@ -656,5 +785,37 @@ mod tests {
                 assert!(err < 0.35, "{}: error {err}", algo.label());
             }
         }
+    }
+
+    /// The deprecated free-function shims must stay bit-identical to the
+    /// builder for the one release they survive.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_match_the_builder() {
+        let scenario = find_scenario("margin_wall").expect("registered");
+        let via_builder = RunSpec::new(scenario.as_ref(), Algo::TwoStage)
+            .budget(BudgetClass::Tiny)
+            .seed(3)
+            .execute();
+        let via_shim = run_scenario(
+            scenario.as_ref(),
+            Algo::TwoStage,
+            BudgetClass::Tiny,
+            3,
+            EngineKind::Serial,
+        );
+        assert_eq!(via_builder.to_jsonl_row(), via_shim.to_jsonl_row());
+
+        let engine = EngineKind::Serial.build_seeded(3);
+        let via_engine_shim = run_scenario_on_engine(
+            scenario.as_ref(),
+            Algo::TwoStage,
+            BudgetClass::Tiny,
+            3,
+            engine,
+            "serial",
+            PrescreenKind::Off,
+        );
+        assert_eq!(via_builder.to_jsonl_row(), via_engine_shim.to_jsonl_row());
     }
 }

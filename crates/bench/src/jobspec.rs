@@ -1,0 +1,398 @@
+//! [`JobSpec`] — the one serializable description of a scenario × algorithm
+//! × seed grid, shared verbatim by `moheco-campaign` (CLI), `moheco-run`
+//! (CLI) and `moheco-serve` (HTTP `POST /jobs` bodies).
+//!
+//! A spec names its scenarios (resolution against the registry happens at
+//! execution time), so the same object round-trips through the flat-JSON
+//! wire format: [`JobSpec::to_json`] / [`JobSpec::parse`] are inverses. The
+//! `.spec` sidecar fingerprint that pins a campaign JSONL file's counter
+//! regime ([`JobSpec::fingerprint`]) is computed here and **only** here —
+//! the CLI and the HTTP server can never drift apart on what "the same
+//! campaign" means.
+
+use crate::results::{parse_flat_json, SCHEMA_VERSION};
+use crate::{Algo, BudgetClass, EngineKind};
+use moheco::PrescreenKind;
+use moheco_sampling::EstimatorKind;
+use moheco_scenarios::{find_scenario, Scenario};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How the per-scenario engine is prepared between campaign cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineReuse {
+    /// Reseed + full reset before every cell: rows are bit-identical to
+    /// standalone `moheco-run` invocations (the default, and the mode the
+    /// determinism acceptance tests pin down).
+    #[default]
+    Reset,
+    /// Reseed + counter reset only, keeping the cache warm across cells.
+    /// Yields and search trajectories are unchanged (streams are seed-keyed
+    /// pure functions), but executed-simulation counters shrink, so rows are
+    /// *not* byte-comparable to standalone runs — and a *resumed*
+    /// shared-cache campaign re-runs its remaining cells against a colder
+    /// cache than an uninterrupted one would, so only the yield/trajectory
+    /// fields of post-resume rows are reproducible, not the counters.
+    /// Combine with [`JobSpec::max_cached_blocks`] to bound the long-lived
+    /// memory.
+    SharedCache,
+}
+
+impl EngineReuse {
+    /// Parses a `--engine-reuse` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reset" => Some(Self::Reset),
+            "shared-cache" => Some(Self::SharedCache),
+            _ => None,
+        }
+    }
+
+    /// The stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Reset => "reset",
+            Self::SharedCache => "shared-cache",
+        }
+    }
+}
+
+/// The full, serializable specification of one job: a scenario × algorithm
+/// × seed grid plus everything that shapes its rows and counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Scenario names, in execution (outer-loop) order; resolved against
+    /// the registry by [`JobSpec::resolve_scenarios`].
+    pub scenarios: Vec<String>,
+    /// Algorithms, in execution (middle-loop) order.
+    pub algos: Vec<Algo>,
+    /// Budget class shared by every cell.
+    pub budget: BudgetClass,
+    /// Seeds, in execution (inner-loop) order.
+    pub seeds: Vec<u64>,
+    /// Engine implementation (serial / parallel).
+    pub engine: EngineKind,
+    /// Variance-reduction estimator shared by every cell.
+    pub estimator: EstimatorKind,
+    /// Surrogate prescreen shared by every cell.
+    pub prescreen: PrescreenKind,
+    /// Engine preparation mode between cells.
+    pub reuse: EngineReuse,
+    /// Cache-block bound of the long-lived engines (0 = unbounded).
+    pub max_cached_blocks: usize,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            scenarios: Vec::new(),
+            algos: vec![Algo::default()],
+            budget: BudgetClass::default(),
+            seeds: vec![1],
+            engine: EngineKind::default(),
+            estimator: EstimatorKind::default(),
+            prescreen: PrescreenKind::default(),
+            reuse: EngineReuse::default(),
+            max_cached_blocks: 0,
+        }
+    }
+}
+
+impl JobSpec {
+    /// A spec over the named scenarios with every other field defaulted.
+    pub fn new(scenarios: Vec<String>) -> Self {
+        Self {
+            scenarios,
+            ..Self::default()
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.scenarios.len() * self.algos.len() * self.seeds.len()
+    }
+
+    /// The `(scenario, algo, seed)` identity of every requested cell.
+    pub fn cell_set(&self) -> HashSet<(String, String, u64)> {
+        self.scenarios
+            .iter()
+            .flat_map(|sc| {
+                self.algos.iter().flat_map(move |a| {
+                    self.seeds
+                        .iter()
+                        .map(move |&seed| (sc.clone(), a.label().to_string(), seed))
+                })
+            })
+            .collect()
+    }
+
+    /// Checks the spec is executable: non-empty grid axes, no duplicate
+    /// cells, and every scenario name registered.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scenarios.is_empty() {
+            return Err("spec selects no scenarios".into());
+        }
+        if self.algos.is_empty() {
+            return Err("spec selects no algorithms".into());
+        }
+        if self.seeds.is_empty() {
+            return Err("spec selects no seeds".into());
+        }
+        if self.cell_set().len() != self.cells() {
+            return Err("spec repeats a (scenario, algo, seed) cell".into());
+        }
+        for name in &self.scenarios {
+            if find_scenario(name).is_none() {
+                let names = moheco_scenarios::scenario_names().join(", ");
+                return Err(format!("unknown scenario {name:?}; registered: {names}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the scenario names against the registry, in spec order.
+    pub fn resolve_scenarios(&self) -> Result<Vec<Arc<dyn Scenario>>, String> {
+        self.scenarios
+            .iter()
+            .map(|name| {
+                find_scenario(name).ok_or_else(|| {
+                    let names = moheco_scenarios::scenario_names().join(", ");
+                    format!("unknown scenario {name:?}; registered: {names}")
+                })
+            })
+            .collect()
+    }
+
+    /// The fixed-identity fingerprint of this job, written to the sidecar
+    /// `<jsonl>.spec` file. It covers everything rows share (and so cannot
+    /// be cross-checked per row) **plus** the settings that shape the
+    /// counters without appearing in the rows at all — the reuse mode and
+    /// the cache bound — so a file can never be resumed under a different
+    /// counter regime. This is the single place the fingerprint format
+    /// lives; the CLI campaign runner and the job server both call it.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "schema_version={} budget={} engine={} estimator={} prescreen={} engine_reuse={} max_cached_blocks={}\n",
+            SCHEMA_VERSION,
+            self.budget.label(),
+            self.engine.label(),
+            self.estimator.label(),
+            self.prescreen.label(),
+            self.reuse.label(),
+            self.max_cached_blocks,
+        )
+    }
+
+    /// A stable hexadecimal job identifier: the FNV-1a hash of the tenant
+    /// and the canonical serialization. Two submissions of the same spec by
+    /// the same tenant collapse onto one job (and one resumable JSONL
+    /// file); any differing field — including grid order — yields a
+    /// different id.
+    pub fn job_id(&self, tenant: &str) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in tenant.bytes().chain([0u8]).chain(self.to_json().bytes()) {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Serializes the spec as one flat JSON object (lists are comma-joined
+    /// strings — the workspace's flat parser takes no nested values).
+    pub fn to_json(&self) -> String {
+        let seeds = self
+            .seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let algos = self
+            .algos
+            .iter()
+            .map(|a| a.label())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema_version\": {}, \"scenarios\": \"{}\", \"algos\": \"{algos}\", \"budget\": \"{}\", \"seeds\": \"{seeds}\", \"engine\": \"{}\", \"estimator\": \"{}\", \"prescreen\": \"{}\", \"engine_reuse\": \"{}\", \"max_cached_blocks\": {}}}",
+            SCHEMA_VERSION,
+            self.scenarios.join(","),
+            self.budget.label(),
+            self.engine.label(),
+            self.estimator.label(),
+            self.prescreen.label(),
+            self.reuse.label(),
+            self.max_cached_blocks,
+        )
+    }
+
+    /// Parses a spec from the flat JSON wire format ([`JobSpec::to_json`]'s
+    /// inverse, also the `POST /jobs` request body). Only `scenarios` is
+    /// required; every other field takes its [`JobSpec::default`]. `seeds`
+    /// accepts either an explicit comma-joined list (`"seeds": "1,2,3"`) or
+    /// a count (`"seeds": 3` means seeds 1..=3, like `--seeds 3`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let record = parse_flat_json(text)?;
+        if let Some(v) = record.num("schema_version") {
+            if v != SCHEMA_VERSION as f64 {
+                return Err(format!(
+                    "spec schema_version is {v} but this build writes {SCHEMA_VERSION}"
+                ));
+            }
+        }
+        let scenarios = match record.str("scenarios") {
+            Some(s) => s.split(',').map(|p| p.trim().to_string()).collect(),
+            None => return Err("spec is missing \"scenarios\"".into()),
+        };
+        let mut spec = Self {
+            scenarios,
+            ..Self::default()
+        };
+        if let Some(s) = record.str("algos") {
+            spec.algos = s
+                .split(',')
+                .map(|p| {
+                    Algo::parse(p.trim()).ok_or_else(|| format!("unknown algo {:?}", p.trim()))
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(s) = record.str("budget") {
+            spec.budget = BudgetClass::parse(s).ok_or_else(|| format!("unknown budget {s:?}"))?;
+        }
+        if let Some(s) = record.str("seeds") {
+            spec.seeds = s
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad seed {:?}", p.trim()))
+                })
+                .collect::<Result<_, _>>()?;
+        } else if let Some(n) = record.num("seeds") {
+            if n < 1.0 || n.fract() != 0.0 {
+                return Err(format!("\"seeds\": {n} must be a positive integer count"));
+            }
+            spec.seeds = (1..=n as u64).collect();
+        }
+        if let Some(s) = record.str("engine") {
+            spec.engine = match s {
+                "serial" => EngineKind::Serial,
+                "parallel" => EngineKind::Parallel,
+                _ => return Err(format!("unknown engine {s:?}")),
+            };
+        }
+        if let Some(s) = record.str("estimator") {
+            spec.estimator =
+                EstimatorKind::parse(s).ok_or_else(|| format!("unknown estimator {s:?}"))?;
+        }
+        if let Some(s) = record.str("prescreen") {
+            spec.prescreen =
+                PrescreenKind::parse(s).ok_or_else(|| format!("unknown prescreen {s:?}"))?;
+        }
+        if let Some(s) = record.str("engine_reuse") {
+            spec.reuse =
+                EngineReuse::parse(s).ok_or_else(|| format!("unknown engine_reuse {s:?}"))?;
+        }
+        if let Some(n) = record.num("max_cached_blocks") {
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!(
+                    "\"max_cached_blocks\": {n} must be a non-negative integer"
+                ));
+            }
+            spec.max_cached_blocks = n as usize;
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobSpec {
+        JobSpec {
+            scenarios: vec!["margin_wall".into(), "quadratic_feasibility".into()],
+            algos: vec![Algo::TwoStage, Algo::De],
+            budget: BudgetClass::Tiny,
+            seeds: vec![1, 2, 3],
+            engine: EngineKind::Serial,
+            estimator: EstimatorKind::default(),
+            prescreen: PrescreenKind::Off,
+            reuse: EngineReuse::SharedCache,
+            max_cached_blocks: 64,
+        }
+    }
+
+    #[test]
+    fn reuse_labels_roundtrip() {
+        for reuse in [EngineReuse::Reset, EngineReuse::SharedCache] {
+            assert_eq!(EngineReuse::parse(reuse.label()), Some(reuse));
+        }
+        assert_eq!(EngineReuse::parse("bogus"), None);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let spec = sample();
+        let parsed = JobSpec::parse(&spec.to_json()).expect("roundtrip");
+        assert_eq!(parsed, spec);
+        assert_eq!(spec.cells(), 12);
+        spec.validate().expect("valid");
+    }
+
+    #[test]
+    fn parse_defaults_and_seed_counts() {
+        let spec = JobSpec::parse("{\"scenarios\": \"margin_wall\", \"seeds\": 3}").unwrap();
+        assert_eq!(spec.scenarios, vec!["margin_wall"]);
+        assert_eq!(spec.seeds, vec![1, 2, 3]);
+        assert_eq!(spec.algos, vec![Algo::default()]);
+        assert_eq!(spec.reuse, EngineReuse::Reset);
+        assert!(
+            JobSpec::parse("{\"budget\": \"tiny\"}").is_err(),
+            "scenarios required"
+        );
+        assert!(JobSpec::parse("{\"scenarios\": \"margin_wall\", \"algos\": \"warp\"}").is_err());
+        assert!(JobSpec::parse("{\"scenarios\": \"margin_wall\", \"seeds\": 0}").is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_grids() {
+        let mut empty = sample();
+        empty.scenarios.clear();
+        assert!(empty.validate().is_err());
+        let mut dup = sample();
+        dup.seeds = vec![1, 1];
+        assert!(dup.validate().unwrap_err().contains("repeats"));
+        let mut unknown = sample();
+        unknown.scenarios = vec!["not_a_scenario".into()];
+        assert!(unknown.validate().unwrap_err().contains("unknown scenario"));
+        assert!(unknown.resolve_scenarios().is_err());
+        assert_eq!(sample().resolve_scenarios().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn job_ids_are_stable_and_identity_sensitive() {
+        let spec = sample();
+        assert_eq!(spec.job_id("alice"), spec.job_id("alice"));
+        assert_ne!(spec.job_id("alice"), spec.job_id("bob"));
+        let mut other = sample();
+        other.seeds = vec![1, 2];
+        assert_ne!(spec.job_id("alice"), other.job_id("alice"));
+        assert_eq!(spec.job_id("alice").len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_pins_the_counter_regime() {
+        let spec = sample();
+        let fp = spec.fingerprint();
+        assert!(fp.contains("engine_reuse=shared-cache"));
+        assert!(fp.contains("max_cached_blocks=64"));
+        assert!(fp.ends_with('\n'));
+        let mut reset = sample();
+        reset.reuse = EngineReuse::Reset;
+        assert_ne!(fp, reset.fingerprint());
+        // Seeds/scenarios are carried per row, not in the fingerprint.
+        let mut wider = sample();
+        wider.seeds.push(9);
+        assert_eq!(fp, wider.fingerprint());
+    }
+}

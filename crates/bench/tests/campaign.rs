@@ -15,23 +15,23 @@
 //!   digests and counters included.
 
 use moheco::PrescreenKind;
-use moheco_bench::campaign::{run_campaign, CampaignSpec, EngineReuse};
+use moheco_bench::campaign::run_campaign;
 use moheco_bench::results::parse_flat_json;
-use moheco_bench::{run_scenario_prescreened, Algo, BudgetClass, EngineKind};
+use moheco_bench::{Algo, BudgetClass, EngineKind, EngineReuse, JobSpec, RunSpec};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::find_scenario;
 use std::path::PathBuf;
 
-fn spec(reuse: EngineReuse, engine_kind: EngineKind, max_cached_blocks: usize) -> CampaignSpec {
-    CampaignSpec {
+fn spec(reuse: EngineReuse, engine_kind: EngineKind, max_cached_blocks: usize) -> JobSpec {
+    JobSpec {
         scenarios: vec![
-            find_scenario("margin_wall").expect("registered"),
-            find_scenario("quadratic_feasibility").expect("registered"),
+            "margin_wall".to_string(),
+            "quadratic_feasibility".to_string(),
         ],
         algos: vec![Algo::TwoStage],
         budget: BudgetClass::Tiny,
         seeds: vec![1, 2, 3],
-        engine_kind,
+        engine: engine_kind,
         estimator: EstimatorKind::default(),
         prescreen: PrescreenKind::Off,
         reuse,
@@ -53,24 +53,22 @@ fn campaign_rows_are_bit_identical_to_standalone_runs() {
     run_campaign(&spec, &path, |_| {}).expect("campaign runs");
     let text = std::fs::read_to_string(&path).expect("rows on disk");
     let mut lines = text.lines();
-    for scenario in &spec.scenarios {
+    for scenario_name in &spec.scenarios {
+        let scenario = find_scenario(scenario_name).expect("registered");
         for &seed in &spec.seeds {
-            let standalone = run_scenario_prescreened(
-                scenario.as_ref(),
-                Algo::TwoStage,
-                BudgetClass::Tiny,
-                seed,
-                EngineKind::Serial,
-                EstimatorKind::default(),
-                PrescreenKind::Off,
-            );
+            let standalone = RunSpec::new(scenario.as_ref(), Algo::TwoStage)
+                .budget(BudgetClass::Tiny)
+                .seed(seed)
+                .engine_kind(EngineKind::Serial)
+                .estimator(EstimatorKind::default())
+                .prescreen(PrescreenKind::Off)
+                .execute();
             let expected = standalone.to_jsonl_row();
             let row = lines.next().expect("one row per cell");
             assert_eq!(
                 format!("{row}\n"),
                 expected,
-                "{}/seed {seed}: campaign row differs from the standalone run",
-                scenario.name()
+                "{scenario_name}/seed {seed}: campaign row differs from the standalone run"
             );
         }
     }
@@ -123,7 +121,7 @@ fn shared_cache_reuse_preserves_yields_and_trajectories() {
     // estimates can be served from the first one's warm cache. Different
     // *seeds* never share Monte-Carlo blocks (streams are seed-keyed), which
     // is exactly why the values cannot drift.
-    let with_algos = |reuse| CampaignSpec {
+    let with_algos = |reuse| JobSpec {
         algos: vec![Algo::TwoStage, Algo::Memetic],
         ..spec(reuse, EngineKind::Serial, 0)
     };

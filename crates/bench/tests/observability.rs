@@ -2,7 +2,7 @@
 //! no-op bit-identity, and serial/parallel attribution equality.
 
 use moheco::PrescreenKind;
-use moheco_bench::{run_scenario_prescreened, run_scenario_traced, Algo, BudgetClass, EngineKind};
+use moheco_bench::{Algo, BudgetClass, EngineKind, RunSpec};
 use moheco_obs::{MemoryCollector, Tracer};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::find_scenario;
@@ -15,16 +15,17 @@ fn traced(
     engine: EngineKind,
     tracer: &Tracer,
 ) -> moheco_bench::results::ScenarioResult {
-    run_scenario_traced(
+    RunSpec::new(
         find_scenario(scenario).expect("registered").as_ref(),
         Algo::Memetic,
-        budget,
-        seed,
-        engine,
-        EstimatorKind::default(),
-        PrescreenKind::Off,
-        tracer,
     )
+    .budget(budget)
+    .seed(seed)
+    .engine_kind(engine)
+    .estimator(EstimatorKind::default())
+    .prescreen(PrescreenKind::Off)
+    .tracer(tracer)
+    .execute()
 }
 
 #[test]
@@ -83,15 +84,16 @@ fn nm_refinement_is_attributed_as_its_own_phase() {
 
 #[test]
 fn disabled_and_enabled_tracing_are_bit_identical_to_an_untraced_run() {
-    let plain = run_scenario_prescreened(
+    let plain = RunSpec::new(
         find_scenario("margin_wall").expect("registered").as_ref(),
         Algo::Memetic,
-        BudgetClass::Tiny,
-        1,
-        EngineKind::Serial,
-        EstimatorKind::default(),
-        PrescreenKind::Off,
-    );
+    )
+    .budget(BudgetClass::Tiny)
+    .seed(1)
+    .engine_kind(EngineKind::Serial)
+    .estimator(EstimatorKind::default())
+    .prescreen(PrescreenKind::Off)
+    .execute();
     let collector = Arc::new(MemoryCollector::new());
     let enabled = traced(
         "margin_wall",

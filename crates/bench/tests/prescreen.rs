@@ -9,7 +9,7 @@
 
 use moheco::PrescreenKind;
 use moheco_bench::results::parse_flat_json;
-use moheco_bench::{run_scenario_prescreened, Algo, BudgetClass, EngineKind};
+use moheco_bench::{Algo, BudgetClass, EngineKind, RunSpec};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::find_scenario;
 use std::path::Path;
@@ -21,15 +21,13 @@ fn run(
     prescreen: PrescreenKind,
 ) -> moheco_bench::results::ScenarioResult {
     let scenario = find_scenario("margin_wall").expect("registered");
-    run_scenario_prescreened(
-        scenario.as_ref(),
-        algo,
-        BudgetClass::Small,
-        seed,
-        engine,
-        EstimatorKind::default(),
-        prescreen,
-    )
+    RunSpec::new(scenario.as_ref(), algo)
+        .budget(BudgetClass::Small)
+        .seed(seed)
+        .engine_kind(engine)
+        .estimator(EstimatorKind::default())
+        .prescreen(prescreen)
+        .execute()
 }
 
 #[test]

@@ -190,6 +190,21 @@ pub trait EvalEngine: Send + Sync {
     /// backing table capacity; see `SimCache::bytes`).
     fn cache_bytes(&self) -> usize;
 
+    /// Trims the cache down to at most `max_blocks` retained Monte-Carlo
+    /// blocks (and the same bound on nominal entries), returning the number
+    /// of blocks evicted. Evictions are recorded in the engine counters.
+    ///
+    /// This is the hook external quota policies (the service's per-tenant
+    /// cache quotas) use to shrink an *idle* engine below its configured
+    /// `max_cached_blocks`. It must only be called while the engine is
+    /// quiescent — between batches, like the internal bound sweep — because
+    /// eviction mid-batch would break block assembly. The default does
+    /// nothing (mock engines have no cache to trim).
+    fn enforce_cache_limit(&self, max_blocks: usize) -> u64 {
+        let _ = max_blocks;
+        0
+    }
+
     /// Convenience: outcomes `start .. start + count` of one design.
     fn mc_single(
         &self,
@@ -507,6 +522,17 @@ impl EngineCore {
         self.counter.reset();
     }
 
+    /// Quiescent-time cache trim for external quota policies; evictions land
+    /// in the same counter the internal bound sweep uses.
+    fn enforce_cache_limit(&self, max_blocks: usize) -> u64 {
+        let evicted = self.cache.enforce_limit(max_blocks);
+        self.cache.enforce_nominal_limit(max_blocks);
+        if evicted > 0 {
+            self.stats.record_evictions(evicted);
+        }
+        evicted
+    }
+
     /// Snapshot with `simulations_run` sourced from the shared counter (the
     /// single source of truth for executed simulations).
     fn snapshot(&self) -> EngineStatsSnapshot {
@@ -589,6 +615,10 @@ impl EvalEngine for SerialEngine {
 
     fn cache_bytes(&self) -> usize {
         self.core.cache.bytes()
+    }
+
+    fn enforce_cache_limit(&self, max_blocks: usize) -> u64 {
+        self.core.enforce_cache_limit(max_blocks)
     }
 }
 
@@ -683,6 +713,10 @@ impl EvalEngine for ParallelEngine {
 
     fn cache_bytes(&self) -> usize {
         self.core.cache.bytes()
+    }
+
+    fn enforce_cache_limit(&self, max_blocks: usize) -> u64 {
+        self.core.enforce_cache_limit(max_blocks)
     }
 }
 
@@ -1030,6 +1064,28 @@ mod tests {
         assert_eq!(engine.simulations(), 0, "served from the warm cache");
         assert!(engine.cache_blocks() > 0);
         assert!(engine.cache_bytes() > 0);
+    }
+
+    #[test]
+    fn external_cache_trim_evicts_and_records() {
+        let engine = SerialEngine::new(EngineConfig::default().with_seed(5));
+        let designs: Vec<Vec<f64>> = (0..5).map(|i| vec![0.1 * i as f64, 0.2, 0.3]).collect();
+        let mut reference = Vec::new();
+        for x in &designs {
+            reference.push(engine.mc_single(&Echo, x, 0, 60));
+        }
+        let before_blocks = engine.cache_blocks();
+        assert!(before_blocks > 2);
+        // External quota trim (the service's per-tenant enforcement path):
+        // shrinks below the configured bound, records the evictions.
+        let evicted = engine.enforce_cache_limit(2);
+        assert_eq!(evicted as usize, before_blocks - engine.cache_blocks());
+        assert!(engine.cache_blocks() <= 2);
+        assert_eq!(engine.stats().evicted_blocks, evicted);
+        // Evicted blocks re-create bit-identically on the next request.
+        for (i, x) in designs.iter().enumerate() {
+            assert_eq!(engine.mc_single(&Echo, x, 0, 60), reference[i]);
+        }
     }
 
     #[test]

@@ -77,6 +77,6 @@ pub mod stats;
 
 pub use cache::{design_key, Block, SimCache};
 pub use engine::{EngineConfig, EvalEngine, ParallelEngine, SerialEngine};
-pub use metrics::{attach_engine_probe, render_prometheus};
+pub use metrics::{attach_engine_probe, render_pool_cache, render_prometheus, EngineCacheUsage};
 pub use model::{McRequest, SimulationModel};
 pub use stats::{EngineStats, EngineStatsSnapshot, EngineTiming};

@@ -63,6 +63,99 @@ pub fn render_prometheus(stats: &EngineStatsSnapshot, breakdown: &PhaseBreakdown
     out
 }
 
+/// One engine's current cache footprint inside a pool, labelled for
+/// exposition (the campaign labels by scenario, the service by
+/// `tenant/scenario/estimator`).
+///
+/// Exists because `SimCache::bytes()` was only ever reported *per engine*:
+/// nothing summed it across a pool, so a campaign or service enforcing
+/// per-tenant quotas on top of `max_cached_blocks` had no observable
+/// pool-level total. [`render_pool_cache`] closes that gap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineCacheUsage {
+    /// Stable exposition label of the engine within the pool.
+    pub label: String,
+    /// Cached simulation blocks currently retained.
+    pub blocks: usize,
+    /// Estimated bytes of cached outcomes currently retained.
+    pub bytes: usize,
+}
+
+/// Renders a pool's per-engine cache breakdown plus the pool-level totals in
+/// the Prometheus text exposition format.
+///
+/// Families: `moheco_pool_engines` (gauge), `moheco_pool_cache_blocks` /
+/// `moheco_pool_cache_bytes` (per-engine gauges, `engine` label), and
+/// `moheco_pool_cache_blocks_total` / `moheco_pool_cache_bytes_total`.
+/// These are deliberately *separate* families from the
+/// `moheco_engine_<counter>` ones: the counter schema feeds gated baselines
+/// and must not grow gauge fields.
+pub fn render_pool_cache(usage: &[EngineCacheUsage]) -> String {
+    let mut out = String::new();
+    push_header(
+        &mut out,
+        "moheco_pool_engines",
+        "gauge",
+        "Engines currently alive in the pool.",
+    );
+    push_sample(&mut out, "moheco_pool_engines", &[], usage.len() as f64);
+    push_header(
+        &mut out,
+        "moheco_pool_cache_blocks",
+        "gauge",
+        "Cached simulation blocks retained by each pool engine.",
+    );
+    for u in usage {
+        push_sample(
+            &mut out,
+            "moheco_pool_cache_blocks",
+            &[("engine", &u.label)],
+            u.blocks as f64,
+        );
+    }
+    push_header(
+        &mut out,
+        "moheco_pool_cache_bytes",
+        "gauge",
+        "Estimated cached bytes retained by each pool engine.",
+    );
+    for u in usage {
+        push_sample(
+            &mut out,
+            "moheco_pool_cache_bytes",
+            &[("engine", &u.label)],
+            u.bytes as f64,
+        );
+    }
+    let blocks_total: usize = usage.iter().map(|u| u.blocks).sum();
+    let bytes_total: usize = usage.iter().map(|u| u.bytes).sum();
+    push_header(
+        &mut out,
+        "moheco_pool_cache_blocks_total",
+        "gauge",
+        "Cached simulation blocks retained across the whole pool.",
+    );
+    push_sample(
+        &mut out,
+        "moheco_pool_cache_blocks_total",
+        &[],
+        blocks_total as f64,
+    );
+    push_header(
+        &mut out,
+        "moheco_pool_cache_bytes_total",
+        "gauge",
+        "Estimated cached bytes retained across the whole pool.",
+    );
+    push_sample(
+        &mut out,
+        "moheco_pool_cache_bytes_total",
+        &[],
+        bytes_total as f64,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +201,32 @@ mod tests {
         assert_eq!(b.get("run/reread").unwrap().simulations, 0);
         assert_eq!(b.get("run/reread").unwrap().cache_hits, 100);
         assert_eq!(b.total_simulations(), engine.simulations());
+    }
+
+    #[test]
+    fn pool_cache_exposition_reports_breakdown_and_totals() {
+        let usage = vec![
+            EngineCacheUsage {
+                label: "acme/margin_wall/mc".to_string(),
+                blocks: 3,
+                bytes: 1_200,
+            },
+            EngineCacheUsage {
+                label: "beta/margin_wall/mc".to_string(),
+                blocks: 5,
+                bytes: 2_000,
+            },
+        ];
+        let text = render_pool_cache(&usage);
+        assert!(text.contains("moheco_pool_engines 2"));
+        assert!(text.contains("moheco_pool_cache_blocks{engine=\"acme/margin_wall/mc\"} 3"));
+        assert!(text.contains("moheco_pool_cache_bytes{engine=\"beta/margin_wall/mc\"} 2000"));
+        assert!(text.contains("moheco_pool_cache_blocks_total 8"));
+        assert!(text.contains("moheco_pool_cache_bytes_total 3200"));
+        // An empty pool still renders well-formed totals.
+        let empty = render_pool_cache(&[]);
+        assert!(empty.contains("moheco_pool_engines 0"));
+        assert!(empty.contains("moheco_pool_cache_bytes_total 0"));
     }
 
     #[test]

@@ -175,6 +175,22 @@ impl EngineStatsSnapshot {
         }
     }
 
+    /// Accumulates another snapshot into this one: every counter is summed
+    /// except `max_batch_samples`, which is a high-water mark and takes the
+    /// maximum. Used by campaign totals and the service's per-tenant /
+    /// pool-wide accounting.
+    pub fn absorb(&mut self, other: &EngineStatsSnapshot) {
+        self.simulations_run += other.simulations_run;
+        self.mc_samples_served += other.mc_samples_served;
+        self.nominal_served += other.nominal_served;
+        self.cache_hits += other.cache_hits;
+        self.batches += other.batches;
+        self.mc_batches += other.mc_batches;
+        self.tasks += other.tasks;
+        self.max_batch_samples = self.max_batch_samples.max(other.max_batch_samples);
+        self.evicted_blocks += other.evicted_blocks;
+    }
+
     /// Stable `(name, value)` pairs of every counter field, in schema order.
     ///
     /// This is the single source of the snapshot's serialized shape: both
@@ -289,6 +305,27 @@ mod tests {
                 "field {name} missing from {json}"
             );
         }
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_the_high_water_mark() {
+        let a = EngineStats::new();
+        a.record_mc_batch(40, 3, 0);
+        a.record_cache_hits(5);
+        let b = EngineStats::new();
+        b.record_mc_batch(20, 1, 0);
+        b.record_nominal_batch(8, 0);
+        b.record_evictions(2);
+        let mut total = a.snapshot();
+        total.absorb(&b.snapshot());
+        assert_eq!(total.mc_samples_served, 60);
+        assert_eq!(total.nominal_served, 8);
+        assert_eq!(total.cache_hits, 5);
+        assert_eq!(total.batches, 3);
+        assert_eq!(total.mc_batches, 2);
+        assert_eq!(total.tasks, 4);
+        assert_eq!(total.max_batch_samples, 40, "high-water mark, not a sum");
+        assert_eq!(total.evicted_blocks, 2);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! `moheco-load` — mixed-tenant load generator and service acceptance
+//! check for `moheco-serve`.
+//!
+//! ```text
+//! moheco-load --addr 127.0.0.1:7811 [--tenants 2] [--jobs-per-tenant 2]
+//!             [--seeds 2] [--budget tiny] [--out BENCH_service.json]
+//! ```
+//!
+//! One thread per tenant submits its jobs sequentially, streaming each
+//! job's rows live and timing every row from submission to arrival. After a
+//! job completes the generator re-streams it twice (any byte difference is
+//! a determinism violation) and resubmits the identical spec (anything but
+//! "already known, completed, same bytes" is a resume violation). 429
+//! rejections are counted and retried — never silently dropped. Results
+//! land in a flat `BENCH_service.json`; the exit status is nonzero if any
+//! job failed or any violation was observed, which is what lets CI gate on
+//! this binary directly.
+
+use moheco_bench::jobspec::{EngineReuse, JobSpec};
+use moheco_bench::{Algo, BudgetClass, CliArgs};
+use moheco_serve::client::{request, request_observed};
+use std::io::Write;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct TenantOutcome {
+    rows: usize,
+    row_latencies_ms: Vec<f64>,
+    rejected_429: usize,
+    resubmits: usize,
+    determinism_violations: usize,
+    resume_violations: usize,
+    failures: usize,
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    match run(&args) {
+        Ok(0) => {}
+        Ok(violations) => {
+            eprintln!("error: {violations} violation(s) observed");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn job_spec(budget: BudgetClass, job_index: usize, seeds_per_job: usize) -> JobSpec {
+    let first = (job_index * seeds_per_job) as u64 + 1;
+    JobSpec {
+        scenarios: vec!["margin_wall".to_string()],
+        algos: vec![Algo::TwoStage],
+        budget,
+        seeds: (first..first + seeds_per_job as u64).collect(),
+        reuse: EngineReuse::SharedCache,
+        ..JobSpec::default()
+    }
+}
+
+/// Pulls `"key": "value"` out of a flat JSON body.
+fn json_str_field(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = body.find(&marker)? + marker.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+fn submit_with_retry(
+    addr: SocketAddr,
+    tenant: &str,
+    body: &str,
+    outcome: &mut TenantOutcome,
+) -> Result<(u16, String), String> {
+    loop {
+        let response = request(
+            addr,
+            "POST",
+            "/jobs",
+            &[("X-Tenant", tenant), ("Content-Type", "application/json")],
+            body.as_bytes(),
+        )?;
+        if response.status == 429 {
+            outcome.rejected_429 += 1;
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        }
+        if response.status != 202 && response.status != 200 {
+            return Err(format!(
+                "submit for {tenant} got {}: {}",
+                response.status,
+                response.text().trim()
+            ));
+        }
+        let id = json_str_field(&response.text(), "job")
+            .ok_or_else(|| format!("no job id in {:?}", response.text()))?;
+        return Ok((response.status, id));
+    }
+}
+
+fn run_tenant(
+    addr: SocketAddr,
+    tenant: String,
+    jobs: usize,
+    seeds_per_job: usize,
+    budget: BudgetClass,
+) -> Result<TenantOutcome, String> {
+    let mut outcome = TenantOutcome::default();
+    for job_index in 0..jobs {
+        let spec = job_spec(budget, job_index, seeds_per_job);
+        let body = spec.to_json();
+        let submitted_at = Instant::now();
+        let (_, id) = submit_with_retry(addr, &tenant, &body, &mut outcome)?;
+
+        // Stream the rows live, timing each one against the submission.
+        let mut latencies = Vec::new();
+        let first = request_observed(
+            addr,
+            "GET",
+            &format!("/jobs/{id}/stream"),
+            &[],
+            b"",
+            |chunk| {
+                let arrived = submitted_at.elapsed().as_secs_f64() * 1e3;
+                for _ in chunk.iter().filter(|&&b| b == b'\n') {
+                    latencies.push(arrived);
+                }
+            },
+        )?;
+        if first.status != 200 {
+            return Err(format!("stream for {id} got {}", first.status));
+        }
+        outcome.rows += latencies.len();
+        outcome.row_latencies_ms.append(&mut latencies);
+
+        let status = request(addr, "GET", &format!("/jobs/{id}"), &[], b"")?;
+        if json_str_field(&status.text(), "state").as_deref() != Some("completed") {
+            outcome.failures += 1;
+            eprintln!("job {id} did not complete: {}", status.text().trim());
+            continue;
+        }
+
+        // Determinism: a finished job's stream is a pure file read — any
+        // byte drift between re-streams is a bug.
+        for _ in 0..2 {
+            let again = request(addr, "GET", &format!("/jobs/{id}/stream"), &[], b"")?;
+            if again.body != first.body {
+                outcome.determinism_violations += 1;
+            }
+        }
+
+        // Resume: the identical spec must collapse onto the same completed
+        // job (200, not 202) and stream the same bytes.
+        outcome.resubmits += 1;
+        let (resubmit_status, resubmit_id) = submit_with_retry(addr, &tenant, &body, &mut outcome)?;
+        let replay = request(
+            addr,
+            "GET",
+            &format!("/jobs/{resubmit_id}/stream"),
+            &[],
+            b"",
+        )?;
+        if resubmit_status != 200 || resubmit_id != id || replay.body != first.body {
+            outcome.resume_violations += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// min/max of per-tenant cached blocks from `/metrics` (1.0 when every
+/// tenant holds the same amount — including all-zero).
+fn quota_fairness(metrics: &str) -> f64 {
+    let blocks: Vec<f64> = metrics
+        .lines()
+        .filter(|l| l.starts_with("moheco_tenant_cache_blocks{"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+        .collect();
+    let max = blocks.iter().cloned().fold(0.0, f64::max);
+    if max == 0.0 {
+        return 1.0;
+    }
+    let min = blocks.iter().cloned().fold(f64::INFINITY, f64::min);
+    min / max
+}
+
+fn run(args: &CliArgs) -> Result<usize, String> {
+    args.expect_only(
+        &[],
+        &[
+            "--addr",
+            "--tenants",
+            "--jobs-per-tenant",
+            "--seeds",
+            "--budget",
+            "--out",
+        ],
+    )?;
+    let addr: SocketAddr = args
+        .value_of("--addr")?
+        .ok_or("--addr is required")?
+        .parse()
+        .map_err(|e| format!("bad --addr: {e}"))?;
+    let tenants = args.u64_of("--tenants", 2)? as usize;
+    let jobs_per_tenant = args.u64_of("--jobs-per-tenant", 2)? as usize;
+    let seeds_per_job = args.u64_of("--seeds", 2)? as usize;
+    let budget = match args.value_of("--budget")? {
+        None => BudgetClass::Tiny,
+        Some(v) => BudgetClass::parse(v).ok_or_else(|| format!("bad --budget {v:?}"))?,
+    };
+    let out_path = args
+        .value_of("--out")?
+        .unwrap_or("BENCH_service.json")
+        .to_string();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..tenants)
+        .map(|i| {
+            let tenant = format!("tenant-{i}");
+            std::thread::spawn(move || {
+                run_tenant(addr, tenant, jobs_per_tenant, seeds_per_job, budget)
+            })
+        })
+        .collect();
+    let mut total = TenantOutcome::default();
+    for handle in handles {
+        let outcome = handle.join().map_err(|_| "tenant thread panicked")??;
+        total.rows += outcome.rows;
+        total.row_latencies_ms.extend(outcome.row_latencies_ms);
+        total.rejected_429 += outcome.rejected_429;
+        total.resubmits += outcome.resubmits;
+        total.determinism_violations += outcome.determinism_violations;
+        total.resume_violations += outcome.resume_violations;
+        total.failures += outcome.failures;
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let metrics = request(addr, "GET", "/metrics", &[], b"")?;
+    let fairness = quota_fairness(&metrics.text());
+
+    total
+        .row_latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let jobs = tenants * jobs_per_tenant;
+    let report = format!(
+        "{{\n  \"schema_version\": 1,\n  \"jobs\": {jobs},\n  \"tenants\": {tenants},\n  \"rows\": {},\n  \"jobs_per_sec\": {:.3},\n  \"row_latency_p50_ms\": {:.3},\n  \"row_latency_p99_ms\": {:.3},\n  \"rejected_429\": {},\n  \"resubmits\": {},\n  \"failures\": {},\n  \"determinism_violations\": {},\n  \"resume_violations\": {},\n  \"quota_fairness\": {:.3},\n  \"wall_time_ms\": {:.1}\n}}\n",
+        total.rows,
+        jobs as f64 / (wall_ms / 1e3).max(1e-9),
+        percentile(&total.row_latencies_ms, 50.0),
+        percentile(&total.row_latencies_ms, 99.0),
+        total.rejected_429,
+        total.resubmits,
+        total.failures,
+        total.determinism_violations,
+        total.resume_violations,
+        fairness,
+        wall_ms,
+    );
+    let mut file =
+        std::fs::File::create(&out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    file.write_all(report.as_bytes())
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("{report}");
+    Ok(total.failures + total.determinism_violations + total.resume_violations)
+}

@@ -1,0 +1,54 @@
+//! `moheco-serve` — the yield-optimization job server.
+//!
+//! ```text
+//! moheco-serve [--addr 127.0.0.1:7811] [--workers 2] [--queue-depth 16]
+//!              [--data-dir serve-data] [--tenant-quota-blocks 0]
+//! ```
+//!
+//! Binds, prints the resolved address, and serves until killed. Job rows
+//! land under `<data-dir>/<tenant>/job-<id>.jsonl` with `.spec` fingerprint
+//! sidecars, so restarting the server over the same data directory lets
+//! resubmitted jobs resume from the rows already on disk.
+
+use moheco_bench::CliArgs;
+use moheco_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let args = CliArgs::parse();
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &CliArgs) -> Result<(), String> {
+    args.expect_only(
+        &[],
+        &[
+            "--addr",
+            "--workers",
+            "--queue-depth",
+            "--data-dir",
+            "--tenant-quota-blocks",
+        ],
+    )?;
+    let config = ServerConfig {
+        addr: args
+            .value_of("--addr")?
+            .unwrap_or("127.0.0.1:7811")
+            .to_string(),
+        workers: args.u64_of("--workers", 2)? as usize,
+        queue_depth: args.u64_of("--queue-depth", 16)? as usize,
+        data_dir: PathBuf::from(args.value_of("--data-dir")?.unwrap_or("serve-data")),
+        tenant_quota_blocks: args.u64_of("--tenant-quota-blocks", 0)? as usize,
+    };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let server = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("moheco-serve listening on http://{}", server.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,141 @@
+//! A minimal blocking HTTP client for the server's own subset — used by the
+//! load generator and the integration tests (the build is offline, so no
+//! reqwest/curl bindings).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A fully-read response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (chunked transfer already reassembled).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first header of that (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read error: {e}"))?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Sends one request and reads the full response. Bodies arriving via
+/// chunked transfer are decoded; `on_data` observes each decoded chunk as it
+/// arrives (before the response completes), which is how the load generator
+/// measures live row latency.
+pub fn request_observed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    mut on_data: impl FnMut(&[u8]),
+) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: moheco\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    writer
+        .write_all(head.as_bytes())
+        .and_then(|()| writer.write_all(body))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("write request: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+
+    let mut response_headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            response_headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let chunked = response_headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_line(&mut reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+            if size == 0 {
+                let _ = read_line(&mut reader); // trailing CRLF
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| format!("short chunk: {e}"))?;
+            let mut crlf = [0u8; 2];
+            reader
+                .read_exact(&mut crlf)
+                .map_err(|e| format!("missing chunk terminator: {e}"))?;
+            on_data(&chunk);
+            body.extend_from_slice(&chunk);
+        }
+    } else {
+        let length: usize = response_headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        body.resize(length, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("short body: {e}"))?;
+        on_data(&body);
+    }
+    Ok(Response {
+        status,
+        headers: response_headers,
+        body,
+    })
+}
+
+/// [`request_observed`] without a data callback.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<Response, String> {
+    request_observed(addr, method, path, headers, body, |_| {})
+}

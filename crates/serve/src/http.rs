@@ -1,0 +1,250 @@
+//! A deliberately small HTTP/1.1 subset over `std::net` — the build is
+//! offline, so there is no tokio/hyper; the server hand-rolls exactly what
+//! it needs and nothing more.
+//!
+//! Supported: one request per connection (`Connection: close` on every
+//! response), `Content-Length` request bodies, fixed-length responses, and
+//! chunked transfer encoding for live JSONL streams. Request lines, header
+//! counts and body sizes are hard-capped so a misbehaving client cannot make
+//! the server allocate unboundedly.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body (a [`moheco_bench::JobSpec`] is well under
+/// a kilobyte; a megabyte leaves generous headroom).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Largest accepted request/header line.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string included.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header of that (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line_capped(reader: &mut impl BufRead) -> Result<Option<String>, String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err("connection closed mid-line".into())
+                }
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| "non-UTF-8 request line".to_string());
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err("request line too long".into());
+                }
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+}
+
+/// Reads one request off the stream. `Ok(None)` means the peer closed the
+/// connection before sending anything (a normal hang-up, not an error).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String> {
+    let request_line = match read_line_capped(reader)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or("empty request line")?
+        .to_ascii_uppercase();
+    let path = parts.next().ok_or("request line has no path")?.to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_capped(reader)?.ok_or("connection closed in headers")?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err("too many headers".into());
+        }
+        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v.parse().map_err(|_| format!("bad content-length {v:?}"))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!(
+            "request body of {content_length} bytes is too large"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short request body: {e}"))?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete fixed-length response and flushes it.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response in progress: construct with
+/// [`ChunkedWriter::begin`], feed it data, [`ChunkedWriter::finish`] it.
+pub struct ChunkedWriter<W: Write> {
+    stream: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head and switches the connection to chunked
+    /// transfer encoding.
+    pub fn begin(mut stream: W, status: u16, content_type: &str) -> std::io::Result<Self> {
+        write!(
+            stream,
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            reason(status),
+        )?;
+        stream.flush()?;
+        Ok(Self { stream })
+    }
+
+    /// Writes one chunk and flushes it (live streams must not sit in a
+    /// buffer). Empty data is skipped — a zero-length chunk would terminate
+    /// the stream.
+    pub fn write_chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked stream.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw =
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\nX-Tenant: acme\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .expect("parses")
+            .expect("present");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("x-tenant"), Some("acme"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn empty_connection_is_a_clean_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(raw))
+            .expect("no error")
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_bodies_and_bad_headers_are_rejected() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(read_request(&mut BufReader::new(raw.as_bytes())).is_err());
+        let raw = b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn fixed_and_chunked_responses_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "text/plain", b"nope\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nnope\n"));
+
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::begin(&mut out, 200, "application/jsonl").unwrap();
+        w.write_chunk(b"row1\n").unwrap();
+        w.write_chunk(b"").unwrap(); // skipped, must not terminate
+        w.write_chunk(b"row2\n").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("5\r\nrow1\n\r\n5\r\nrow2\n\r\n0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Job lifecycle: the FIFO queue with depth-limited backpressure, per-job
+//! status, and the cell executor the worker threads run.
+//!
+//! A job is `(tenant, JobSpec)`; its identity is
+//! [`JobSpec::job_id`], so resubmitting the same spec collapses onto the
+//! same job — and onto the same resumable JSONL file on disk. The queue is
+//! strictly bounded: a submission that would exceed the depth is rejected
+//! *before* anything is registered or written, so a 429 response means "the
+//! server holds nothing of yours — retry later", never a silent drop.
+
+use crate::pool::EnginePool;
+use moheco_bench::jobspec::JobSpec;
+use moheco_bench::{CellWriter, RunSpec};
+use moheco_runtime::EngineStatsSnapshot;
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing cells.
+    Running,
+    /// Every cell's row is on disk.
+    Completed,
+    /// Execution stopped with an error (kept so the tenant can read it; a
+    /// resubmission re-queues the job and resumes from the rows on disk).
+    Failed(String),
+}
+
+impl JobState {
+    /// Stable label for status responses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Completed => "completed",
+            Self::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One job's full record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Submitting tenant.
+    pub tenant: String,
+    /// The spec as submitted.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Cells whose rows were already on disk when the job started.
+    pub resumed: usize,
+    /// Cells executed by this server process.
+    pub executed: usize,
+    /// Engine counters accumulated over the executed cells.
+    pub stats: EngineStatsSnapshot,
+}
+
+impl JobRecord {
+    /// Status response body (flat JSON).
+    pub fn to_json(&self, id: &str) -> String {
+        let error = match &self.state {
+            JobState::Failed(e) => format!(
+                ", \"error\": \"{}\"",
+                e.replace('\\', "\\\\").replace('"', "\\\"")
+            ),
+            _ => String::new(),
+        };
+        format!(
+            "{{\"job\": \"{id}\", \"tenant\": \"{}\", \"state\": \"{}\", \"cells\": {}, \"resumed\": {}, \"executed\": {}, \"simulations\": {}{error}}}\n",
+            self.tenant,
+            self.state.label(),
+            self.spec.cells(),
+            self.resumed,
+            self.executed,
+            self.stats.simulations_run,
+        )
+    }
+}
+
+/// Outcome of a submission.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Submit {
+    /// Newly queued under this id.
+    Accepted(String),
+    /// The identical job already exists (any live state); nothing was
+    /// queued.
+    Existing(String),
+    /// The queue is at depth; nothing was registered (respond 429).
+    QueueFull,
+}
+
+struct Inner {
+    jobs: HashMap<String, JobRecord>,
+    queue: VecDeque<String>,
+    running: usize,
+    shutdown: bool,
+    // Service counters for /metrics.
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+}
+
+/// The shared job table + FIFO queue. Workers block on
+/// [`Registry::next_job`]; everything else is non-blocking.
+pub struct Registry {
+    queue_depth: usize,
+    inner: Mutex<Inner>,
+    wake: Condvar,
+}
+
+/// Point-in-time service counters for the metrics endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceCounters {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished in error.
+    pub failed: u64,
+    /// Submissions rejected with 429.
+    pub rejected: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+}
+
+impl Registry {
+    /// Creates an empty registry with the given queue depth bound.
+    pub fn new(queue_depth: usize) -> Self {
+        Self {
+            queue_depth,
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+                rejected: 0,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Submits a job. The spec must already be validated.
+    pub fn submit(&self, tenant: &str, spec: JobSpec) -> Submit {
+        let id = spec.job_id(tenant);
+        let mut inner = self.inner.lock().expect("registry lock");
+        match inner.jobs.get(&id).map(|j| j.state.clone()) {
+            Some(JobState::Failed(_)) | None => {}
+            Some(_) => return Submit::Existing(id),
+        }
+        if inner.queue.len() >= self.queue_depth {
+            inner.rejected += 1;
+            return Submit::QueueFull;
+        }
+        inner.jobs.insert(
+            id.clone(),
+            JobRecord {
+                tenant: tenant.to_string(),
+                spec,
+                state: JobState::Queued,
+                resumed: 0,
+                executed: 0,
+                stats: EngineStatsSnapshot::default(),
+            },
+        );
+        inner.queue.push_back(id.clone());
+        inner.submitted += 1;
+        self.wake.notify_one();
+        Submit::Accepted(id)
+    }
+
+    /// Blocks for the next queued job; `None` means shutdown.
+    pub fn next_job(&self) -> Option<(String, String, JobSpec)> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if let Some(id) = inner.queue.pop_front() {
+                inner.running += 1;
+                let job = inner.jobs.get_mut(&id).expect("queued job is registered");
+                job.state = JobState::Running;
+                return Some((id.clone(), job.tenant.clone(), job.spec.clone()));
+            }
+            inner = self.wake.wait(inner).expect("registry lock");
+        }
+    }
+
+    /// Records one executed cell's counters against a running job.
+    pub fn record_cell(&self, id: &str, stats: &EngineStatsSnapshot) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(job) = inner.jobs.get_mut(id) {
+            job.executed += 1;
+            job.stats.absorb(stats);
+        }
+    }
+
+    /// Records how many cells a starting job found already on disk.
+    pub fn record_resumed(&self, id: &str, resumed: usize) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(job) = inner.jobs.get_mut(id) {
+            job.resumed = resumed;
+        }
+    }
+
+    /// Marks a running job finished (successfully or not).
+    pub fn finish(&self, id: &str, outcome: Result<(), String>) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.running = inner.running.saturating_sub(1);
+        match &outcome {
+            Ok(()) => inner.completed += 1,
+            Err(_) => inner.failed += 1,
+        }
+        if let Some(job) = inner.jobs.get_mut(id) {
+            job.state = match outcome {
+                Ok(()) => JobState::Completed,
+                Err(e) => JobState::Failed(e),
+            };
+        }
+    }
+
+    /// A copy of the job's record, if registered.
+    pub fn get(&self, id: &str) -> Option<JobRecord> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .jobs
+            .get(id)
+            .cloned()
+    }
+
+    /// Whether the job has reached a terminal state (streamers use this to
+    /// decide when the file can have no further appends).
+    pub fn is_finished(&self, id: &str) -> Option<bool> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .jobs
+            .get(id)
+            .map(|j| matches!(j.state, JobState::Completed | JobState::Failed(_)))
+    }
+
+    /// Engine counters summed over every job the server has executed.
+    pub fn total_stats(&self) -> EngineStatsSnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut total = EngineStatsSnapshot::default();
+        for job in inner.jobs.values() {
+            total.absorb(&job.stats);
+        }
+        total
+    }
+
+    /// Service counters for the metrics endpoint.
+    pub fn counters(&self) -> ServiceCounters {
+        let inner = self.inner.lock().expect("registry lock");
+        ServiceCounters {
+            submitted: inner.submitted,
+            completed: inner.completed,
+            failed: inner.failed,
+            rejected: inner.rejected,
+            queued: inner.queue.len(),
+            running: inner.running,
+        }
+    }
+
+    /// Wakes every worker with "no more jobs".
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("registry lock").shutdown = true;
+        self.wake.notify_all();
+    }
+}
+
+/// The JSONL file of a job: `<data_dir>/<tenant>/job-<id>.jsonl` (its
+/// `.spec` fingerprint sidecar sits next to it). One place computes this so
+/// the executor, the streamers and the tests agree.
+pub fn job_path(data_dir: &Path, tenant: &str, id: &str) -> PathBuf {
+    data_dir.join(tenant).join(format!("job-{id}.jsonl"))
+}
+
+/// Executes one job's grid against the shared pool, streaming rows through
+/// the campaign [`CellWriter`] (same fingerprint check, same torn-tail
+/// truncation, same append-per-cell commit point — which is exactly why a
+/// killed-and-resumed HTTP job reproduces byte-identical JSONL).
+pub fn execute_job(
+    registry: &Registry,
+    pool: &EnginePool,
+    data_dir: &Path,
+    id: &str,
+    tenant: &str,
+    spec: &JobSpec,
+) -> Result<(), String> {
+    spec.validate()?;
+    let scenarios = spec.resolve_scenarios()?;
+    let mut writer = CellWriter::open(&job_path(data_dir, tenant, id), spec)?;
+    registry.record_resumed(id, writer.resumed_rows());
+    for scenario in &scenarios {
+        for &algo in &spec.algos {
+            for &seed in &spec.seeds {
+                if writer.is_done(scenario.name(), algo.label(), seed) {
+                    continue;
+                }
+                let result = {
+                    let lease = pool.checkout(tenant, scenario.name(), spec, seed);
+                    RunSpec::new(scenario.as_ref(), algo)
+                        .budget(spec.budget)
+                        .seed(seed)
+                        .engine(lease.engine.clone())
+                        .engine_label(spec.engine.label())
+                        .prescreen(spec.prescreen)
+                        .execute()
+                    // lease drops here, before quota enforcement — never
+                    // hold one slot while locking others.
+                };
+                pool.enforce_tenant_quota(tenant);
+                writer.append(&result)?;
+                registry.record_cell(id, &result.engine_stats);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seeds: Vec<u64>) -> JobSpec {
+        JobSpec {
+            scenarios: vec!["margin_wall".into()],
+            seeds,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn queue_depth_rejects_before_registering() {
+        let registry = Registry::new(2);
+        let a = registry.submit("t", spec(vec![1]));
+        let b = registry.submit("t", spec(vec![2]));
+        assert!(matches!(a, Submit::Accepted(_)));
+        assert!(matches!(b, Submit::Accepted(_)));
+        let full = registry.submit("t", spec(vec![3]));
+        assert_eq!(full, Submit::QueueFull);
+        // Nothing of the rejected job exists server-side.
+        let rejected_id = spec(vec![3]).job_id("t");
+        assert!(registry.get(&rejected_id).is_none());
+        assert_eq!(registry.counters().rejected, 1);
+        assert_eq!(registry.counters().queued, 2);
+    }
+
+    #[test]
+    fn duplicate_submissions_collapse_and_failures_requeue() {
+        let registry = Registry::new(8);
+        let id = match registry.submit("t", spec(vec![1])) {
+            Submit::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        assert_eq!(
+            registry.submit("t", spec(vec![1])),
+            Submit::Existing(id.clone())
+        );
+        // Same spec, different tenant: a different job.
+        assert!(matches!(
+            registry.submit("u", spec(vec![1])),
+            Submit::Accepted(_)
+        ));
+        // Take + fail the job: the next submission re-queues it.
+        let (taken, _, _) = registry.next_job().expect("job queued");
+        assert_eq!(taken, id);
+        registry.finish(&id, Err("boom".into()));
+        assert_eq!(
+            registry.get(&id).unwrap().state,
+            JobState::Failed("boom".into())
+        );
+        assert!(matches!(
+            registry.submit("t", spec(vec![1])),
+            Submit::Accepted(_)
+        ));
+    }
+
+    #[test]
+    fn shutdown_unblocks_workers() {
+        let registry = std::sync::Arc::new(Registry::new(4));
+        let worker = {
+            let registry = registry.clone();
+            std::thread::spawn(move || registry.next_job())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        registry.shutdown();
+        assert!(worker.join().expect("worker").is_none());
+    }
+}
