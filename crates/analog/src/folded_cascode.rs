@@ -16,9 +16,12 @@
 //! 4. compute output swing, power, area and input offset analytically from
 //!    the operating points.
 
+use crate::batch_eval::{evaluate_block_batched, PreparedSample};
 use crate::specs::{AmplifierPerformance, SpecKind, SpecSet, SpecTarget, Specification};
 use crate::testbench::{DesignVariable, Testbench};
-use crate::variation_map::{bias_current_factor, mismatch_deltas, perturbed_model};
+use crate::variation_map::{
+    bias_current_factor_from_shifts, inter_die_shifts, mismatch_deltas, perturbed_model_with_shifts,
+};
 use moheco_process::{tech_035um, ProcessSample, Technology};
 use spicelite::ac::{log_space, sweep};
 use spicelite::mosfet::{model_035um, MosGeometry, MosType, Mosfet};
@@ -158,6 +161,33 @@ impl Testbench for FoldedCascode {
     }
 
     fn evaluate(&self, x: &[f64], xi: &ProcessSample) -> AmplifierPerformance {
+        let Some(p) = self.prepare(x, xi) else {
+            return AmplifierPerformance::failed();
+        };
+        let freqs = log_space(1e3, 3e10, 50);
+        let Ok(resp) = sweep(&p.ckt, p.out, &freqs) else {
+            return AmplifierPerformance::failed();
+        };
+        let a0_db = resp.dc_gain_db();
+        let (gbw_hz, pm_deg) = match (resp.unity_gain_freq(), resp.phase_margin_deg()) {
+            (Ok(f), Ok(pm)) => (f, pm),
+            _ => (0.0, 0.0),
+        };
+        p.into_performance(a0_db, gbw_hz, pm_deg)
+    }
+
+    fn evaluate_block(&self, x: &[f64], xis: &[ProcessSample]) -> Vec<AmplifierPerformance> {
+        evaluate_block_batched(xis, |xi| self.prepare(x, xi))
+    }
+}
+
+impl FoldedCascode {
+    /// Everything before the AC sweep: parses the sizing, applies the process
+    /// sample, solves the bias points, assembles the half circuit and computes
+    /// the analytic figures (swing, power, area, offset, saturation).
+    /// `None` means the sample is an evaluation failure
+    /// ([`AmplifierPerformance::failed`]).
+    fn prepare(&self, x: &[f64], xi: &ProcessSample) -> Option<PreparedSample> {
         assert_eq!(x.len(), self.dimension(), "wrong design-vector length");
         let um = 1e-6;
         let ua = 1e-6;
@@ -173,36 +203,21 @@ impl Testbench for FoldedCascode {
 
         // Geometries (the bias network uses fixed moderate devices).
         let geom = |w: f64, l: f64| MosGeometry::new(w, l, 1.0);
-        let g_in = match geom(w_in, l_in) {
-            Ok(g) => g,
-            Err(_) => return AmplifierPerformance::failed(),
-        };
-        let g_tail = match geom((2.0 * w_nmir).max(1e-6), l_n) {
-            Ok(g) => g,
-            Err(_) => return AmplifierPerformance::failed(),
-        };
-        let g_psrc = match geom(w_psrc, l_p) {
-            Ok(g) => g,
-            Err(_) => return AmplifierPerformance::failed(),
-        };
-        let g_pcas = match geom(w_pcas, l_cas) {
-            Ok(g) => g,
-            Err(_) => return AmplifierPerformance::failed(),
-        };
-        let g_ncas = match geom(w_ncas, l_cas) {
-            Ok(g) => g,
-            Err(_) => return AmplifierPerformance::failed(),
-        };
-        let g_nmir = match geom(w_nmir, l_n) {
-            Ok(g) => g,
-            Err(_) => return AmplifierPerformance::failed(),
-        };
+        let g_in = geom(w_in, l_in).ok()?;
+        let g_tail = geom((2.0 * w_nmir).max(1e-6), l_n).ok()?;
+        let g_psrc = geom(w_psrc, l_p).ok()?;
+        let g_pcas = geom(w_pcas, l_cas).ok()?;
+        let g_ncas = geom(w_ncas, l_cas).ok()?;
+        let g_nmir = geom(w_nmir, l_n).ok()?;
         let g_bias = MosGeometry::new(10e-6, 1e-6, 1.0).expect("fixed bias geometry");
 
         // Branch currents. The programmed tail current spreads with the
         // resistor-defined bias reference; the folded-branch current picks up
         // a small mirror error from the bottom-mirror threshold mismatch.
-        let bias_factor = bias_current_factor(&self.tech, xi);
+        // The inter-die shifts depend only on the sample, so they are
+        // accumulated once here instead of once per device model.
+        let shifts = inter_die_shifts(&self.tech, xi);
+        let bias_factor = bias_current_factor_from_shifts(&shifts);
         let i_tail = i_tail_prog * bias_factor;
         let id_in = 0.5 * i_tail;
         let mm_mir_p = mismatch_deltas(&self.tech.mismatch, xi, dev::M10_NMIR_P, g_nmir, 7.6e-9);
@@ -214,10 +229,10 @@ impl Testbench for FoldedCascode {
 
         // Per-device perturbed models.
         let nmodel = |idx: usize, g: MosGeometry| {
-            perturbed_model(model_035um(MosType::Nmos), &self.tech, xi, idx, g)
+            perturbed_model_with_shifts(model_035um(MosType::Nmos), &shifts, &self.tech, xi, idx, g)
         };
         let pmodel = |idx: usize, g: MosGeometry| {
-            perturbed_model(model_035um(MosType::Pmos), &self.tech, xi, idx, g)
+            perturbed_model_with_shifts(model_035um(MosType::Pmos), &shifts, &self.tech, xi, idx, g)
         };
 
         let m_in = Mosfet::new(nmodel(dev::M1_IN_P, g_in), g_in);
@@ -232,24 +247,12 @@ impl Testbench for FoldedCascode {
             let vgs = m.vgs_for_current(id, vds, 0.0).ok()?;
             Some(m.operating_point(vgs, vds, 0.0))
         };
-        let (
-            Some(op_in),
-            Some(op_tail),
-            Some(op_psrc),
-            Some(op_pcas),
-            Some(op_ncas),
-            Some(op_nmir),
-        ) = (
-            op(&m_in, id_in, 1.0),
-            op(&m_tail, i_tail, 0.4),
-            op(&m_psrc, i_psrc, 0.5),
-            op(&m_pcas, i_fold, vdd / 2.0),
-            op(&m_ncas, i_fold, 0.7),
-            op(&m_nmir, i_fold, 0.5),
-        )
-        else {
-            return AmplifierPerformance::failed();
-        };
+        let op_in = op(&m_in, id_in, 1.0)?;
+        let op_tail = op(&m_tail, i_tail, 0.4)?;
+        let op_psrc = op(&m_psrc, i_psrc, 0.5)?;
+        let op_pcas = op(&m_pcas, i_fold, vdd / 2.0)?;
+        let op_ncas = op(&m_ncas, i_fold, 0.7)?;
+        let op_nmir = op(&m_nmir, i_fold, 0.5)?;
 
         // Saturation / headroom checks.
         let overdrives = [
@@ -314,16 +317,6 @@ impl Testbench for FoldedCascode {
         // Load capacitance at the output.
         ckt.add_capacitance(out, 0, self.load_capacitance);
 
-        let freqs = log_space(1e3, 3e10, 50);
-        let Ok(resp) = sweep(&ckt, out, &freqs) else {
-            return AmplifierPerformance::failed();
-        };
-        let a0_db = resp.dc_gain_db();
-        let (gbw_hz, pm_deg) = match (resp.unity_gain_freq(), resp.phase_margin_deg()) {
-            (Ok(f), Ok(pm)) => (f, pm),
-            _ => (0.0, 0.0),
-        };
-
         // Power, area, offset.
         let power_w = vdd * (2.0 * i_psrc + i_bias_net);
         let area_um2 = (2.0 * g_in.gate_area()
@@ -345,16 +338,15 @@ impl Testbench for FoldedCascode {
         let offset_v =
             (d_in + d_psrc * op_psrc.gm / op_in.gm + d_nmir * op_nmir.gm / op_in.gm).abs();
 
-        AmplifierPerformance {
-            a0_db,
-            gbw_hz,
-            pm_deg,
+        Some(PreparedSample {
+            ckt,
+            out,
             output_swing_v: swing,
             power_w,
             area_um2,
             offset_v,
             all_saturated,
-        }
+        })
     }
 }
 

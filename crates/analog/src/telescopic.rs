@@ -16,9 +16,12 @@
 //! against the area bound), which is the behaviour that matters for the
 //! optimizer comparison. See DESIGN.md.
 
+use crate::batch_eval::{evaluate_block_batched, PreparedSample};
 use crate::specs::{AmplifierPerformance, SpecKind, SpecSet, SpecTarget, Specification};
 use crate::testbench::{DesignVariable, Testbench};
-use crate::variation_map::{bias_current_factor, mismatch_deltas, perturbed_model};
+use crate::variation_map::{
+    bias_current_factor_from_shifts, inter_die_shifts, mismatch_deltas, perturbed_model_with_shifts,
+};
 use moheco_process::{tech_90nm, ProcessSample, Technology};
 use spicelite::ac::{log_space, sweep};
 use spicelite::mosfet::{model_90nm, MosGeometry, MosType, Mosfet};
@@ -156,6 +159,32 @@ impl Testbench for TelescopicTwoStage {
     }
 
     fn evaluate(&self, x: &[f64], xi: &ProcessSample) -> AmplifierPerformance {
+        let Some(p) = self.prepare(x, xi) else {
+            return AmplifierPerformance::failed();
+        };
+        let freqs = log_space(1e3, 3e10, 50);
+        let Ok(resp) = sweep(&p.ckt, p.out, &freqs) else {
+            return AmplifierPerformance::failed();
+        };
+        let a0_db = resp.dc_gain_db();
+        let (gbw_hz, pm_deg) = match (resp.unity_gain_freq(), resp.phase_margin_deg()) {
+            (Ok(f), Ok(pm)) => (f, pm),
+            _ => (0.0, 0.0),
+        };
+        p.into_performance(a0_db, gbw_hz, pm_deg)
+    }
+
+    fn evaluate_block(&self, x: &[f64], xis: &[ProcessSample]) -> Vec<AmplifierPerformance> {
+        evaluate_block_batched(xis, |xi| self.prepare(x, xi))
+    }
+}
+
+impl TelescopicTwoStage {
+    /// Everything before the AC sweep (see
+    /// [`FoldedCascode::prepare`](crate::FoldedCascode)): sizing parse,
+    /// process-sample application, bias solution, half-circuit assembly and
+    /// the analytic figures. `None` means the sample fails evaluation.
+    fn prepare(&self, x: &[f64], xi: &ProcessSample) -> Option<PreparedSample> {
         assert_eq!(x.len(), self.dimension(), "wrong design-vector length");
         let um = 1e-6;
         let ua = 1e-6;
@@ -174,23 +203,19 @@ impl Testbench for TelescopicTwoStage {
         let cc = x[11] * 1e-12;
 
         let geom = |w: f64, l: f64| MosGeometry::new(w, l, 1.0);
-        let (Ok(g_in), Ok(g_ncas), Ok(g_pcas), Ok(g_pload), Ok(g_p2), Ok(g_n2)) = (
-            geom(w_in, l_in),
-            geom(w_ncas, l_1),
-            geom(w_pcas, l_1),
-            geom(w_pload, l_1),
-            geom(w_p2, l_2),
-            geom(w_n2, l_2),
-        ) else {
-            return AmplifierPerformance::failed();
-        };
-        let Ok(g_tail) = geom((0.6 * w_in).max(1e-6), 0.3e-6) else {
-            return AmplifierPerformance::failed();
-        };
+        let g_in = geom(w_in, l_in).ok()?;
+        let g_ncas = geom(w_ncas, l_1).ok()?;
+        let g_pcas = geom(w_pcas, l_1).ok()?;
+        let g_pload = geom(w_pload, l_1).ok()?;
+        let g_p2 = geom(w_p2, l_2).ok()?;
+        let g_n2 = geom(w_n2, l_2).ok()?;
+        let g_tail = geom((0.6 * w_in).max(1e-6), 0.3e-6).ok()?;
         let g_bias = MosGeometry::new(4e-6, 0.5e-6, 1.0).expect("fixed bias geometry");
 
-        // Branch currents.
-        let bias_factor = bias_current_factor(&self.tech, xi);
+        // Branch currents. Inter-die shifts are accumulated once per sample
+        // and shared by every device model below.
+        let shifts = inter_die_shifts(&self.tech, xi);
+        let bias_factor = bias_current_factor_from_shifts(&shifts);
         let i_tail = i_tail_prog * bias_factor;
         let id1 = 0.5 * i_tail;
         // The second-stage current is mirrored from the same reference and
@@ -203,10 +228,10 @@ impl Testbench for TelescopicTwoStage {
 
         // Per-device perturbed models and operating points.
         let nmodel = |idx: usize, g: MosGeometry| {
-            perturbed_model(model_90nm(MosType::Nmos), &self.tech, xi, idx, g)
+            perturbed_model_with_shifts(model_90nm(MosType::Nmos), &shifts, &self.tech, xi, idx, g)
         };
         let pmodel = |idx: usize, g: MosGeometry| {
-            perturbed_model(model_90nm(MosType::Pmos), &self.tech, xi, idx, g)
+            perturbed_model_with_shifts(model_90nm(MosType::Pmos), &shifts, &self.tech, xi, idx, g)
         };
         let m_in = Mosfet::new(nmodel(dev::M1_IN_P, g_in), g_in);
         let m_tail = Mosfet::new(nmodel(dev::M0_TAIL, g_tail), g_tail);
@@ -220,26 +245,13 @@ impl Testbench for TelescopicTwoStage {
             let vgs = m.vgs_for_current(id, vds, 0.0).ok()?;
             Some(m.operating_point(vgs, vds, 0.0))
         };
-        let (
-            Some(op_in),
-            Some(op_tail),
-            Some(op_ncas),
-            Some(op_pcas),
-            Some(op_pload),
-            Some(op_p2),
-            Some(op_n2),
-        ) = (
-            op(&m_in, id1, 0.3),
-            op(&m_tail, i_tail, 0.15),
-            op(&m_ncas, id1, 0.3),
-            op(&m_pcas, id1, 0.3),
-            op(&m_pload, id1, 0.2),
-            op(&m_p2, i_2, vdd / 2.0),
-            op(&m_n2, i_2, vdd / 2.0),
-        )
-        else {
-            return AmplifierPerformance::failed();
-        };
+        let op_in = op(&m_in, id1, 0.3)?;
+        let op_tail = op(&m_tail, i_tail, 0.15)?;
+        let op_ncas = op(&m_ncas, id1, 0.3)?;
+        let op_pcas = op(&m_pcas, id1, 0.3)?;
+        let op_pload = op(&m_pload, id1, 0.2)?;
+        let op_p2 = op(&m_p2, i_2, vdd / 2.0)?;
+        let op_n2 = op(&m_n2, i_2, vdd / 2.0)?;
 
         // Saturation / headroom checks.
         let overdrives = [
@@ -311,16 +323,6 @@ impl Testbench for TelescopicTwoStage {
         ckt.add_capacitance(o1, out, cc);
         ckt.add_capacitance(out, 0, self.load_capacitance);
 
-        let freqs = log_space(1e3, 3e10, 50);
-        let Ok(resp) = sweep(&ckt, out, &freqs) else {
-            return AmplifierPerformance::failed();
-        };
-        let a0_db = resp.dc_gain_db();
-        let (gbw_hz, pm_deg) = match (resp.unity_gain_freq(), resp.phase_margin_deg()) {
-            (Ok(f), Ok(pm)) => (f, pm),
-            _ => (0.0, 0.0),
-        };
-
         // Power, area, offset.
         let power_w = vdd * (i_tail + 2.0 * i_2 + i_bias_net);
         let area_um2 = (2.0 * g_in.gate_area()
@@ -346,16 +348,15 @@ impl Testbench for TelescopicTwoStage {
                 .max(1e-12);
         let offset_v = (d_in + d_load * op_pload.gm / op_in.gm + d_drv / a1.max(1.0)).abs();
 
-        AmplifierPerformance {
-            a0_db,
-            gbw_hz,
-            pm_deg,
+        Some(PreparedSample {
+            ckt,
+            out,
             output_swing_v: swing,
             power_w,
             area_um2,
             offset_v,
             all_saturated,
-        }
+        })
     }
 }
 

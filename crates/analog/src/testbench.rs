@@ -73,6 +73,19 @@ pub trait Testbench: Send + Sync {
     /// Evaluates the circuit performances for sizing `x` at process sample `xi`.
     fn evaluate(&self, x: &[f64], xi: &ProcessSample) -> AmplifierPerformance;
 
+    /// Evaluates one sizing against a whole block of process samples.
+    ///
+    /// The default implementation loops [`Self::evaluate`]; circuits whose
+    /// evaluation is dominated by a repeated linear solve override it with a
+    /// batched fast path (shared symbolic factorization, SIMD lanes). Any
+    /// override MUST be *bit-identical* to the default loop — sample `i` of
+    /// the returned vector must equal `self.evaluate(x, &xis[i])` exactly,
+    /// including every failure case. The `batch_equivalence` integration
+    /// suite enforces this for the shipped benchmarks.
+    fn evaluate_block(&self, x: &[f64], xis: &[ProcessSample]) -> Vec<AmplifierPerformance> {
+        xis.iter().map(|xi| self.evaluate(x, xi)).collect()
+    }
+
     /// Box bounds of the design space, in design-variable order.
     fn bounds(&self) -> Vec<(f64, f64)> {
         self.design_variables()

@@ -126,10 +126,26 @@ pub fn perturbed_model(
     index: usize,
     geometry: MosGeometry,
 ) -> MosModel {
-    let (shift_n, shift_p) = inter_die_shifts(tech, sample);
+    let shifts = inter_die_shifts(tech, sample);
+    perturbed_model_with_shifts(base, &shifts, tech, sample, index, geometry)
+}
+
+/// Like [`perturbed_model`], but takes the inter-die shifts precomputed by
+/// [`inter_die_shifts`]. The shifts depend only on `(tech, sample)`, so a
+/// testbench evaluating many devices against one sample can hoist the
+/// accumulation out of its per-device loop; the resulting model card is
+/// bit-identical to the [`perturbed_model`] one.
+pub fn perturbed_model_with_shifts(
+    base: MosModel,
+    shifts: &(PolarityShift, PolarityShift),
+    tech: &Technology,
+    sample: &ProcessSample,
+    index: usize,
+    geometry: MosGeometry,
+) -> MosModel {
     let shift = match base.mos_type {
-        MosType::Nmos => shift_n,
-        MosType::Pmos => shift_p,
+        MosType::Nmos => shifts.0,
+        MosType::Pmos => shifts.1,
     };
     let mm = mismatch_deltas(&tech.mismatch, sample, index, geometry, base.tox);
     base.perturbed(
@@ -146,10 +162,14 @@ pub fn perturbed_model(
 /// Multiplicative spread of a resistor-defined bias current caused by the
 /// diffusion-resistance inter-die parameters (both polarities contribute).
 pub fn bias_current_factor(tech: &Technology, sample: &ProcessSample) -> f64 {
-    let (n, p) = inter_die_shifts(tech, sample);
+    bias_current_factor_from_shifts(&inter_die_shifts(tech, sample))
+}
+
+/// Like [`bias_current_factor`], but from precomputed inter-die shifts.
+pub fn bias_current_factor_from_shifts(shifts: &(PolarityShift, PolarityShift)) -> f64 {
     // A resistor-defined reference current varies inversely with the sheet
     // resistance; average the two polarities' diffusion-resistance spread.
-    let rel = 0.5 * (n.rdiff_rel + p.rdiff_rel);
+    let rel = 0.5 * (shifts.0.rdiff_rel + shifts.1.rdiff_rel);
     (1.0 / (1.0 + rel)).clamp(0.5, 2.0)
 }
 
@@ -237,6 +257,34 @@ mod tests {
         // Shifts should be noticeable but nowhere near 100%.
         assert!(max_rel_vth > 0.01, "max relative vth shift {max_rel_vth}");
         assert!(max_rel_vth < 0.5, "max relative vth shift {max_rel_vth}");
+    }
+
+    #[test]
+    fn hoisted_shift_variants_are_bit_identical() {
+        let tech = tech_035um();
+        let sampler = ProcessSampler::new(tech.clone(), 15);
+        let mut rng = StdRng::seed_from_u64(123);
+        let g = MosGeometry::new(35e-6, 0.7e-6, 1.0).unwrap();
+        for _ in 0..50 {
+            let s = sampler.sample(&mut rng);
+            let shifts = inter_die_shifts(&tech, &s);
+            for ty in [MosType::Nmos, MosType::Pmos] {
+                let base = model_035um(ty);
+                let a = perturbed_model(base, &tech, &s, 3, g);
+                let b = perturbed_model_with_shifts(base, &shifts, &tech, &s, 3, g);
+                assert_eq!(a.vth0.to_bits(), b.vth0.to_bits());
+                assert_eq!(a.tox.to_bits(), b.tox.to_bits());
+                assert_eq!(a.u0.to_bits(), b.u0.to_bits());
+                assert_eq!(a.ld.to_bits(), b.ld.to_bits());
+                assert_eq!(a.wd.to_bits(), b.wd.to_bits());
+                assert_eq!(a.cj.to_bits(), b.cj.to_bits());
+                assert_eq!(a.cjsw.to_bits(), b.cjsw.to_bits());
+            }
+            assert_eq!(
+                bias_current_factor(&tech, &s).to_bits(),
+                bias_current_factor_from_shifts(&shifts).to_bits()
+            );
+        }
     }
 
     #[test]

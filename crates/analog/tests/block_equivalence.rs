@@ -1,0 +1,74 @@
+//! Differential suite: `Testbench::evaluate_block` must be bit-identical to
+//! the scalar `evaluate` loop for both benchmark circuits — including failure
+//! samples — because the engine cache, the estimators and the committed yield
+//! baselines all assume the two paths are interchangeable.
+
+use moheco_analog::{AmplifierPerformance, FoldedCascode, TelescopicTwoStage, Testbench};
+use moheco_process::ProcessSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bit_equal(a: &AmplifierPerformance, b: &AmplifierPerformance, ctx: &str) {
+    let pairs = [
+        ("a0_db", a.a0_db, b.a0_db),
+        ("gbw_hz", a.gbw_hz, b.gbw_hz),
+        ("pm_deg", a.pm_deg, b.pm_deg),
+        ("output_swing_v", a.output_swing_v, b.output_swing_v),
+        ("power_w", a.power_w, b.power_w),
+        ("area_um2", a.area_um2, b.area_um2),
+        ("offset_v", a.offset_v, b.offset_v),
+    ];
+    for (name, va, vb) in pairs {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{ctx}: field {name} diverged: {va} vs {vb}"
+        );
+    }
+    assert_eq!(a.all_saturated, b.all_saturated, "{ctx}: all_saturated");
+}
+
+fn check_testbench(tb: &dyn Testbench, designs: &[Vec<f64>], seed: u64, block: usize) {
+    let sampler = ProcessSampler::new(tb.technology().clone(), tb.num_devices());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (di, x) in designs.iter().enumerate() {
+        let xis: Vec<_> = (0..block).map(|_| sampler.sample(&mut rng)).collect();
+        let batched = tb.evaluate_block(x, &xis);
+        assert_eq!(batched.len(), xis.len());
+        for (i, (xi, got)) in xis.iter().zip(&batched).enumerate() {
+            let want = tb.evaluate(x, xi);
+            assert_bit_equal(got, &want, &format!("{} design {di} sample {i}", tb.name()));
+        }
+    }
+}
+
+#[test]
+fn folded_cascode_block_matches_scalar_loop() {
+    let tb = FoldedCascode::new();
+    let reference = tb.reference_design();
+    // A starved design exercises bias-solution failures inside the block.
+    let mut starved = reference.clone();
+    starved[8] = 50.0;
+    let mut hot = reference.clone();
+    hot[8] = 500.0;
+    check_testbench(&tb, &[reference, starved, hot], 2024, 40);
+}
+
+#[test]
+fn telescopic_block_matches_scalar_loop() {
+    let tb = TelescopicTwoStage::new();
+    let reference = tb.reference_design();
+    let mins: Vec<f64> = tb.design_variables().iter().map(|v| v.lo).collect();
+    let mut small_cc = reference.clone();
+    small_cc[11] = 0.2;
+    check_testbench(&tb, &[reference, mins, small_cc], 7, 40);
+}
+
+#[test]
+fn harsh_corner_block_matches_scalar_loop() {
+    // Corner technologies scale the statistical spreads, producing more
+    // failure samples; the block path must track every one of them.
+    let tb = FoldedCascode::with_corner(2.5);
+    let x = tb.reference_design();
+    check_testbench(&tb, &[x], 99, 60);
+}

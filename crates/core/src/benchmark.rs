@@ -98,6 +98,19 @@ impl<T: Testbench> SimulationModel for CircuitBench<T> {
         }
     }
 
+    fn simulate_block(&self, x: &[f64], us: &[Vec<f64>], out: &mut [f64]) {
+        assert_eq!(us.len(), out.len(), "outcome buffer must match the block");
+        let xis: Vec<_> = us.iter().map(|u| self.sampler.from_unit_point(u)).collect();
+        let perfs = self.testbench.evaluate_block(x, &xis);
+        for (o, perf) in out.iter_mut().zip(&perfs) {
+            *o = if self.testbench.specs().all_met(perf) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+
     fn nominal(&self, x: &[f64]) -> Vec<f64> {
         self.testbench.nominal_margins(x)
     }

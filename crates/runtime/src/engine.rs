@@ -382,27 +382,46 @@ impl EngineCore {
                 self.make_block(model, design, task.stream_key, task.block)
             });
             let mut guard = block.lock().expect("block poisoned");
-            let mut ran = 0u64;
-            // Overlapping ranges are harmless: the `is_none` guard makes
-            // every sample index simulate at most once. Each unit point is
-            // consumed (dropped) by its simulation — a simulated index is
-            // never re-simulated, so the point is dead weight afterwards;
+            // Gather the pending sample indices of this task. Overlapping
+            // ranges are harmless: the `is_none` guard plus the `queued`
+            // marker make every sample index simulate at most once. Each unit
+            // point is consumed (taken) by its simulation — a simulated index
+            // is never re-simulated, so the point is dead weight afterwards;
             // this keeps even partially simulated blocks lean.
-            for &(lo, hi) in &task.ranges {
-                for i in lo..hi {
-                    if guard.outcomes[i].is_none() {
-                        let point = std::mem::take(&mut guard.points[i]);
-                        let raw = model.simulate_point(design, &point);
-                        // Stored outcomes are yield contributions: the raw
-                        // indicator under unit weights, `1 − w (1 − J)` for
-                        // importance-sampled blocks.
-                        let outcome = match guard.weights.get(i) {
-                            Some(&w) => weighted_outcome(w, raw),
-                            None => raw,
-                        };
-                        guard.outcomes[i] = Some(outcome);
-                        ran += 1;
+            let mut pending: Vec<usize> = Vec::new();
+            {
+                let mut queued = vec![false; guard.outcomes.len()];
+                for &(lo, hi) in &task.ranges {
+                    #[allow(clippy::needless_range_loop)] // `i` indexes two slices
+                    for i in lo..hi {
+                        if guard.outcomes[i].is_none() && !queued[i] {
+                            queued[i] = true;
+                            pending.push(i);
+                        }
                     }
+                }
+            }
+            let ran = pending.len() as u64;
+            if ran > 0 {
+                // One whole-block dispatch: models with a batched fast path
+                // amortise their per-design setup across the samples; the
+                // default implementation loops simulate_point, so outcomes
+                // are bit-identical either way (see SimulationModel).
+                let points: Vec<Vec<f64>> = pending
+                    .iter()
+                    .map(|&i| std::mem::take(&mut guard.points[i]))
+                    .collect();
+                let mut raws = vec![0.0; points.len()];
+                model.simulate_block(design, &points, &mut raws);
+                for (&i, &raw) in pending.iter().zip(&raws) {
+                    // Stored outcomes are yield contributions: the raw
+                    // indicator under unit weights, `1 − w (1 − J)` for
+                    // importance-sampled blocks.
+                    let outcome = match guard.weights.get(i) {
+                        Some(&w) => weighted_outcome(w, raw),
+                        None => raw,
+                    };
+                    guard.outcomes[i] = Some(outcome);
                 }
             }
             // A fully simulated block never reads points or weights again;

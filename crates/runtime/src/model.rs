@@ -20,6 +20,23 @@ pub trait SimulationModel: Send + Sync {
     /// is the pass/fail indicator (1.0 = all specs met).
     fn simulate_point(&self, x: &[f64], u: &[f64]) -> f64;
 
+    /// Evaluates design `x` against a block of unit points, writing one raw
+    /// outcome per point into `out` (`out.len() == us.len()`).
+    ///
+    /// The default implementation loops [`Self::simulate_point`]. Models with
+    /// a batched fast path (shared factorization across samples of one
+    /// design) override it, under a strict contract: `out[i]` must be
+    /// **bit-identical** to `self.simulate_point(x, &us[i])` for every `i`.
+    /// The engine dispatches whole blocks through this method, and its caches,
+    /// digests and estimator weights all assume the two entry points are
+    /// interchangeable.
+    fn simulate_block(&self, x: &[f64], us: &[Vec<f64>], out: &mut [f64]) {
+        assert_eq!(us.len(), out.len(), "outcome buffer must match the block");
+        for (o, u) in out.iter_mut().zip(us) {
+            *o = self.simulate_point(x, u);
+        }
+    }
+
     /// Evaluates the design at the nominal (variation-free) process point,
     /// returning the normalised specification margins.
     fn nominal(&self, x: &[f64]) -> Vec<f64>;

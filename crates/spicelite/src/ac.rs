@@ -213,6 +213,76 @@ impl FrequencyResponse {
         let phase_shift = phase_at_fu - phases[0];
         Ok(180.0 + phase_shift)
     }
+
+    /// Extracts all three amplifier figures of merit in a single pass.
+    ///
+    /// Bit-identical to calling [`Self::dc_gain_db`], [`Self::unity_gain_freq`]
+    /// and [`Self::phase_margin_deg`] separately (the batched simulation path
+    /// relies on this), but computes the gain curve and unwrapped phase once
+    /// instead of once per method.
+    pub fn foms(&self) -> AcFoms {
+        let n = self.freqs.len();
+        let gains: Vec<f64> = (0..n)
+            .map(|i| 20.0 * self.magnitude(i).max(1e-30).log10())
+            .collect();
+        let unity_gain_freq = (|| {
+            if gains[0] <= 0.0 {
+                return Err(SpiceError::AcExtraction {
+                    reason: "gain is below 0 dB at the lowest swept frequency".into(),
+                });
+            }
+            for i in 1..n {
+                let g0 = gains[i - 1];
+                let g1 = gains[i];
+                if g0 > 0.0 && g1 <= 0.0 {
+                    let t = g0 / (g0 - g1);
+                    let lf = self.freqs[i - 1].log10()
+                        + t * (self.freqs[i].log10() - self.freqs[i - 1].log10());
+                    return Ok(10f64.powf(lf));
+                }
+            }
+            Err(SpiceError::AcExtraction {
+                reason: "no unity-gain crossing within the swept range".into(),
+            })
+        })();
+        let phase_margin_deg = match &unity_gain_freq {
+            Err(e) => Err(e.clone()),
+            Ok(fu) => {
+                let fu = *fu;
+                let phases = self.unwrapped_phase();
+                let mut phase_at_fu = phases[phases.len() - 1];
+                for i in 1..self.freqs.len() {
+                    if self.freqs[i] >= fu {
+                        let t = (fu.log10() - self.freqs[i - 1].log10())
+                            / (self.freqs[i].log10() - self.freqs[i - 1].log10());
+                        phase_at_fu = phases[i - 1] + t * (phases[i] - phases[i - 1]);
+                        break;
+                    }
+                }
+                let phase_shift = phase_at_fu - phases[0];
+                Ok(180.0 + phase_shift)
+            }
+        };
+        AcFoms {
+            dc_gain_db: gains[0],
+            unity_gain_freq,
+            phase_margin_deg,
+        }
+    }
+}
+
+/// The amplifier figures of merit of one frequency response, extracted in a
+/// single pass by [`FrequencyResponse::foms`].
+#[derive(Debug, Clone)]
+pub struct AcFoms {
+    /// Gain at the first sweep point, in dB.
+    pub dc_gain_db: f64,
+    /// First 0 dB crossing (hertz), or the same error
+    /// [`FrequencyResponse::unity_gain_freq`] returns.
+    pub unity_gain_freq: Result<f64, SpiceError>,
+    /// Phase margin in degrees, or the same error
+    /// [`FrequencyResponse::phase_margin_deg`] returns.
+    pub phase_margin_deg: Result<f64, SpiceError>,
 }
 
 /// Sweeps `circuit` over `freqs` and records the phasor at `output`.
@@ -396,6 +466,42 @@ mod tests {
         let single = sweep(&ckt, out_p, &freqs).unwrap();
         let diff = sweep_differential(&ckt, out_p, out_n, &freqs).unwrap();
         assert!((diff.magnitude(0) / single.magnitude(0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foms_bit_identical_to_individual_methods() {
+        // Cover all three shapes: clean crossing, no crossing (gain < 0 dB at
+        // DC), and no crossing inside the swept range.
+        let mut responses = Vec::new();
+        {
+            let mut ckt = LinearCircuit::new();
+            let vin = ckt.node();
+            let vout = ckt.node();
+            ckt.add_vsource(vin, 0, 1.0);
+            ckt.add_vccs(vout, 0, vin, 0, 1e-3);
+            ckt.add_resistor(vout, 0, 1e6);
+            ckt.add_capacitance(vout, 0, 1e-12);
+            responses.push(sweep(&ckt, vout, &log_space(1.0, 1e12, 173)).unwrap());
+            responses.push(sweep(&ckt, vout, &log_space(1.0, 1e3, 40)).unwrap());
+        }
+        {
+            let (ckt, out) = rc_lowpass(1_000.0, 1e-9);
+            responses.push(sweep(&ckt, out, &log_space(1.0, 1e6, 50)).unwrap());
+        }
+        for resp in &responses {
+            let foms = resp.foms();
+            assert_eq!(foms.dc_gain_db.to_bits(), resp.dc_gain_db().to_bits());
+            match (&foms.unity_gain_freq, resp.unity_gain_freq()) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (Err(a), Err(b)) => assert_eq!(*a, b),
+                (a, b) => panic!("foms {a:?} vs method {b:?}"),
+            }
+            match (&foms.phase_margin_deg, resp.phase_margin_deg()) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (Err(a), Err(b)) => assert_eq!(*a, b),
+                (a, b) => panic!("foms {a:?} vs method {b:?}"),
+            }
+        }
     }
 
     #[test]

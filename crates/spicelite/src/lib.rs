@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod ac;
+pub mod batch;
 pub mod complex;
 pub mod dc;
 pub mod error;
@@ -49,7 +50,8 @@ pub mod linalg;
 pub mod mosfet;
 pub mod netlist;
 
-pub use ac::{log_space, sweep, sweep_differential, FrequencyResponse};
+pub use ac::{log_space, sweep, sweep_differential, AcFoms, FrequencyResponse};
+pub use batch::FactorizedCircuit;
 pub use complex::Complex;
 pub use dc::{solve_dc, solve_dc_with, DcOptions, DcSolution};
 pub use error::SpiceError;

@@ -185,48 +185,7 @@ impl Matrix {
         let n = self.rows;
         let mut a = self.data.clone();
         let mut x: Vec<f64> = b.to_vec();
-        // In-place LU with partial pivoting, forward/back substitution.
-        for k in 0..n {
-            // Pivot search.
-            let mut p = k;
-            let mut max = a[k * n + k].abs();
-            for i in (k + 1)..n {
-                let v = a[i * n + k].abs();
-                if v > max {
-                    max = v;
-                    p = i;
-                }
-            }
-            if max < 1e-300 {
-                return Err(SpiceError::SingularMatrix { pivot: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    a.swap(k * n + j, p * n + j);
-                }
-                x.swap(k, p);
-            }
-            let pivot = a[k * n + k];
-            for i in (k + 1)..n {
-                let f = a[i * n + k] / pivot;
-                if f == 0.0 {
-                    continue;
-                }
-                a[i * n + k] = 0.0;
-                for j in (k + 1)..n {
-                    a[i * n + j] -= f * a[k * n + j];
-                }
-                x[i] -= f * x[k];
-            }
-        }
-        // Back substitution.
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= a[i * n + j] * x[j];
-            }
-            x[i] = acc / a[i * n + i];
-        }
+        lu_solve_in_place(n, &mut a, &mut x)?;
         Ok(x)
     }
 
@@ -347,49 +306,131 @@ impl CMatrix {
         let n = self.rows;
         let mut a = self.data.clone();
         let mut x: Vec<Complex> = b.to_vec();
-        for k in 0..n {
-            let mut p = k;
-            let mut max = a[k * n + k].norm_sqr();
-            for i in (k + 1)..n {
-                let v = a[i * n + k].norm_sqr();
-                if v > max {
-                    max = v;
-                    p = i;
-                }
-            }
-            if max < 1e-300 {
-                return Err(SpiceError::SingularMatrix { pivot: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    a.swap(k * n + j, p * n + j);
-                }
-                x.swap(k, p);
-            }
-            let pivot = a[k * n + k];
-            for i in (k + 1)..n {
-                let f = a[i * n + k] / pivot;
-                if f == Complex::ZERO {
-                    continue;
-                }
-                a[i * n + k] = Complex::ZERO;
-                for j in (k + 1)..n {
-                    let update = f * a[k * n + j];
-                    a[i * n + j] -= update;
-                }
-                let update = f * x[k];
-                x[i] -= update;
-            }
-        }
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= a[i * n + j] * x[j];
-            }
-            x[i] = acc / a[i * n + i];
-        }
+        clu_solve_in_place(n, &mut a, &mut x)?;
         Ok(x)
     }
+}
+
+/// Solves `A x = b` in place by real LU factorisation with partial pivoting.
+///
+/// `a` is an `n x n` row-major matrix that is overwritten with its (permuted)
+/// LU factors; `x` holds the right-hand side on entry and the solution on
+/// return. This is the arithmetic core of [`Matrix::solve`], exposed so the
+/// batched simulation path and the DC Newton loop can reuse preallocated
+/// buffers while producing **bit-identical** results to the allocating API —
+/// both call this exact function.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SingularMatrix`] when a pivot underflows.
+///
+/// # Panics
+///
+/// Panics if `a.len() < n * n` or `x.len() < n`.
+pub fn lu_solve_in_place(n: usize, a: &mut [f64], x: &mut [f64]) -> Result<(), SpiceError> {
+    // In-place LU with partial pivoting, forward/back substitution.
+    for k in 0..n {
+        // Pivot search.
+        let mut p = k;
+        let mut max = a[k * n + k].abs();
+        for i in (k + 1)..n {
+            let v = a[i * n + k].abs();
+            if v > max {
+                max = v;
+                p = i;
+            }
+        }
+        if max < 1e-300 {
+            return Err(SpiceError::SingularMatrix { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                a.swap(k * n + j, p * n + j);
+            }
+            x.swap(k, p);
+        }
+        let pivot = a[k * n + k];
+        for i in (k + 1)..n {
+            let f = a[i * n + k] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            a[i * n + k] = 0.0;
+            for j in (k + 1)..n {
+                a[i * n + j] -= f * a[k * n + j];
+            }
+            x[i] -= f * x[k];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in (i + 1)..n {
+            acc -= a[i * n + j] * x[j];
+        }
+        x[i] = acc / a[i * n + i];
+    }
+    Ok(())
+}
+
+/// Complex counterpart of [`lu_solve_in_place`]: the arithmetic core of
+/// [`CMatrix::solve`], shared with the batched AC sweep so both paths run the
+/// identical floating-point operation sequence.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SingularMatrix`] when a pivot underflows.
+///
+/// # Panics
+///
+/// Panics if `a.len() < n * n` or `x.len() < n`.
+pub fn clu_solve_in_place(
+    n: usize,
+    a: &mut [Complex],
+    x: &mut [Complex],
+) -> Result<(), SpiceError> {
+    for k in 0..n {
+        let mut p = k;
+        let mut max = a[k * n + k].norm_sqr();
+        for i in (k + 1)..n {
+            let v = a[i * n + k].norm_sqr();
+            if v > max {
+                max = v;
+                p = i;
+            }
+        }
+        if max < 1e-300 {
+            return Err(SpiceError::SingularMatrix { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                a.swap(k * n + j, p * n + j);
+            }
+            x.swap(k, p);
+        }
+        let pivot = a[k * n + k];
+        for i in (k + 1)..n {
+            let f = a[i * n + k] / pivot;
+            if f == Complex::ZERO {
+                continue;
+            }
+            a[i * n + k] = Complex::ZERO;
+            for j in (k + 1)..n {
+                let update = f * a[k * n + j];
+                a[i * n + j] -= update;
+            }
+            let update = f * x[k];
+            x[i] -= update;
+        }
+    }
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in (i + 1)..n {
+            acc -= a[i * n + j] * x[j];
+        }
+        x[i] = acc / a[i * n + i];
+    }
+    Ok(())
 }
 
 impl std::ops::Index<(usize, usize)> for CMatrix {

@@ -292,6 +292,37 @@ impl Mosfet {
         }
     }
 
+    /// Drain current magnitude at bias `(vgs, vds, vsb)` — bit-identical to
+    /// `self.operating_point(vgs, vds, vsb).id` but skipping the small-signal
+    /// and capacitance computation.
+    ///
+    /// This is the inner function of the [`Self::vgs_for_current`] bisection,
+    /// which only ever observes the current; `tests` pin the bit-identity
+    /// against [`Self::operating_point`] over a dense bias grid.
+    pub fn drain_current(&self, vgs: f64, vds: f64, vsb: f64) -> f64 {
+        let m = &self.model;
+        let w_eff = self.w_eff();
+        let l_eff = self.l_eff();
+        let kp = m.kp();
+        let beta = kp * w_eff / l_eff;
+        let phi_f2 = 0.7;
+        let vth = m.vth0 + m.gamma * ((phi_f2 + vsb.max(0.0)).sqrt() - phi_f2.sqrt());
+        let vov = vgs - vth;
+        let lambda = self.lambda();
+        let vdsat = vov.max(0.0);
+        if vov <= 0.0 {
+            let n = m.subthreshold_n;
+            let i0 = beta * n * VT_THERMAL * VT_THERMAL * 2.0;
+            let id = i0 * (vov / (n * VT_THERMAL)).exp() * (1.0 - (-vds / VT_THERMAL).exp());
+            id.max(0.0)
+        } else if vds < vdsat {
+            let id = beta * (vov * vds - 0.5 * vds * vds) * (1.0 + lambda * vds);
+            id.max(0.0)
+        } else {
+            0.5 * beta * vov * vov * (1.0 + lambda * vds)
+        }
+    }
+
     /// Solves for the `|Vgs|` that produces the requested drain current in
     /// saturation at the given `|Vds|`, via bisection on the device equation.
     ///
@@ -311,7 +342,36 @@ impl Mosfet {
         }
         let mut lo = 0.0_f64;
         let mut hi = self.model.vth0 + 5.0;
-        let f = |vgs: f64| self.operating_point(vgs, vds, vsb).id - id_target;
+        // Hoisted replica of [`Self::drain_current`]: every quantity that does
+        // not depend on `vgs` is computed once, with the exact expressions the
+        // per-call version uses, so each iteration sees bit-identical values
+        // while skipping the redundant sqrt/exp work (the bisection runs this
+        // ~40 times per bias point).
+        let m = &self.model;
+        let w_eff = self.w_eff();
+        let l_eff = self.l_eff();
+        let kp = m.kp();
+        let beta = kp * w_eff / l_eff;
+        let phi_f2 = 0.7;
+        let vth = m.vth0 + m.gamma * ((phi_f2 + vsb.max(0.0)).sqrt() - phi_f2.sqrt());
+        let lambda = self.lambda();
+        let n = m.subthreshold_n;
+        let nvt = n * VT_THERMAL;
+        let i0 = beta * n * VT_THERMAL * VT_THERMAL * 2.0;
+        let drain_factor = 1.0 - (-vds / VT_THERMAL).exp();
+        let clm = 1.0 + lambda * vds;
+        let f = |vgs: f64| {
+            let vov = vgs - vth;
+            let vdsat = vov.max(0.0);
+            let id = if vov <= 0.0 {
+                (i0 * (vov / nvt).exp() * drain_factor).max(0.0)
+            } else if vds < vdsat {
+                (beta * (vov * vds - 0.5 * vds * vds) * clm).max(0.0)
+            } else {
+                0.5 * beta * vov * vov * clm
+            };
+            id - id_target
+        };
         if f(hi) < 0.0 {
             return Err(SpiceError::DcNoConvergence {
                 iterations: 0,
@@ -534,6 +594,96 @@ mod tests {
         // Unreachable current for a tiny device.
         let tiny = nmos_035(0.5, 10.0);
         assert!(tiny.vgs_for_current(1.0, 1.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn drain_current_is_bit_identical_to_operating_point() {
+        // Seeded LCG grid spanning cutoff, triode and saturation for both
+        // polarities and both model cards; the id-only fast path must agree
+        // with the full operating-point evaluation bit for bit, and the
+        // bisection built on it must land on bitwise-identical vgs values.
+        let mut state = 0x9e37_79b9_97f4_a7c5_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let devices = [
+            Mosfet::new(
+                model_035um(MosType::Nmos),
+                MosGeometry::new(20e-6, 0.5e-6, 1.0).unwrap(),
+            ),
+            Mosfet::new(
+                model_035um(MosType::Pmos),
+                MosGeometry::new(40e-6, 0.5e-6, 2.0).unwrap(),
+            ),
+            Mosfet::new(
+                model_90nm(MosType::Nmos),
+                MosGeometry::new(2e-6, 0.1e-6, 1.0).unwrap(),
+            ),
+            Mosfet::new(
+                model_90nm(MosType::Pmos),
+                MosGeometry::new(4e-6, 0.1e-6, 1.0).unwrap(),
+            ),
+        ];
+        let mut regions = [0usize; 3];
+        for d in &devices {
+            for _ in 0..500 {
+                let vgs = -0.5 + 3.0 * next();
+                let vds = 3.0 * next();
+                let vsb = -0.2 + 1.0 * next();
+                let op = d.operating_point(vgs, vds, vsb);
+                regions[match op.region {
+                    Region::Cutoff => 0,
+                    Region::Triode => 1,
+                    Region::Saturation => 2,
+                }] += 1;
+                assert_eq!(
+                    d.drain_current(vgs, vds, vsb).to_bits(),
+                    op.id.to_bits(),
+                    "id mismatch at vgs={vgs} vds={vds} vsb={vsb}"
+                );
+            }
+            for _ in 0..20 {
+                let id_target = 1e-6 + 200e-6 * next();
+                let vds = 0.2 + 2.0 * next();
+                let via_fast = d.vgs_for_current(id_target, vds, 0.0);
+                // Reference bisection over the full operating-point id.
+                let slow = |id_target: f64, vds: f64, vsb: f64| -> Result<f64, SpiceError> {
+                    let mut lo = 0.0_f64;
+                    let mut hi = d.model.vth0 + 5.0;
+                    let f = |vgs: f64| d.operating_point(vgs, vds, vsb).id - id_target;
+                    if f(hi) < 0.0 {
+                        return Err(SpiceError::DcNoConvergence {
+                            iterations: 0,
+                            residual: -f(hi),
+                        });
+                    }
+                    for _ in 0..200 {
+                        let mid = 0.5 * (lo + hi);
+                        if f(mid) > 0.0 {
+                            hi = mid;
+                        } else {
+                            lo = mid;
+                        }
+                        if hi - lo < 1e-12 {
+                            break;
+                        }
+                    }
+                    Ok(0.5 * (lo + hi))
+                };
+                match (via_fast, slow(id_target, vds, 0.0)) {
+                    (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("divergent results: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        assert!(
+            regions.iter().all(|&c| c > 0),
+            "bias grid must exercise all regions, got {regions:?}"
+        );
     }
 
     #[test]
