@@ -115,8 +115,8 @@ impl FoldedCascode {
     /// from different corners can never be confused. Note that the engine
     /// simulation cache is keyed by the design point alone, not by the
     /// benchmark name — different corners of the same circuit must each get
-    /// their own engine (as `Scenario::build` and `run_scenario` do), never
-    /// share one.
+    /// their own engine (as `Scenario::build` and `RunSpec::execute` do),
+    /// never share one.
     pub fn with_corner(severity: f64) -> Self {
         let mut tb = Self::new();
         if severity != 1.0 {

@@ -5,6 +5,7 @@
 //! moheco-campaign [--scenario <name>|all] [--algo de|ga|memetic|two-stage]
 //!                 [--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is]
 //!                 [--prescreen off|rsb] [--seeds N] [--parallel]
+//!                 [--schedule fixed|ocba]
 //!                 [--engine-reuse reset|shared-cache] [--max-cached-blocks N]
 //!                 [--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR]
 //!                 [--obs off|jsonl:FILE] [--metrics-out FILE]
@@ -34,7 +35,7 @@
 use moheco::PrescreenKind;
 use moheco_bench::campaign::run_campaign_traced;
 use moheco_bench::results::compare_aggregates;
-use moheco_bench::{Algo, BudgetClass, CliArgs, EngineReuse, JobSpec};
+use moheco_bench::{Algo, BudgetClass, CliArgs, EngineReuse, JobSpec, ScheduleKind};
 use moheco_obs::{JsonlCollector, Tracer};
 use moheco_runtime::{render_pool_cache, render_prometheus};
 use moheco_sampling::EstimatorKind;
@@ -46,7 +47,8 @@ use std::sync::Arc;
 const USAGE: &str = "usage: moheco-campaign [--scenario <name>|all] \
 [--algo de|ga|memetic|two-stage] [--budget tiny|small|paper] \
 [--estimator mc|lhs|antithetic|is] [--prescreen off|rsb] [--seeds N] \
-[--parallel] [--engine-reuse reset|shared-cache] [--max-cached-blocks N] \
+[--parallel] [--schedule fixed|ocba] \
+[--engine-reuse reset|shared-cache] [--max-cached-blocks N] \
 [--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR] [--obs off|jsonl:FILE] \
 [--metrics-out FILE]";
 
@@ -67,6 +69,7 @@ fn main() -> ExitCode {
             "--estimator",
             "--prescreen",
             "--seeds",
+            "--schedule",
             "--engine-reuse",
             "--max-cached-blocks",
             "--jsonl",
@@ -126,6 +129,14 @@ fn main() -> ExitCode {
         Ok(s) if s >= 1 => (1..=s).collect::<Vec<u64>>(),
         Ok(_) => return fail("--seeds must be >= 1"),
         Err(e) => return fail(&e),
+    };
+    let schedule = match args.value_of("--schedule") {
+        Err(e) => return fail(&e),
+        Ok(None) => ScheduleKind::default(),
+        Ok(Some(v)) => match ScheduleKind::parse(v) {
+            Some(k) => k,
+            None => return fail(&format!("unknown schedule {v:?}; expected fixed or ocba")),
+        },
     };
     let reuse = match args.value_of("--engine-reuse") {
         Err(e) => return fail(&e),
@@ -190,9 +201,10 @@ fn main() -> ExitCode {
         prescreen,
         reuse,
         max_cached_blocks,
+        schedule,
     };
     eprintln!(
-        "moheco-campaign: {} cell(s) ({} scenario(s) x {} x {} seed(s)), budget {}, estimator {}, prescreen {}, {} engine, reuse {}{}",
+        "moheco-campaign: {} cell(s) ({} scenario(s) x {} x {} seed(s)), budget {}, estimator {}, prescreen {}, {} engine, reuse {}, schedule {}{}",
         spec.cells(),
         spec.scenarios.len(),
         algo.label(),
@@ -202,6 +214,7 @@ fn main() -> ExitCode {
         prescreen.label(),
         spec.engine.label(),
         reuse.label(),
+        schedule.label(),
         if max_cached_blocks > 0 {
             format!(", cache bound {max_cached_blocks} blocks")
         } else {
@@ -222,6 +235,15 @@ fn main() -> ExitCode {
         report.executed,
         report.resumed,
         jsonl.display()
+    );
+    eprintln!(
+        "schedule {}: {} round(s), {} cell(s) scheduled, {} group(s) stopped early, {} seed(s) saved of {}",
+        report.schedule.label,
+        report.schedule.rounds,
+        report.schedule.scheduled,
+        report.schedule.groups_gated,
+        report.schedule.seeds_saved,
+        spec.cells(),
     );
 
     // Final per-cell cost summary: what this invocation actually spent.
@@ -256,6 +278,7 @@ fn main() -> ExitCode {
     if let Some(path) = &metrics_out {
         let mut text = render_prometheus(&report.total_engine_stats(), &tracer.breakdown());
         text.push_str(&render_pool_cache(&report.engine_cache));
+        report.schedule.render_prometheus(&mut text);
         if let Err(e) = std::fs::write(path, &text) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;

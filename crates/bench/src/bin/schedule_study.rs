@@ -1,0 +1,286 @@
+//! `schedule-study` — measures what adaptive campaign scheduling buys.
+//!
+//! Runs every registered scenario through two campaigns with the two-stage
+//! OO algorithm — `--schedule fixed` (the full seed rectangle) vs
+//! `--schedule ocba` (seed replications allocated by cross-seed variance,
+//! groups stopped once their 95 % CI half-width clears the gate) — and
+//! compares, per scenario, the total simulations spent and the cross-seed
+//! median yield reached. A scenario's medians are **equal** when they
+//! differ by no more than the larger of the fixed campaign's own cross-seed
+//! CI half-width and the baseline-gate tolerance
+//! ([`YIELD_TOLERANCE`]) — tighter than the fixed campaign can
+//! resolve itself is a distinction without a difference. The headline
+//! number is the **pooled oracle savings**: across the closed-form (oracle)
+//! scenarios, `1 − total ocba sims / total fixed sims`.
+//!
+//! The binary always verifies the OCBA min-seeds floor — every
+//! (scenario, algo) group that stopped early must still have run at least
+//! `min(3, pool)` seeds — and exits non-zero on a violation. With
+//! `--strict` it additionally fails unless the pooled oracle savings reach
+//! [`SAVINGS_GATE_PCT`] percent with every oracle median equal. The
+//! aggregate is written to `BENCH_schedule.json` and a markdown savings
+//! table for the README is printed.
+//!
+//! Both campaigns stream through the standard resumable
+//! [`moheco_bench::CellWriter`] files under `--data-dir`, so an interrupted
+//! study resumes instead of re-simulating.
+//!
+//! ```text
+//! schedule-study [--budget tiny|small|paper] [--seeds N] [--data-dir DIR]
+//!                [--out FILE] [--strict]
+//! ```
+
+use moheco_bench::campaign::run_campaign;
+use moheco_bench::results::{fmt_f64, AggregateResult, YIELD_TOLERANCE};
+use moheco_bench::{Algo, BudgetClass, CliArgs, JobSpec, OcbaSchedule, ScheduleKind};
+use moheco_scenarios::all_scenarios;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Minimum pooled percentage of simulations the adaptive schedule must save
+/// across the oracle scenarios (`1 − total ocba sims / total fixed sims`)
+/// under `--strict`.
+const SAVINGS_GATE_PCT: f64 = 25.0;
+
+const USAGE: &str = "usage: schedule-study [--budget tiny|small|paper] [--seeds N] \
+[--data-dir DIR] [--out FILE] [--strict]";
+
+struct Row {
+    scenario: String,
+    oracle: bool,
+    sims_fixed: u64,
+    sims_ocba: u64,
+    median_fixed: f64,
+    median_ocba: f64,
+    ci_fixed: f64,
+    ci_ocba: f64,
+    seeds_used: usize,
+    seeds_saved: usize,
+    median_equal: bool,
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn find<'a>(aggregates: &'a [AggregateResult], scenario: &str) -> Option<&'a AggregateResult> {
+    aggregates.iter().find(|a| a.scenario == scenario)
+}
+
+fn main() -> ExitCode {
+    let args = CliArgs::parse();
+    if let Err(e) = args.expect_only(
+        &["--strict"],
+        &["--budget", "--seeds", "--data-dir", "--out"],
+    ) {
+        return fail(&e);
+    }
+    let budget = match args.value_of("--budget") {
+        Err(e) => return fail(&e),
+        Ok(None) => BudgetClass::Tiny,
+        Ok(Some(v)) => match BudgetClass::parse(v) {
+            Some(b) => b,
+            None => return fail(&format!("unknown budget {v:?}")),
+        },
+    };
+    let seeds = match args.u64_of("--seeds", 8) {
+        Ok(s) if s >= 1 => s,
+        Ok(_) => return fail("--seeds must be >= 1"),
+        Err(e) => return fail(&e),
+    };
+    let data_dir = match args.value_of("--data-dir") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.unwrap_or("schedule-study-data").to_string(),
+    };
+    let out_path = match args.value_of("--out") {
+        Err(e) => return fail(&e),
+        Ok(v) => v.unwrap_or("BENCH_schedule.json").to_string(),
+    };
+
+    let scenarios = all_scenarios();
+    let floor = OcbaSchedule::default().min_seeds.min(seeds as usize);
+    eprintln!(
+        "schedule-study: {} scenario(s), algo two-stage, budget {}, seed pool 1..={}, ocba floor {}",
+        scenarios.len(),
+        budget.label(),
+        seeds,
+        floor,
+    );
+
+    let base = JobSpec {
+        scenarios: scenarios.iter().map(|s| s.name().to_string()).collect(),
+        algos: vec![Algo::TwoStage],
+        budget,
+        seeds: (1..=seeds).collect(),
+        ..JobSpec::default()
+    };
+    let mut reports = Vec::new();
+    for schedule in [ScheduleKind::Fixed, ScheduleKind::Ocba] {
+        let spec = JobSpec {
+            schedule,
+            ..base.clone()
+        };
+        let jsonl = Path::new(&data_dir).join(format!("{}.jsonl", schedule.label()));
+        eprintln!(
+            "running the {} campaign -> {}",
+            schedule.label(),
+            jsonl.display()
+        );
+        let report = match run_campaign(&spec, &jsonl, |line| eprintln!("  {line}")) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "  {} executed, {} resumed, {} round(s), {} seed(s) saved",
+            report.executed, report.resumed, report.schedule.rounds, report.schedule.seeds_saved,
+        );
+        reports.push(report);
+    }
+    let (fixed, ocba) = (&reports[0], &reports[1]);
+
+    // The floor check: every group the adaptive schedule stopped early must
+    // still hold at least `floor` seeds. This is unconditional — a floor
+    // violation means the scheduler is broken, not that the study "failed".
+    let mut floor_violations = Vec::new();
+    for agg in &ocba.aggregates {
+        if agg.seeds.len() < floor {
+            floor_violations.push(format!(
+                "{}/{}: only {} seed(s), floor is {floor}",
+                agg.scenario,
+                agg.algo,
+                agg.seeds.len()
+            ));
+        }
+    }
+    if !floor_violations.is_empty() {
+        for v in &floor_violations {
+            eprintln!("floor violation: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let mut rows = Vec::new();
+    for scenario in &scenarios {
+        let (Some(f), Some(o)) = (
+            find(&fixed.aggregates, scenario.name()),
+            find(&ocba.aggregates, scenario.name()),
+        ) else {
+            eprintln!("error: missing aggregates for {}", scenario.name());
+            return ExitCode::FAILURE;
+        };
+        let ci_fixed = f.best_yield_ci_half_width();
+        let median_equal =
+            (o.best_yield.median - f.best_yield.median).abs() <= ci_fixed.max(YIELD_TOLERANCE);
+        rows.push(Row {
+            scenario: scenario.name().to_string(),
+            oracle: scenario.has_true_yield(),
+            sims_fixed: f.simulations_total,
+            sims_ocba: o.simulations_total,
+            median_fixed: f.best_yield.median,
+            median_ocba: o.best_yield.median,
+            ci_fixed,
+            ci_ocba: o.best_yield_ci_half_width(),
+            seeds_used: o.seeds.len(),
+            seeds_saved: seeds as usize - o.seeds.len(),
+            median_equal,
+        });
+    }
+
+    let oracle_fixed: u64 = rows.iter().filter(|r| r.oracle).map(|r| r.sims_fixed).sum();
+    let oracle_ocba: u64 = rows.iter().filter(|r| r.oracle).map(|r| r.sims_ocba).sum();
+    let oracle_savings_pct = if oracle_fixed > 0 {
+        100.0 * (1.0 - oracle_ocba as f64 / oracle_fixed as f64)
+    } else {
+        0.0
+    };
+    let oracle_total = rows.iter().filter(|r| r.oracle).count();
+    let oracle_equal = rows.iter().filter(|r| r.oracle && r.median_equal).count();
+    let pass = oracle_savings_pct >= SAVINGS_GATE_PCT && oracle_equal == oracle_total;
+
+    // Flat JSON record, same writer conventions as BENCH_prescreen.json.
+    let mut json = String::from("{\n");
+    let mut field = |k: &str, v: String| {
+        let _ = writeln!(json, "  \"{k}\": {v},");
+    };
+    field("schema_version", "1".into());
+    field("algo", "\"two-stage\"".into());
+    field("budget", format!("\"{}\"", budget.label()));
+    field("seed_pool", seeds.to_string());
+    field("min_seeds_floor", floor.to_string());
+    field("gate_savings_pct", fmt_f64(SAVINGS_GATE_PCT));
+    field("gate_yield_tolerance", fmt_f64(YIELD_TOLERANCE));
+    for r in &rows {
+        let s = &r.scenario;
+        field(&format!("{s}_sims_fixed"), r.sims_fixed.to_string());
+        field(&format!("{s}_sims_ocba"), r.sims_ocba.to_string());
+        field(
+            &format!("{s}_savings_pct"),
+            fmt_f64(if r.sims_fixed > 0 {
+                (10_000.0 * (1.0 - r.sims_ocba as f64 / r.sims_fixed as f64)).round() / 100.0
+            } else {
+                0.0
+            }),
+        );
+        field(&format!("{s}_median_fixed"), fmt_f64(r.median_fixed));
+        field(&format!("{s}_median_ocba"), fmt_f64(r.median_ocba));
+        field(&format!("{s}_ci_fixed"), fmt_f64(r.ci_fixed));
+        field(&format!("{s}_ci_ocba"), fmt_f64(r.ci_ocba));
+        field(&format!("{s}_seeds_used"), r.seeds_used.to_string());
+        field(&format!("{s}_seeds_saved"), r.seeds_saved.to_string());
+        field(&format!("{s}_median_equal"), r.median_equal.to_string());
+    }
+    field(
+        "oracle_savings_pct_pooled",
+        fmt_f64((oracle_savings_pct * 100.0).round() / 100.0),
+    );
+    field("oracle_scenarios_total", oracle_total.to_string());
+    field("oracle_scenarios_equal", oracle_equal.to_string());
+    let _ = write!(json, "  \"pass\": {pass}\n}}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Markdown savings table for the README.
+    println!("| scenario | sims (fixed) | sims (ocba) | saved | seeds used | median (fixed) | median (ocba) | equal |");
+    println!("|---|---:|---:|---:|---:|---:|---:|---|");
+    for r in &rows {
+        println!(
+            "| {}{} | {} | {} | {:.1}% | {}/{} | {:.4} ±{:.4} | {:.4} ±{:.4} | {} |",
+            r.scenario,
+            if r.oracle { "" } else { " †" },
+            r.sims_fixed,
+            r.sims_ocba,
+            if r.sims_fixed > 0 {
+                100.0 * (1.0 - r.sims_ocba as f64 / r.sims_fixed as f64)
+            } else {
+                0.0
+            },
+            r.seeds_used,
+            seeds,
+            r.median_fixed,
+            r.ci_fixed,
+            r.median_ocba,
+            r.ci_ocba,
+            if r.median_equal { "yes" } else { "NO" },
+        );
+    }
+    println!("\n† circuit scenario (no closed-form oracle; reported, not gated)");
+    println!(
+        "\npooled oracle savings {oracle_savings_pct:.1}% ({oracle_equal}/{oracle_total} oracle medians equal, floor {floor} honored) -> {out_path}"
+    );
+
+    if args.has("--strict") && !pass {
+        eprintln!(
+            "strict gate: pooled oracle savings {oracle_savings_pct:.1}% (need ≥{SAVINGS_GATE_PCT}%) with {oracle_equal}/{oracle_total} medians equal"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

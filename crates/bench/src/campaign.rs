@@ -39,14 +39,17 @@
 
 pub use crate::jobspec::{EngineReuse, JobSpec};
 
-use crate::harness::RunSpec;
+use crate::harness::{Algo, RunSpec};
 use crate::results::{
     aggregate_rows, fmt_f64, parse_flat_json, AggregateResult, JsonRecord, ScenarioResult,
 };
+use crate::schedule::{drive_schedule, Cell, CellOutcome, ScheduleOutcome};
 use crate::EngineKind;
 use moheco_obs::Tracer;
 use moheco_runtime::{EngineCacheUsage, EngineConfig, EngineStatsSnapshot, EvalEngine};
 use moheco_sampling::{EstimatorKind, SamplingPlan};
+use moheco_scenarios::Scenario;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -87,6 +90,9 @@ pub struct CampaignReport {
     /// plus implied totals), captured after the last cell so quota and
     /// bound enforcement are observable in `--metrics-out`.
     pub engine_cache: Vec<EngineCacheUsage>,
+    /// What the campaign scheduler did: rounds, cells, gated groups, and
+    /// seeds saved relative to the full rectangle.
+    pub schedule: ScheduleOutcome,
 }
 
 impl CampaignReport {
@@ -309,6 +315,9 @@ pub struct CellWriter {
     path: PathBuf,
     file: std::fs::File,
     done: HashSet<(String, String, u64)>,
+    /// `best_yield` per completed cell — the observation an adaptive
+    /// scheduler replays its decisions from when rows come off disk.
+    yields: HashMap<(String, String, u64), f64>,
 }
 
 impl CellWriter {
@@ -328,16 +337,21 @@ impl CellWriter {
             existing.as_ref().is_some_and(|e| !e.rows.is_empty()),
         )?;
         let mut done: HashSet<(String, String, u64)> = HashSet::new();
+        let mut yields: HashMap<(String, String, u64), f64> = HashMap::new();
         let file = match existing {
             None => std::fs::File::create(jsonl_path)
                 .map_err(|e| format!("cannot create {}: {e}", jsonl_path.display()))?,
             Some(ex) => {
                 for row in &ex.rows {
-                    done.insert((
+                    let key = (
                         row.str("scenario").unwrap_or_default().to_string(),
                         row.str("algo").unwrap_or_default().to_string(),
                         row.num("seed").unwrap_or(-1.0) as u64,
-                    ));
+                    );
+                    if let Some(y) = row.num("best_yield") {
+                        yields.insert(key.clone(), y);
+                    }
+                    done.insert(key);
                 }
                 // Drop a torn trailing line (mid-write kill) by re-writing
                 // the complete prefix already in memory; an intact file is
@@ -356,6 +370,7 @@ impl CellWriter {
             path: jsonl_path.to_path_buf(),
             file,
             done,
+            yields,
         })
     }
 
@@ -363,6 +378,14 @@ impl CellWriter {
     pub fn is_done(&self, scenario: &str, algo: &str, seed: u64) -> bool {
         self.done
             .contains(&(scenario.to_string(), algo.to_string(), seed))
+    }
+
+    /// The `best_yield` of a completed cell (on disk at open, or appended
+    /// since), if any.
+    pub fn best_yield(&self, scenario: &str, algo: &str, seed: u64) -> Option<f64> {
+        self.yields
+            .get(&(scenario.to_string(), algo.to_string(), seed))
+            .copied()
     }
 
     /// Number of identity-checked rows that were on disk at open time.
@@ -377,8 +400,9 @@ impl CellWriter {
             .write_all(result.to_jsonl_row().as_bytes())
             .and_then(|()| self.file.flush())
             .map_err(|e| format!("cannot append to {}: {e}", self.path.display()))?;
-        self.done
-            .insert((result.scenario.clone(), result.algo.clone(), result.seed));
+        let key = (result.scenario.clone(), result.algo.clone(), result.seed);
+        self.yields.insert(key.clone(), result.best_yield);
+        self.done.insert(key);
         Ok(())
     }
 }
@@ -415,58 +439,65 @@ pub fn run_campaign_traced(
 ) -> Result<CampaignReport, String> {
     spec.validate()?;
     let scenarios = spec.resolve_scenarios()?;
+    let by_name: HashMap<&str, &Arc<dyn Scenario>> =
+        scenarios.iter().map(|s| (s.name(), s)).collect();
+    let algo_by_label: HashMap<&str, Algo> = spec.algos.iter().map(|a| (a.label(), *a)).collect();
     let mut writer = CellWriter::open(jsonl_path, spec)?;
-    let mut engines = CampaignEngines::for_spec(spec);
-    let mut resumed = 0usize;
-    let mut executed = 0usize;
-    let mut cell_costs: Vec<CellCost> = Vec::new();
-    for scenario in &scenarios {
-        for &algo in &spec.algos {
-            for &seed in &spec.seeds {
-                let key = (scenario.name().to_string(), algo.label().to_string(), seed);
-                if writer.is_done(&key.0, &key.1, seed) {
-                    resumed += 1;
-                    progress(&format!(
-                        "{}/{}/seed {}: already on disk, skipped",
-                        key.0, key.1, seed
-                    ));
-                    continue;
-                }
-                let engine = engines.prepare(scenario.name(), seed);
-                let result = RunSpec::new(scenario.as_ref(), algo)
-                    .budget(spec.budget)
-                    .seed(seed)
-                    .engine(engine)
-                    .engine_label(spec.engine.label())
-                    .prescreen(spec.prescreen)
-                    .tracer(tracer)
-                    .execute();
-                writer.append(&result)?;
-                executed += 1;
-                cell_costs.push(CellCost {
-                    scenario: key.0.clone(),
-                    algo: key.1.clone(),
-                    seed,
+    // The scheduler driver resolves every cell through two closures that
+    // share the engine pool, the cost log, and the progress sink — hence
+    // the `RefCell`s (the driver itself is single-threaded).
+    let engines = RefCell::new(CampaignEngines::for_spec(spec));
+    let cell_costs: RefCell<Vec<CellCost>> = RefCell::new(Vec::new());
+    let progress = RefCell::new(&mut progress);
+    let execute = |cell: &Cell| -> Result<ScenarioResult, String> {
+        let scenario = by_name
+            .get(cell.scenario.as_str())
+            .ok_or_else(|| format!("scheduler produced unknown scenario {:?}", cell.scenario))?;
+        let algo = *algo_by_label
+            .get(cell.algo.as_str())
+            .ok_or_else(|| format!("scheduler produced unknown algo {:?}", cell.algo))?;
+        let engine = engines.borrow_mut().prepare(scenario.name(), cell.seed);
+        Ok(RunSpec::new(scenario.as_ref(), algo)
+            .budget(spec.budget)
+            .seed(cell.seed)
+            .engine(engine)
+            .engine_label(spec.engine.label())
+            .prescreen(spec.prescreen)
+            .tracer(tracer)
+            .execute())
+    };
+    let on_cell = |cell: &Cell, outcome: CellOutcome| -> Result<(), String> {
+        match outcome {
+            CellOutcome::Resumed { .. } => (progress.borrow_mut())(&format!(
+                "{}/{}/seed {}: already on disk, skipped",
+                cell.scenario, cell.algo, cell.seed
+            )),
+            CellOutcome::Executed(result) => {
+                cell_costs.borrow_mut().push(CellCost {
+                    scenario: cell.scenario.clone(),
+                    algo: cell.algo.clone(),
+                    seed: cell.seed,
                     engine_stats: result.engine_stats,
                     wall_time_ms: result.wall_time_ms,
                 });
                 tracer.emit(
                     "campaign_cell",
                     &[
-                        ("scenario", key.0.clone()),
-                        ("algo", key.1.clone()),
-                        ("seed", seed.to_string()),
+                        ("scenario", cell.scenario.clone()),
+                        ("algo", cell.algo.clone()),
+                        ("seed", cell.seed.to_string()),
                         ("best_yield", fmt_f64(result.best_yield)),
                         ("simulations", result.simulations.to_string()),
                         ("cache_hit_rate", fmt_f64(result.engine_stats.hit_rate())),
                         ("wall_time_ms", fmt_f64(result.wall_time_ms)),
                     ],
                 );
-                progress(&format!(
+                let engines = engines.borrow();
+                (progress.borrow_mut())(&format!(
                     "{}/{}/seed {}: yield {:.4} sims {} ({:.0} ms, cache {} blocks / {:.1} MiB)",
-                    key.0,
-                    key.1,
-                    seed,
+                    cell.scenario,
+                    cell.algo,
+                    cell.seed,
                     result.best_yield,
                     result.simulations,
                     result.wall_time_ms,
@@ -475,7 +506,14 @@ pub fn run_campaign_traced(
                 ));
             }
         }
-    }
+        Ok(())
+    };
+    let schedule = drive_schedule(spec, &mut writer, tracer, execute, on_cell)?;
+    let resumed = schedule.resumed;
+    let executed = schedule.executed;
+    let cell_costs = cell_costs.into_inner();
+    let engines = engines.into_inner();
+    let progress = progress.into_inner();
     drop(writer);
 
     // Aggregates are computed from the rows on disk — the same source a
@@ -513,6 +551,7 @@ pub fn run_campaign_traced(
         aggregates,
         cell_costs,
         engine_cache: engines.usage(),
+        schedule,
     })
 }
 
@@ -533,6 +572,7 @@ mod tests {
             prescreen: PrescreenKind::Off,
             reuse: EngineReuse::Reset,
             max_cached_blocks: 0,
+            schedule: crate::jobspec::ScheduleKind::Fixed,
         }
     }
 

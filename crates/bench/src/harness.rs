@@ -593,127 +593,6 @@ impl<'a> RunSpec<'a> {
     }
 }
 
-/// Executes one scenario with one algorithm and condenses the run into the
-/// machine-readable result record.
-#[deprecated(note = "use RunSpec::new(scenario, algo)…execute()")]
-pub fn run_scenario(
-    scenario: &dyn Scenario,
-    algo: Algo,
-    budget: BudgetClass,
-    seed: u64,
-    engine_kind: EngineKind,
-) -> ScenarioResult {
-    RunSpec::new(scenario, algo)
-        .budget(budget)
-        .seed(seed)
-        .engine_kind(engine_kind)
-        .execute()
-}
-
-/// [`run_scenario`] with an explicit variance-reduction estimator.
-#[deprecated(note = "use RunSpec::new(scenario, algo)…estimator(..)…execute()")]
-pub fn run_scenario_with(
-    scenario: &dyn Scenario,
-    algo: Algo,
-    budget: BudgetClass,
-    seed: u64,
-    engine_kind: EngineKind,
-    estimator: EstimatorKind,
-) -> ScenarioResult {
-    RunSpec::new(scenario, algo)
-        .budget(budget)
-        .seed(seed)
-        .engine_kind(engine_kind)
-        .estimator(estimator)
-        .execute()
-}
-
-/// [`run_scenario_with`] with an explicit surrogate prescreen.
-#[deprecated(note = "use RunSpec::new(scenario, algo)…prescreen(..)…execute()")]
-pub fn run_scenario_prescreened(
-    scenario: &dyn Scenario,
-    algo: Algo,
-    budget: BudgetClass,
-    seed: u64,
-    engine_kind: EngineKind,
-    estimator: EstimatorKind,
-    prescreen: PrescreenKind,
-) -> ScenarioResult {
-    RunSpec::new(scenario, algo)
-        .budget(budget)
-        .seed(seed)
-        .engine_kind(engine_kind)
-        .estimator(estimator)
-        .prescreen(prescreen)
-        .execute()
-}
-
-/// [`run_scenario_prescreened`] under an observability [`Tracer`].
-#[deprecated(note = "use RunSpec::new(scenario, algo)…tracer(..)…execute()")]
-#[allow(clippy::too_many_arguments)]
-pub fn run_scenario_traced(
-    scenario: &dyn Scenario,
-    algo: Algo,
-    budget: BudgetClass,
-    seed: u64,
-    engine_kind: EngineKind,
-    estimator: EstimatorKind,
-    prescreen: PrescreenKind,
-    tracer: &Tracer,
-) -> ScenarioResult {
-    RunSpec::new(scenario, algo)
-        .budget(budget)
-        .seed(seed)
-        .engine_kind(engine_kind)
-        .estimator(estimator)
-        .prescreen(prescreen)
-        .tracer(tracer)
-        .execute()
-}
-
-/// Executes a run over a *prebuilt* engine (see [`RunSpec::engine`]).
-#[deprecated(note = "use RunSpec::new(scenario, algo)…engine(..)…execute()")]
-pub fn run_scenario_on_engine(
-    scenario: &dyn Scenario,
-    algo: Algo,
-    budget: BudgetClass,
-    seed: u64,
-    engine: Arc<dyn EvalEngine>,
-    engine_label: &str,
-    prescreen: PrescreenKind,
-) -> ScenarioResult {
-    RunSpec::new(scenario, algo)
-        .budget(budget)
-        .seed(seed)
-        .engine(engine)
-        .engine_label(engine_label)
-        .prescreen(prescreen)
-        .execute()
-}
-
-/// [`run_scenario_on_engine`] under an observability [`Tracer`].
-#[deprecated(note = "use RunSpec::new(scenario, algo)…engine(..).tracer(..)…execute()")]
-#[allow(clippy::too_many_arguments)]
-pub fn run_scenario_on_engine_traced(
-    scenario: &dyn Scenario,
-    algo: Algo,
-    budget: BudgetClass,
-    seed: u64,
-    engine: Arc<dyn EvalEngine>,
-    engine_label: &str,
-    prescreen: PrescreenKind,
-    tracer: &Tracer,
-) -> ScenarioResult {
-    RunSpec::new(scenario, algo)
-        .budget(budget)
-        .seed(seed)
-        .engine(engine)
-        .engine_label(engine_label)
-        .prescreen(prescreen)
-        .tracer(tracer)
-        .execute()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,37 +664,5 @@ mod tests {
                 assert!(err < 0.35, "{}: error {err}", algo.label());
             }
         }
-    }
-
-    /// The deprecated free-function shims must stay bit-identical to the
-    /// builder for the one release they survive.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_match_the_builder() {
-        let scenario = find_scenario("margin_wall").expect("registered");
-        let via_builder = RunSpec::new(scenario.as_ref(), Algo::TwoStage)
-            .budget(BudgetClass::Tiny)
-            .seed(3)
-            .execute();
-        let via_shim = run_scenario(
-            scenario.as_ref(),
-            Algo::TwoStage,
-            BudgetClass::Tiny,
-            3,
-            EngineKind::Serial,
-        );
-        assert_eq!(via_builder.to_jsonl_row(), via_shim.to_jsonl_row());
-
-        let engine = EngineKind::Serial.build_seeded(3);
-        let via_engine_shim = run_scenario_on_engine(
-            scenario.as_ref(),
-            Algo::TwoStage,
-            BudgetClass::Tiny,
-            3,
-            engine,
-            "serial",
-            PrescreenKind::Off,
-        );
-        assert_eq!(via_builder.to_jsonl_row(), via_engine_shim.to_jsonl_row());
     }
 }

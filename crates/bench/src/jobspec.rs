@@ -57,6 +57,39 @@ impl EngineReuse {
     }
 }
 
+/// Which [`crate::schedule::CampaignScheduler`] drives the campaign's cell
+/// order and seed counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleKind {
+    /// The full scenario × algo × seed rectangle in grid order (the default,
+    /// bit-identical to the historical triple-nested loop).
+    #[default]
+    Fixed,
+    /// OCBA over the campaign: seed replications flow to the noisy
+    /// (scenario, algo) groups after a min-seeds floor, and a group stops
+    /// early once its cross-seed CI half-width clears the gate threshold.
+    Ocba,
+}
+
+impl ScheduleKind {
+    /// Parses a `--schedule` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fixed" => Some(Self::Fixed),
+            "ocba" => Some(Self::Ocba),
+            _ => None,
+        }
+    }
+
+    /// The stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Fixed => "fixed",
+            Self::Ocba => "ocba",
+        }
+    }
+}
+
 /// The full, serializable specification of one job: a scenario × algorithm
 /// × seed grid plus everything that shapes its rows and counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +113,12 @@ pub struct JobSpec {
     pub reuse: EngineReuse,
     /// Cache-block bound of the long-lived engines (0 = unbounded).
     pub max_cached_blocks: usize,
+    /// Campaign scheduler deciding cell order and per-group seed counts.
+    /// `Fixed` runs the whole rectangle; `Ocba` may *omit* cells, which
+    /// changes what lands on disk — so non-default kinds join the
+    /// fingerprint and the wire format (absent = fixed, keeping every
+    /// pre-existing sidecar and job id valid).
+    pub schedule: ScheduleKind,
 }
 
 impl Default for JobSpec {
@@ -94,6 +133,7 @@ impl Default for JobSpec {
             prescreen: PrescreenKind::default(),
             reuse: EngineReuse::default(),
             max_cached_blocks: 0,
+            schedule: ScheduleKind::default(),
         }
     }
 }
@@ -171,8 +211,16 @@ impl JobSpec {
     /// counter regime. This is the single place the fingerprint format
     /// lives; the CLI campaign runner and the job server both call it.
     pub fn fingerprint(&self) -> String {
+        // The schedule joins the fingerprint only when non-default: every
+        // sidecar written before schedulers existed stays valid for fixed
+        // campaigns, while an adaptive file can never be resumed as fixed
+        // (or vice versa) — the two modes disagree on which cells exist.
+        let schedule = match self.schedule {
+            ScheduleKind::Fixed => String::new(),
+            other => format!(" schedule={}", other.label()),
+        };
         format!(
-            "schema_version={} budget={} engine={} estimator={} prescreen={} engine_reuse={} max_cached_blocks={}\n",
+            "schema_version={} budget={} engine={} estimator={} prescreen={} engine_reuse={} max_cached_blocks={}{schedule}\n",
             SCHEMA_VERSION,
             self.budget.label(),
             self.engine.label(),
@@ -212,8 +260,15 @@ impl JobSpec {
             .map(|a| a.label())
             .collect::<Vec<_>>()
             .join(",");
+        // Like the fingerprint, the schedule key appears only when
+        // non-default, so the canonical serialization (and thus every job
+        // id) of pre-existing fixed specs is unchanged.
+        let schedule = match self.schedule {
+            ScheduleKind::Fixed => String::new(),
+            other => format!(", \"schedule\": \"{}\"", other.label()),
+        };
         format!(
-            "{{\"schema_version\": {}, \"scenarios\": \"{}\", \"algos\": \"{algos}\", \"budget\": \"{}\", \"seeds\": \"{seeds}\", \"engine\": \"{}\", \"estimator\": \"{}\", \"prescreen\": \"{}\", \"engine_reuse\": \"{}\", \"max_cached_blocks\": {}}}",
+            "{{\"schema_version\": {}, \"scenarios\": \"{}\", \"algos\": \"{algos}\", \"budget\": \"{}\", \"seeds\": \"{seeds}\", \"engine\": \"{}\", \"estimator\": \"{}\", \"prescreen\": \"{}\", \"engine_reuse\": \"{}\", \"max_cached_blocks\": {}{schedule}}}",
             SCHEMA_VERSION,
             self.scenarios.join(","),
             self.budget.label(),
@@ -230,8 +285,33 @@ impl JobSpec {
     /// required; every other field takes its [`JobSpec::default`]. `seeds`
     /// accepts either an explicit comma-joined list (`"seeds": "1,2,3"`) or
     /// a count (`"seeds": 3` means seeds 1..=3, like `--seeds 3`).
+    ///
+    /// Unknown keys are rejected by name: every optional field here has a
+    /// default, so a typo'd key (`"schdule"`) would otherwise be a silent
+    /// fallback to the default behavior rather than an error.
     pub fn parse(text: &str) -> Result<Self, String> {
+        const KNOWN_KEYS: [&str; 11] = [
+            "schema_version",
+            "scenarios",
+            "algos",
+            "budget",
+            "seeds",
+            "engine",
+            "estimator",
+            "prescreen",
+            "engine_reuse",
+            "max_cached_blocks",
+            "schedule",
+        ];
         let record = parse_flat_json(text)?;
+        for key in &record.keys {
+            if !KNOWN_KEYS.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown spec key {key:?}; known keys: {}",
+                    KNOWN_KEYS.join(", ")
+                ));
+            }
+        }
         if let Some(v) = record.num("schema_version") {
             if v != SCHEMA_VERSION as f64 {
                 return Err(format!(
@@ -300,6 +380,10 @@ impl JobSpec {
             }
             spec.max_cached_blocks = n as usize;
         }
+        if let Some(s) = record.str("schedule") {
+            spec.schedule =
+                ScheduleKind::parse(s).ok_or_else(|| format!("unknown schedule {s:?}"))?;
+        }
         Ok(spec)
     }
 }
@@ -319,6 +403,7 @@ mod tests {
             prescreen: PrescreenKind::Off,
             reuse: EngineReuse::SharedCache,
             max_cached_blocks: 64,
+            schedule: ScheduleKind::Fixed,
         }
     }
 
@@ -378,6 +463,44 @@ mod tests {
         other.seeds = vec![1, 2];
         assert_ne!(spec.job_id("alice"), other.job_id("alice"));
         assert_eq!(spec.job_id("alice").len(), 16);
+    }
+
+    #[test]
+    fn schedule_labels_roundtrip() {
+        for kind in [ScheduleKind::Fixed, ScheduleKind::Ocba] {
+            assert_eq!(ScheduleKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(ScheduleKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn schedule_is_absent_from_fixed_wire_format_but_roundtrips_ocba() {
+        // Fixed specs serialize exactly as they did before schedulers
+        // existed — same canonical JSON, same job id space, same sidecar
+        // fingerprint — so nothing on disk or in flight is invalidated.
+        let fixed = sample();
+        assert!(!fixed.to_json().contains("schedule"));
+        assert!(!fixed.fingerprint().contains("schedule"));
+
+        let mut ocba = sample();
+        ocba.schedule = ScheduleKind::Ocba;
+        assert!(ocba.to_json().contains("\"schedule\": \"ocba\""));
+        assert!(ocba.fingerprint().contains(" schedule=ocba"));
+        assert_ne!(fixed.fingerprint(), ocba.fingerprint());
+        assert_ne!(fixed.job_id("alice"), ocba.job_id("alice"));
+        let parsed = JobSpec::parse(&ocba.to_json()).expect("roundtrip");
+        assert_eq!(parsed, ocba);
+        assert!(
+            JobSpec::parse("{\"scenarios\": \"margin_wall\", \"schedule\": \"warp\"}").is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_spec_keys_are_rejected_by_name() {
+        let err = JobSpec::parse("{\"scenarios\": \"margin_wall\", \"schdule\": \"ocba\"}")
+            .expect_err("typo must not silently fall back to the default");
+        assert!(err.contains("schdule"), "{err}");
+        assert!(err.contains("known keys"), "{err}");
     }
 
     #[test]

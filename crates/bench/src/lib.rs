@@ -13,16 +13,16 @@ pub mod cli;
 pub mod harness;
 pub mod jobspec;
 pub mod results;
+pub mod schedule;
 
 pub use campaign::{run_campaign, CampaignEngines, CampaignReport, CellWriter};
 pub use cli::CliArgs;
-#[allow(deprecated)]
-pub use harness::{
-    run_scenario, run_scenario_on_engine, run_scenario_on_engine_traced, run_scenario_prescreened,
-    run_scenario_traced, run_scenario_with,
-};
 pub use harness::{Algo, BudgetClass, RunSpec};
-pub use jobspec::{EngineReuse, JobSpec};
+pub use jobspec::{EngineReuse, JobSpec, ScheduleKind};
+pub use schedule::{
+    drive_schedule, scheduler_for, CampaignScheduler, Cell, CellOutcome, FixedGrid, OcbaSchedule,
+    ScheduleOutcome,
+};
 
 use moheco::{CircuitBench, MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};
 use moheco_analog::Testbench;

@@ -17,7 +17,7 @@
 use moheco::PrescreenKind;
 use moheco_bench::campaign::run_campaign;
 use moheco_bench::results::parse_flat_json;
-use moheco_bench::{Algo, BudgetClass, EngineKind, EngineReuse, JobSpec, RunSpec};
+use moheco_bench::{Algo, BudgetClass, EngineKind, EngineReuse, JobSpec, RunSpec, ScheduleKind};
 use moheco_sampling::EstimatorKind;
 use moheco_scenarios::find_scenario;
 use std::path::PathBuf;
@@ -36,6 +36,7 @@ fn spec(reuse: EngineReuse, engine_kind: EngineKind, max_cached_blocks: usize) -
         prescreen: PrescreenKind::Off,
         reuse,
         max_cached_blocks,
+        schedule: ScheduleKind::Fixed,
     }
 }
 

@@ -10,6 +10,8 @@
 //!
 //! * [`allocation`] — the OCBA rule itself ([`allocation::allocate`]) and an
 //!   incremental variant that tops up designs already partially simulated.
+//! * [`arms`] — the same rule over abstract arms (mean/variance/count/cap),
+//!   used by both the sequential design loop and the campaign scheduler.
 //! * [`sequential`] — the `n0`-then-`Δ`-increments loop used inside one
 //!   MOHECO generation ([`sequential::run_sequential`]).
 //! * [`ordinal`] — ranking helpers, good-enough subsets and alignment
@@ -33,10 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod allocation;
+pub mod arms;
 pub mod ordinal;
 pub mod sequential;
 
 pub use allocation::{allocate, allocate_incremental, DesignStats, OcbaError};
+pub use arms::{allocate_arm_increment, Arm};
 pub use ordinal::{alignment_level, alignment_probability, rank_descending, selected_subset};
 pub use sequential::{
     run_sequential, run_sequential_batched, RunningStats, SequentialConfig, SequentialOutcome,

@@ -13,7 +13,8 @@
 //! returning the outcomes of `n` fresh replications of the given design (in
 //! MOHECO, Bernoulli pass/fail outcomes of Monte-Carlo yield samples).
 
-use crate::allocation::{allocate_incremental, DesignStats, OcbaError};
+use crate::allocation::{DesignStats, OcbaError};
+use crate::arms::{allocate_arm_increment, Arm};
 
 /// Running statistics of one design maintained with Welford's algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -197,41 +198,28 @@ where
         .collect();
     run_round(&initial, &mut stats, &mut spent, &mut total_spent);
 
-    // Phase 2: incremental OCBA rounds.
+    // Phase 2: incremental OCBA rounds. Each design is an abstract arm with
+    // the per-design cap; the arm layer clamps every grant to its cap room
+    // and redistributes whatever the caps swallowed to designs that still
+    // have room. Without that redistribution, a round whose funded designs
+    // are all at `per_design_cap` comes back empty and the loop stops —
+    // stranding budget even though other designs are below their cap.
     let mut rounds = 0usize;
     while total_spent < config.total_budget {
         let remaining = config.total_budget - total_spent;
         let delta = config.delta.min(remaining).max(1);
-        let design_stats: Vec<DesignStats> = stats.iter().map(|s| s.to_design_stats()).collect();
-        let add = allocate_incremental(&design_stats, delta)?;
-        // Clamp each grant to the design's remaining cap room, then
-        // redistribute whatever the caps swallowed to designs that still have
-        // room (one replication per design per lap, in index order). Without
-        // the redistribution, a round whose funded designs are all at
-        // `per_design_cap` comes back empty and the loop stops — stranding
-        // budget even though other designs are below their cap.
-        let mut granted: Vec<usize> = add
+        let arms: Vec<Arm> = stats
             .iter()
-            .enumerate()
-            .map(|(d, &n_add)| n_add.min(cap.saturating_sub(spent[d])))
+            .zip(&spent)
+            .map(|(s, &n)| {
+                let mut arm = Arm::new(s.mean, s.variance(), n);
+                if let Some(c) = config.per_design_cap {
+                    arm = arm.with_cap(c);
+                }
+                arm
+            })
             .collect();
-        let mut leftover = delta - granted.iter().sum::<usize>();
-        while leftover > 0 {
-            let mut placed = false;
-            for d in 0..num_designs {
-                if leftover == 0 {
-                    break;
-                }
-                if spent[d] + granted[d] < cap {
-                    granted[d] += 1;
-                    leftover -= 1;
-                    placed = true;
-                }
-            }
-            if !placed {
-                break; // every design is at its cap
-            }
-        }
+        let granted = allocate_arm_increment(&arms, delta)?;
         let round: Vec<(usize, usize)> = granted
             .iter()
             .enumerate()

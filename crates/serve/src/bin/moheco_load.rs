@@ -16,7 +16,7 @@
 //! job failed or any violation was observed, which is what lets CI gate on
 //! this binary directly.
 
-use moheco_bench::jobspec::{EngineReuse, JobSpec};
+use moheco_bench::jobspec::{EngineReuse, JobSpec, ScheduleKind};
 use moheco_bench::{Algo, BudgetClass, CliArgs};
 use moheco_serve::client::{request, request_observed};
 use std::io::Write;
@@ -57,6 +57,14 @@ fn job_spec(budget: BudgetClass, job_index: usize, seeds_per_job: usize) -> JobS
         budget,
         seeds: (first..first + seeds_per_job as u64).collect(),
         reuse: EngineReuse::SharedCache,
+        // Alternate the scheduler across jobs so every load pass exercises
+        // both the fixed rectangle and the adaptive OCBA path over real
+        // TCP — including their separate resume/determinism re-checks.
+        schedule: if job_index.is_multiple_of(2) {
+            ScheduleKind::Fixed
+        } else {
+            ScheduleKind::Ocba
+        },
         ..JobSpec::default()
     }
 }

@@ -10,11 +10,14 @@
 
 use crate::pool::EnginePool;
 use moheco_bench::jobspec::JobSpec;
-use moheco_bench::{CellWriter, RunSpec};
+use moheco_bench::schedule::{drive_schedule, Cell, CellOutcome};
+use moheco_bench::{Algo, CellWriter, RunSpec};
+use moheco_obs::Tracer;
 use moheco_runtime::EngineStatsSnapshot;
+use moheco_scenarios::Scenario;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -300,32 +303,44 @@ pub fn execute_job(
 ) -> Result<(), String> {
     spec.validate()?;
     let scenarios = spec.resolve_scenarios()?;
+    let by_name: HashMap<&str, &Arc<dyn Scenario>> =
+        scenarios.iter().map(|s| (s.name(), s)).collect();
+    let algo_by_label: HashMap<&str, Algo> = spec.algos.iter().map(|a| (a.label(), *a)).collect();
     let mut writer = CellWriter::open(&job_path(data_dir, tenant, id), spec)?;
     registry.record_resumed(id, writer.resumed_rows());
-    for scenario in &scenarios {
-        for &algo in &spec.algos {
-            for &seed in &spec.seeds {
-                if writer.is_done(scenario.name(), algo.label(), seed) {
-                    continue;
-                }
-                let result = {
-                    let lease = pool.checkout(tenant, scenario.name(), spec, seed);
-                    RunSpec::new(scenario.as_ref(), algo)
-                        .budget(spec.budget)
-                        .seed(seed)
-                        .engine(lease.engine.clone())
-                        .engine_label(spec.engine.label())
-                        .prescreen(spec.prescreen)
-                        .execute()
-                    // lease drops here, before quota enforcement — never
-                    // hold one slot while locking others.
-                };
-                pool.enforce_tenant_quota(tenant);
-                writer.append(&result)?;
-                registry.record_cell(id, &result.engine_stats);
-            }
+    // The job's cell order and seed counts come from the spec's scheduler —
+    // the same replay-deterministic driver the CLI campaign runner uses, so
+    // a killed-and-resumed adaptive job re-derives its own schedule from the
+    // rows already on disk.
+    let execute = |cell: &Cell| -> Result<_, String> {
+        let scenario = by_name
+            .get(cell.scenario.as_str())
+            .ok_or_else(|| format!("scheduler produced unknown scenario {:?}", cell.scenario))?;
+        let algo = *algo_by_label
+            .get(cell.algo.as_str())
+            .ok_or_else(|| format!("scheduler produced unknown algo {:?}", cell.algo))?;
+        let result = {
+            let lease = pool.checkout(tenant, scenario.name(), spec, cell.seed);
+            RunSpec::new(scenario.as_ref(), algo)
+                .budget(spec.budget)
+                .seed(cell.seed)
+                .engine(lease.engine.clone())
+                .engine_label(spec.engine.label())
+                .prescreen(spec.prescreen)
+                .execute()
+            // lease drops here, before quota enforcement — never
+            // hold one slot while locking others.
+        };
+        pool.enforce_tenant_quota(tenant);
+        Ok(result)
+    };
+    let on_cell = |_cell: &Cell, outcome: CellOutcome| -> Result<(), String> {
+        if let CellOutcome::Executed(result) = outcome {
+            registry.record_cell(id, &result.engine_stats);
         }
-    }
+        Ok(())
+    };
+    drive_schedule(spec, &mut writer, &Tracer::disabled(), execute, on_cell)?;
     Ok(())
 }
 
