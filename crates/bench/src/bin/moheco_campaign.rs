@@ -5,7 +5,7 @@
 //! moheco-campaign [--scenario <name>|all] [--algo de|ga|memetic|two-stage]
 //!                 [--budget tiny|small|paper] [--estimator mc|lhs|antithetic|is]
 //!                 [--prescreen off|rsb] [--seeds N] [--parallel]
-//!                 [--schedule fixed|ocba]
+//!                 [--schedule fixed|ocba|ocba-shrink]
 //!                 [--engine-reuse reset|shared-cache] [--max-cached-blocks N]
 //!                 [--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR]
 //!                 [--obs off|jsonl:FILE] [--metrics-out FILE]
@@ -47,7 +47,7 @@ use std::sync::Arc;
 const USAGE: &str = "usage: moheco-campaign [--scenario <name>|all] \
 [--algo de|ga|memetic|two-stage] [--budget tiny|small|paper] \
 [--estimator mc|lhs|antithetic|is] [--prescreen off|rsb] [--seeds N] \
-[--parallel] [--schedule fixed|ocba] \
+[--parallel] [--schedule fixed|ocba|ocba-shrink] \
 [--engine-reuse reset|shared-cache] [--max-cached-blocks N] \
 [--jsonl FILE] [--out-dir DIR] [--baseline-dir DIR] [--obs off|jsonl:FILE] \
 [--metrics-out FILE]";
@@ -135,7 +135,11 @@ fn main() -> ExitCode {
         Ok(None) => ScheduleKind::default(),
         Ok(Some(v)) => match ScheduleKind::parse(v) {
             Some(k) => k,
-            None => return fail(&format!("unknown schedule {v:?}; expected fixed or ocba")),
+            None => {
+                return fail(&format!(
+                    "unknown schedule {v:?}; expected fixed, ocba or ocba-shrink"
+                ))
+            }
         },
     };
     let reuse = match args.value_of("--engine-reuse") {
@@ -237,13 +241,15 @@ fn main() -> ExitCode {
         jsonl.display()
     );
     eprintln!(
-        "schedule {}: {} round(s), {} cell(s) scheduled, {} group(s) stopped early, {} seed(s) saved of {}",
+        "schedule {}: {} round(s), {} cell(s) scheduled, {} group(s) stopped early, {} seed(s) saved of {}, {} budget escalation(s), {} simulation(s) spent",
         report.schedule.label,
         report.schedule.rounds,
         report.schedule.scheduled,
         report.schedule.groups_gated,
         report.schedule.seeds_saved,
         spec.cells(),
+        report.schedule.escalations,
+        report.schedule.simulations_total,
     );
 
     // Final per-cell cost summary: what this invocation actually spent.

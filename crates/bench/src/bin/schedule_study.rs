@@ -1,11 +1,15 @@
 //! `schedule-study` — measures what adaptive campaign scheduling buys.
 //!
 //! Runs every registered scenario through two campaigns with the two-stage
-//! OO algorithm — `--schedule fixed` (the full seed rectangle) vs
-//! `--schedule ocba` (seed replications allocated by cross-seed variance,
-//! groups stopped once their 95 % CI half-width clears the gate) — and
-//! compares, per scenario, the total simulations spent and the cross-seed
-//! median yield reached. A scenario's medians are **equal** when they
+//! OO algorithm — `fixed` (the full seed rectangle) vs the adaptive arm
+//! selected by `--schedule` (`ocba`: seed replications allocated by
+//! cross-seed variance, groups stopped once their 95 % CI half-width clears
+//! the gate; `ocba-shrink`, the default: additionally starts every group at
+//! the cheapest budget-class rung and escalates only the groups whose CI
+//! never clears at the cheap rung) — and compares, per scenario, the total
+//! simulations spent and the cross-seed median yield reached. Simulation
+//! totals come from the scheduler's own group accounting, so discarded
+//! cheap pilots are **included** in the adaptive arm's bill. A scenario's medians are **equal** when they
 //! differ by no more than the larger of the fixed campaign's own cross-seed
 //! CI half-width and the baseline-gate tolerance
 //! ([`YIELD_TOLERANCE`]) — tighter than the fixed campaign can
@@ -26,13 +30,13 @@
 //! study resumes instead of re-simulating.
 //!
 //! ```text
-//! schedule-study [--budget tiny|small|paper] [--seeds N] [--data-dir DIR]
-//!                [--out FILE] [--strict]
+//! schedule-study [--budget tiny|small|paper] [--schedule ocba|ocba-shrink]
+//!                [--seeds N] [--data-dir DIR] [--out FILE] [--strict]
 //! ```
 
 use moheco_bench::campaign::run_campaign;
 use moheco_bench::results::{fmt_f64, AggregateResult, YIELD_TOLERANCE};
-use moheco_bench::{Algo, BudgetClass, CliArgs, JobSpec, OcbaSchedule, ScheduleKind};
+use moheco_bench::{Algo, BudgetClass, CliArgs, GroupOutcome, JobSpec, OcbaSchedule, ScheduleKind};
 use moheco_scenarios::all_scenarios;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -43,12 +47,13 @@ use std::process::ExitCode;
 /// under `--strict`.
 const SAVINGS_GATE_PCT: f64 = 25.0;
 
-const USAGE: &str = "usage: schedule-study [--budget tiny|small|paper] [--seeds N] \
-[--data-dir DIR] [--out FILE] [--strict]";
+const USAGE: &str = "usage: schedule-study [--budget tiny|small|paper] \
+[--schedule ocba|ocba-shrink] [--seeds N] [--data-dir DIR] [--out FILE] [--strict]";
 
 struct Row {
     scenario: String,
     oracle: bool,
+    final_budget: BudgetClass,
     sims_fixed: u64,
     sims_ocba: u64,
     median_fixed: f64,
@@ -70,11 +75,17 @@ fn find<'a>(aggregates: &'a [AggregateResult], scenario: &str) -> Option<&'a Agg
     aggregates.iter().find(|a| a.scenario == scenario)
 }
 
+fn group_of<'a>(groups: &'a [GroupOutcome], scenario: &str) -> Option<&'a GroupOutcome> {
+    groups
+        .iter()
+        .find(|g| g.scenario == scenario && g.algo == "two-stage")
+}
+
 fn main() -> ExitCode {
     let args = CliArgs::parse();
     if let Err(e) = args.expect_only(
         &["--strict"],
-        &["--budget", "--seeds", "--data-dir", "--out"],
+        &["--budget", "--schedule", "--seeds", "--data-dir", "--out"],
     ) {
         return fail(&e);
     }
@@ -84,6 +95,18 @@ fn main() -> ExitCode {
         Ok(Some(v)) => match BudgetClass::parse(v) {
             Some(b) => b,
             None => return fail(&format!("unknown budget {v:?}")),
+        },
+    };
+    let adaptive = match args.value_of("--schedule") {
+        Err(e) => return fail(&e),
+        Ok(None) => ScheduleKind::OcbaShrink,
+        Ok(Some(v)) => match ScheduleKind::parse(v) {
+            Some(k) if k != ScheduleKind::Fixed => k,
+            _ => {
+                return fail(&format!(
+                    "unknown schedule {v:?}; expected ocba or ocba-shrink"
+                ))
+            }
         },
     };
     let seeds = match args.u64_of("--seeds", 8) {
@@ -103,10 +126,11 @@ fn main() -> ExitCode {
     let scenarios = all_scenarios();
     let floor = OcbaSchedule::default().min_seeds.min(seeds as usize);
     eprintln!(
-        "schedule-study: {} scenario(s), algo two-stage, budget {}, seed pool 1..={}, ocba floor {}",
+        "schedule-study: {} scenario(s), algo two-stage, budget {}, seed pool 1..={}, fixed vs {}, floor {}",
         scenarios.len(),
         budget.label(),
         seeds,
+        adaptive.label(),
         floor,
     );
 
@@ -118,7 +142,7 @@ fn main() -> ExitCode {
         ..JobSpec::default()
     };
     let mut reports = Vec::new();
-    for schedule in [ScheduleKind::Fixed, ScheduleKind::Ocba] {
+    for schedule in [ScheduleKind::Fixed, adaptive] {
         let spec = JobSpec {
             schedule,
             ..base.clone()
@@ -177,11 +201,21 @@ fn main() -> ExitCode {
         let ci_fixed = f.best_yield_ci_half_width();
         let median_equal =
             (o.best_yield.median - f.best_yield.median).abs() <= ci_fixed.max(YIELD_TOLERANCE);
+        // Simulation bills come from the scheduler's group accounting, so
+        // the adaptive arm pays for its discarded cheap pilots too.
+        let (Some(gf), Some(go)) = (
+            group_of(&fixed.schedule.groups, scenario.name()),
+            group_of(&ocba.schedule.groups, scenario.name()),
+        ) else {
+            eprintln!("error: missing schedule groups for {}", scenario.name());
+            return ExitCode::FAILURE;
+        };
         rows.push(Row {
             scenario: scenario.name().to_string(),
             oracle: scenario.has_true_yield(),
-            sims_fixed: f.simulations_total,
-            sims_ocba: o.simulations_total,
+            final_budget: go.final_budget,
+            sims_fixed: gf.simulations,
+            sims_ocba: go.simulations,
             median_fixed: f.best_yield.median,
             median_ocba: o.best_yield.median,
             ci_fixed,
@@ -208,7 +242,8 @@ fn main() -> ExitCode {
     let mut field = |k: &str, v: String| {
         let _ = writeln!(json, "  \"{k}\": {v},");
     };
-    field("schema_version", "1".into());
+    field("schema_version", "2".into());
+    field("schedule", format!("\"{}\"", adaptive.label()));
     field("algo", "\"two-stage\"".into());
     field("budget", format!("\"{}\"", budget.label()));
     field("seed_pool", seeds.to_string());
@@ -231,6 +266,10 @@ fn main() -> ExitCode {
         field(&format!("{s}_median_ocba"), fmt_f64(r.median_ocba));
         field(&format!("{s}_ci_fixed"), fmt_f64(r.ci_fixed));
         field(&format!("{s}_ci_ocba"), fmt_f64(r.ci_ocba));
+        field(
+            &format!("{s}_final_budget"),
+            format!("\"{}\"", r.final_budget.label()),
+        );
         field(&format!("{s}_seeds_used"), r.seeds_used.to_string());
         field(&format!("{s}_seeds_saved"), r.seeds_saved.to_string());
         field(&format!("{s}_median_equal"), r.median_equal.to_string());
@@ -248,11 +287,14 @@ fn main() -> ExitCode {
     }
 
     // Markdown savings table for the README.
-    println!("| scenario | sims (fixed) | sims (ocba) | saved | seeds used | median (fixed) | median (ocba) | equal |");
-    println!("|---|---:|---:|---:|---:|---:|---:|---|");
+    println!(
+        "| scenario | sims (fixed) | sims ({label}) | saved | final budget | seeds used | median (fixed) | median ({label}) | equal |",
+        label = adaptive.label()
+    );
+    println!("|---|---:|---:|---:|---|---:|---:|---:|---|");
     for r in &rows {
         println!(
-            "| {}{} | {} | {} | {:.1}% | {}/{} | {:.4} ±{:.4} | {:.4} ±{:.4} | {} |",
+            "| {}{} | {} | {} | {:.1}% | {} | {}/{} | {:.4} ±{:.4} | {:.4} ±{:.4} | {} |",
             r.scenario,
             if r.oracle { "" } else { " †" },
             r.sims_fixed,
@@ -262,6 +304,7 @@ fn main() -> ExitCode {
             } else {
                 0.0
             },
+            r.final_budget.label(),
             r.seeds_used,
             seeds,
             r.median_fixed,

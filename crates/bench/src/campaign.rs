@@ -39,18 +39,19 @@
 
 pub use crate::jobspec::{EngineReuse, JobSpec};
 
-use crate::harness::{Algo, RunSpec};
+use crate::exec::{drive_schedule, CellOutcome};
+use crate::harness::{Algo, BudgetClass, RunSpec};
 use crate::results::{
     aggregate_rows, fmt_f64, parse_flat_json, AggregateResult, JsonRecord, ScenarioResult,
 };
-use crate::schedule::{drive_schedule, Cell, CellOutcome, ScheduleOutcome};
+use crate::schedule::{Cell, ScheduleOutcome};
 use crate::EngineKind;
 use moheco_obs::Tracer;
 use moheco_runtime::{EngineCacheUsage, EngineConfig, EngineStatsSnapshot, EvalEngine};
 use moheco_sampling::{EstimatorKind, SamplingPlan};
 use moheco_scenarios::Scenario;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -233,13 +234,19 @@ fn read_existing_rows(path: &Path, spec: &JobSpec) -> Result<Option<ExistingFile
     let torn_tail = complete_through < text.len();
     // Every row of one file shares these; a mismatch means the file belongs
     // to a different campaign.
-    let expect: [(&str, String); 5] = [
+    let expect: [(&str, String); 4] = [
         ("schema_version", crate::results::SCHEMA_VERSION.to_string()),
-        ("budget", spec.budget.label().to_string()),
         ("engine", spec.engine.label().to_string()),
         ("estimator", spec.estimator.label().to_string()),
         ("prescreen", spec.prescreen.label().to_string()),
     ];
+    // The budget is set-valued: a shrinking schedule legitimately writes
+    // rows at every rung of the spec's ladder into one file.
+    let ladder: Vec<String> = spec
+        .budget_ladder()
+        .iter()
+        .map(|b| b.label().to_string())
+        .collect();
     let mut rows = Vec::new();
     for (lineno, line) in text[..complete_through].lines().enumerate() {
         if line.trim().is_empty() {
@@ -259,6 +266,17 @@ fn read_existing_rows(path: &Path, spec: &JobSpec) -> Result<Option<ExistingFile
                     lineno + 1
                 ));
             }
+        }
+        let budget = row.str("budget").map(str::to_string);
+        if !budget
+            .as_deref()
+            .is_some_and(|b| ladder.iter().any(|l| l == b))
+        {
+            return Err(format!(
+                "{}:{}: row budget is {budget:?} but this campaign runs {ladder:?} — refusing to mix campaigns in one file",
+                path.display(),
+                lineno + 1
+            ));
         }
         rows.push(row);
     }
@@ -314,10 +332,11 @@ fn check_spec_fingerprint(jsonl_path: &Path, spec: &JobSpec, has_rows: bool) -> 
 pub struct CellWriter {
     path: PathBuf,
     file: std::fs::File,
-    done: HashSet<(String, String, u64)>,
-    /// `best_yield` per completed cell — the observation an adaptive
-    /// scheduler replays its decisions from when rows come off disk.
-    yields: HashMap<(String, String, u64), f64>,
+    /// `(best_yield, simulations)` per completed cell, keyed by the full
+    /// cell identity including its budget class — the observations an
+    /// adaptive scheduler replays its decisions from when rows come off
+    /// disk.
+    stats: HashMap<(String, String, u64, BudgetClass), (f64, f64)>,
 }
 
 impl CellWriter {
@@ -336,22 +355,26 @@ impl CellWriter {
             spec,
             existing.as_ref().is_some_and(|e| !e.rows.is_empty()),
         )?;
-        let mut done: HashSet<(String, String, u64)> = HashSet::new();
-        let mut yields: HashMap<(String, String, u64), f64> = HashMap::new();
+        let mut stats: HashMap<(String, String, u64, BudgetClass), (f64, f64)> = HashMap::new();
         let file = match existing {
             None => std::fs::File::create(jsonl_path)
                 .map_err(|e| format!("cannot create {}: {e}", jsonl_path.display()))?,
             Some(ex) => {
                 for row in &ex.rows {
+                    // The budget label was identity-checked against the
+                    // spec's ladder, so it always parses.
+                    let Some(budget) = row.str("budget").and_then(BudgetClass::parse) else {
+                        continue;
+                    };
                     let key = (
                         row.str("scenario").unwrap_or_default().to_string(),
                         row.str("algo").unwrap_or_default().to_string(),
                         row.num("seed").unwrap_or(-1.0) as u64,
+                        budget,
                     );
                     if let Some(y) = row.num("best_yield") {
-                        yields.insert(key.clone(), y);
+                        stats.insert(key, (y, row.num("simulations").unwrap_or(0.0)));
                     }
-                    done.insert(key);
                 }
                 // Drop a torn trailing line (mid-write kill) by re-writing
                 // the complete prefix already in memory; an intact file is
@@ -369,40 +392,63 @@ impl CellWriter {
         Ok(Self {
             path: jsonl_path.to_path_buf(),
             file,
-            done,
-            yields,
+            stats,
         })
     }
 
     /// Whether this cell's row is already on disk.
-    pub fn is_done(&self, scenario: &str, algo: &str, seed: u64) -> bool {
-        self.done
-            .contains(&(scenario.to_string(), algo.to_string(), seed))
+    pub fn is_done(&self, scenario: &str, algo: &str, seed: u64, budget: BudgetClass) -> bool {
+        self.stats
+            .contains_key(&(scenario.to_string(), algo.to_string(), seed, budget))
     }
 
-    /// The `best_yield` of a completed cell (on disk at open, or appended
-    /// since), if any.
-    pub fn best_yield(&self, scenario: &str, algo: &str, seed: u64) -> Option<f64> {
-        self.yields
-            .get(&(scenario.to_string(), algo.to_string(), seed))
+    /// The `(best_yield, simulations)` of a completed cell (on disk at
+    /// open, or appended since), if any.
+    pub fn row_stats(
+        &self,
+        scenario: &str,
+        algo: &str,
+        seed: u64,
+        budget: BudgetClass,
+    ) -> Option<(f64, f64)> {
+        self.stats
+            .get(&(scenario.to_string(), algo.to_string(), seed, budget))
             .copied()
+    }
+
+    /// The `best_yield` of a completed cell, if any.
+    pub fn best_yield(
+        &self,
+        scenario: &str,
+        algo: &str,
+        seed: u64,
+        budget: BudgetClass,
+    ) -> Option<f64> {
+        self.row_stats(scenario, algo, seed, budget).map(|(y, _)| y)
     }
 
     /// Number of identity-checked rows that were on disk at open time.
     pub fn resumed_rows(&self) -> usize {
-        self.done.len()
+        self.stats.len()
     }
 
     /// Appends one cell row and flushes it to disk (the row *is* the commit
     /// point of the resume protocol).
     pub fn append(&mut self, result: &ScenarioResult) -> Result<(), String> {
+        let budget = BudgetClass::parse(&result.budget)
+            .ok_or_else(|| format!("unknown budget class {:?} in result row", result.budget))?;
         self.file
             .write_all(result.to_jsonl_row().as_bytes())
             .and_then(|()| self.file.flush())
             .map_err(|e| format!("cannot append to {}: {e}", self.path.display()))?;
-        let key = (result.scenario.clone(), result.algo.clone(), result.seed);
-        self.yields.insert(key.clone(), result.best_yield);
-        self.done.insert(key);
+        let key = (
+            result.scenario.clone(),
+            result.algo.clone(),
+            result.seed,
+            budget,
+        );
+        self.stats
+            .insert(key, (result.best_yield, result.simulations as f64));
         Ok(())
     }
 }
@@ -442,7 +488,7 @@ pub fn run_campaign_traced(
     let by_name: HashMap<&str, &Arc<dyn Scenario>> =
         scenarios.iter().map(|s| (s.name(), s)).collect();
     let algo_by_label: HashMap<&str, Algo> = spec.algos.iter().map(|a| (a.label(), *a)).collect();
-    let mut writer = CellWriter::open(jsonl_path, spec)?;
+    let writer = CellWriter::open(jsonl_path, spec)?;
     // The scheduler driver resolves every cell through two closures that
     // share the engine pool, the cost log, and the progress sink — hence
     // the `RefCell`s (the driver itself is single-threaded).
@@ -458,7 +504,7 @@ pub fn run_campaign_traced(
             .ok_or_else(|| format!("scheduler produced unknown algo {:?}", cell.algo))?;
         let engine = engines.borrow_mut().prepare(scenario.name(), cell.seed);
         Ok(RunSpec::new(scenario.as_ref(), algo)
-            .budget(spec.budget)
+            .budget(cell.budget)
             .seed(cell.seed)
             .engine(engine)
             .engine_label(spec.engine.label())
@@ -486,6 +532,7 @@ pub fn run_campaign_traced(
                         ("scenario", cell.scenario.clone()),
                         ("algo", cell.algo.clone()),
                         ("seed", cell.seed.to_string()),
+                        ("budget", cell.budget.label().to_string()),
                         ("best_yield", fmt_f64(result.best_yield)),
                         ("simulations", result.simulations.to_string()),
                         ("cache_hit_rate", fmt_f64(result.engine_stats.hit_rate())),
@@ -508,13 +555,12 @@ pub fn run_campaign_traced(
         }
         Ok(())
     };
-    let schedule = drive_schedule(spec, &mut writer, tracer, execute, on_cell)?;
+    let schedule = drive_schedule(spec, writer, tracer, execute, on_cell)?;
     let resumed = schedule.resumed;
     let executed = schedule.executed;
     let cell_costs = cell_costs.into_inner();
     let engines = engines.into_inner();
     let progress = progress.into_inner();
-    drop(writer);
 
     // Aggregates are computed from the rows on disk — the same source a
     // resumed campaign sees — so fresh and resumed runs emit byte-identical
@@ -544,6 +590,45 @@ pub fn run_campaign_traced(
             total_rows - rows.len()
         ));
     }
+    // Under a shrinking schedule, each (scenario, algo) group aggregates
+    // only at its final budget class — the most expensive rung present in
+    // its rows, the same rule the scheduler's outcome accounting uses.
+    // Cheaper pilot rows informed the schedule but must not pool with
+    // full-budget rows in one mean.
+    let rows = if spec.budget_ladder().len() > 1 {
+        let mut final_rung: HashMap<(String, String), usize> = HashMap::new();
+        let rung_of = |row: &JsonRecord| {
+            row.str("budget")
+                .and_then(BudgetClass::parse)
+                .map(|b| b.rung())
+                .unwrap_or(0)
+        };
+        let group_of = |row: &JsonRecord| {
+            (
+                row.str("scenario").unwrap_or_default().to_string(),
+                row.str("algo").unwrap_or_default().to_string(),
+            )
+        };
+        for row in &rows {
+            let rung = rung_of(row);
+            let entry = final_rung.entry(group_of(row)).or_insert(rung);
+            *entry = (*entry).max(rung);
+        }
+        let before = rows.len();
+        let rows: Vec<JsonRecord> = rows
+            .into_iter()
+            .filter(|row| final_rung.get(&group_of(row)) == Some(&rung_of(row)))
+            .collect();
+        if rows.len() < before {
+            progress(&format!(
+                "{} pilot row(s) below their group's final budget class are excluded from the aggregates",
+                before - rows.len()
+            ));
+        }
+        rows
+    } else {
+        rows
+    };
     let aggregates = aggregate_rows(&rows)?;
     Ok(CampaignReport {
         resumed,

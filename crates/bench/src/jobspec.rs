@@ -69,6 +69,13 @@ pub enum ScheduleKind {
     /// (scenario, algo) groups after a min-seeds floor, and a group stops
     /// early once its cross-seed CI half-width clears the gate threshold.
     Ocba,
+    /// `Ocba` plus budget-class shrinking: every group starts at the bottom
+    /// of the tiny→small→paper ladder and escalates toward the spec budget
+    /// only while its cross-seed CI at the current class has not cleared the
+    /// gate — groups whose cheap pilot already resolves the yield never buy
+    /// the expensive class at all. Replications at the spec budget are then
+    /// allocated cost-aware (observed simulations per cell).
+    OcbaShrink,
 }
 
 impl ScheduleKind {
@@ -77,6 +84,7 @@ impl ScheduleKind {
         match s {
             "fixed" => Some(Self::Fixed),
             "ocba" => Some(Self::Ocba),
+            "ocba-shrink" => Some(Self::OcbaShrink),
             _ => None,
         }
     }
@@ -86,6 +94,7 @@ impl ScheduleKind {
         match self {
             Self::Fixed => "fixed",
             Self::Ocba => "ocba",
+            Self::OcbaShrink => "ocba-shrink",
         }
     }
 }
@@ -150,6 +159,17 @@ impl JobSpec {
     /// Number of grid cells.
     pub fn cells(&self) -> usize {
         self.scenarios.len() * self.algos.len() * self.seeds.len()
+    }
+
+    /// The budget classes this spec's cells may legitimately run at, in
+    /// escalation order ending at [`JobSpec::budget`]. A single rung for
+    /// every schedule except [`ScheduleKind::OcbaShrink`], whose scheduler
+    /// walks groups up the tiny→…→budget ladder.
+    pub fn budget_ladder(&self) -> Vec<BudgetClass> {
+        match self.schedule {
+            ScheduleKind::OcbaShrink => self.budget.ladder_to(),
+            _ => vec![self.budget],
+        }
     }
 
     /// The `(scenario, algo, seed)` identity of every requested cell.
@@ -467,10 +487,39 @@ mod tests {
 
     #[test]
     fn schedule_labels_roundtrip() {
-        for kind in [ScheduleKind::Fixed, ScheduleKind::Ocba] {
+        for kind in [
+            ScheduleKind::Fixed,
+            ScheduleKind::Ocba,
+            ScheduleKind::OcbaShrink,
+        ] {
             assert_eq!(ScheduleKind::parse(kind.label()), Some(kind));
         }
         assert_eq!(ScheduleKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn budget_ladders_are_single_rung_except_under_shrink() {
+        let mut spec = sample();
+        spec.budget = BudgetClass::Small;
+        assert_eq!(spec.budget_ladder(), vec![BudgetClass::Small]);
+        spec.schedule = ScheduleKind::Ocba;
+        assert_eq!(spec.budget_ladder(), vec![BudgetClass::Small]);
+        spec.schedule = ScheduleKind::OcbaShrink;
+        assert_eq!(
+            spec.budget_ladder(),
+            vec![BudgetClass::Tiny, BudgetClass::Small]
+        );
+        spec.budget = BudgetClass::Tiny;
+        assert_eq!(spec.budget_ladder(), vec![BudgetClass::Tiny]);
+        spec.budget = BudgetClass::Paper;
+        assert_eq!(
+            spec.budget_ladder(),
+            vec![BudgetClass::Tiny, BudgetClass::Small, BudgetClass::Paper]
+        );
+        let parsed = JobSpec::parse(&spec.to_json()).expect("roundtrip");
+        assert_eq!(parsed.schedule, ScheduleKind::OcbaShrink);
+        assert!(spec.to_json().contains("\"schedule\": \"ocba-shrink\""));
+        assert!(spec.fingerprint().contains(" schedule=ocba-shrink"));
     }
 
     #[test]

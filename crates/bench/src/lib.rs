@@ -10,6 +10,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod exec;
 pub mod harness;
 pub mod jobspec;
 pub mod results;
@@ -17,11 +18,11 @@ pub mod schedule;
 
 pub use campaign::{run_campaign, CampaignEngines, CampaignReport, CellWriter};
 pub use cli::CliArgs;
+pub use exec::{drive_schedule, CellOutcome, ExecutionCore};
 pub use harness::{Algo, BudgetClass, RunSpec};
 pub use jobspec::{EngineReuse, JobSpec, ScheduleKind};
 pub use schedule::{
-    drive_schedule, scheduler_for, CampaignScheduler, Cell, CellOutcome, FixedGrid, OcbaSchedule,
-    ScheduleOutcome,
+    scheduler_for, CampaignScheduler, Cell, FixedGrid, GroupOutcome, OcbaSchedule, ScheduleOutcome,
 };
 
 use moheco::{CircuitBench, MohecoConfig, RunResult, RunSummary, YieldOptimizer, YieldProblem};

@@ -1,41 +1,52 @@
-//! Campaign scheduling: which cells run, in what order, and when to stop.
+//! Campaign scheduling: which cells run, at what budget class, in what
+//! order, and when to stop.
 //!
 //! The paper's budget-allocation insight — spend replications where the
 //! observed variance says they buy information — applied one level up. A
 //! campaign is a set of `(scenario, algo)` **groups**, each with a pool of
-//! candidate seeds; a [`CampaignScheduler`] decides, round by round, which
-//! `(scenario, algo, seed)` cells to run next based on the cross-seed
-//! statistics observed so far:
+//! candidate seeds and a ladder of [`BudgetClass`]es; a
+//! [`CampaignScheduler`] decides, round by round, which
+//! `(scenario, algo, seed, budget)` cells to run next based on the
+//! cross-seed statistics observed so far:
 //!
 //! * [`FixedGrid`] reproduces the historical behavior exactly: one round
 //!   containing the whole remaining rectangle in grid order (scenario
-//!   outer, algo middle, seed inner). Bit-identical rows, counters, and
-//!   progress order.
+//!   outer, algo middle, seed inner), every cell at the spec's budget
+//!   class. Bit-identical rows, counters, and progress order.
 //! * [`OcbaSchedule`] treats each group as an OCBA arm
 //!   ([`moheco_ocba::Arm`]): after a min-seeds floor it grants further seed
 //!   replications by cross-seed variance, and a group stops early once its
 //!   95 % CI half-width on the cross-seed mean yield clears the gate
 //!   threshold — converged cells stop buying seeds that noisy cells need.
+//! * [`OcbaSchedule`] with [`OcbaSchedule::shrink`] set (the `ocba-shrink`
+//!   schedule) additionally shrinks the per-cell **budget class**: every
+//!   group starts its floor at the cheapest rung of the spec's ladder
+//!   (tiny), and escalates to the next rung only while the cross-seed CI at
+//!   the current rung has not cleared the gate. Groups whose verdict is
+//!   already pinned by cheap runs never pay for expensive ones; only the
+//!   stubborn groups climb to the spec's full budget, where a cost-aware
+//!   OCBA pass ([`moheco_ocba::allocate_arm_units`]) splits further
+//!   replications by variance *per simulation spent*.
 //!
 //! # Determinism under resume
 //!
-//! [`drive_schedule`] rebuilds scheduler state **only** from the rows it
-//! consumes, in schedule order. Round 1 is a pure function of the spec;
-//! every later round is a pure function of the `(cell, best_yield)` sequence
-//! consumed so far. In [`crate::EngineReuse::Reset`] mode each cell's row is
-//! a pure function of `(scenario, algo, seed)`, and rows are appended in
-//! schedule order — so the rows a killed campaign left on disk are exactly
-//! a prefix of the cell sequence the resumed process re-derives. The resumed
-//! process consumes that prefix from disk (identical state evolution),
-//! reaches the identical next decision, and appends byte-identical remaining
-//! rows. No schedule journal is needed; the row log *is* the journal.
+//! [`crate::drive_schedule`] rebuilds scheduler state **only** from the
+//! rows it consumes, in schedule order. Round 1 is a pure function of the
+//! spec; every later round is a pure function of the
+//! `(cell, best_yield, simulations)` sequence consumed so far. In
+//! [`crate::EngineReuse::Reset`] mode each cell's row is a pure function of
+//! `(scenario, algo, seed, budget)`, and rows are appended in schedule
+//! order — so the rows a killed campaign left on disk are exactly a prefix
+//! of the cell sequence the resumed process re-derives. The resumed process
+//! consumes that prefix from disk (identical state evolution), reaches the
+//! identical next decision, and appends byte-identical remaining rows. No
+//! schedule journal is needed; the row log *is* the journal.
 
-use crate::campaign::CellWriter;
+use crate::harness::BudgetClass;
 use crate::jobspec::{JobSpec, ScheduleKind};
-use crate::results::{ScenarioResult, YIELD_TOLERANCE};
+use crate::results::YIELD_TOLERANCE;
 use moheco_obs::prometheus::{push_header, push_sample};
-use moheco_obs::{Span, Tracer};
-use moheco_ocba::{allocate_arm_increment, Arm};
+use moheco_ocba::{allocate_arm_increment, allocate_arm_units, Arm};
 
 /// One schedulable unit of campaign work.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -46,10 +57,26 @@ pub struct Cell {
     pub algo: String,
     /// Master seed of the run.
     pub seed: u64,
+    /// Budget class the cell runs at.
+    pub budget: BudgetClass,
 }
 
-/// Observed state of one `(scenario, algo)` group: its seed pool and the
-/// cross-seed yields completed so far, in completion order.
+/// One completed cell of a group, as observed by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedCell {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Budget class the cell ran at.
+    pub budget: BudgetClass,
+    /// Reported yield of the run's best design.
+    pub best_yield: f64,
+    /// Simulations the run spent.
+    pub simulations: f64,
+}
+
+/// Observed state of one `(scenario, algo)` group: its seed pool, its
+/// budget-class ladder, and the cells completed so far, in completion
+/// order.
 #[derive(Debug, Clone)]
 pub struct GroupState {
     /// Registry name of the scenario.
@@ -58,57 +85,153 @@ pub struct GroupState {
     pub algo: String,
     /// Candidate seeds, in spec order; the scheduler may use a prefix.
     pub seed_pool: Vec<u64>,
-    /// `(seed, best_yield)` of every completed cell, in completion order.
-    pub completed: Vec<(u64, f64)>,
+    /// Budget classes available to the scheduler, cheapest first. A single
+    /// rung — the spec's budget class — except under `ocba-shrink`, where
+    /// it is the full escalation ladder up to the spec's class
+    /// ([`JobSpec::budget_ladder`]).
+    pub ladder: Vec<BudgetClass>,
+    /// Every completed cell, in completion order.
+    pub completed: Vec<CompletedCell>,
 }
 
 impl GroupState {
-    /// Seeds completed so far.
-    pub fn used(&self) -> usize {
-        self.completed.len()
+    /// The most expensive rung of the group's ladder — the spec's budget
+    /// class.
+    pub fn top_class(&self) -> BudgetClass {
+        *self.ladder.last().expect("a group ladder is never empty")
     }
 
-    /// Pool seeds not yet completed, in pool order.
-    pub fn unused(&self) -> impl Iterator<Item = u64> + '_ {
-        self.seed_pool
+    /// Seeds completed at `class` so far.
+    pub fn used_at(&self, class: BudgetClass) -> usize {
+        self.completed.iter().filter(|c| c.budget == class).count()
+    }
+
+    /// Pool seeds not yet completed at `class`, in pool order.
+    pub fn unused_at(&self, class: BudgetClass) -> impl Iterator<Item = u64> + '_ {
+        self.seed_pool.iter().copied().filter(move |s| {
+            !self
+                .completed
+                .iter()
+                .any(|c| c.seed == *s && c.budget == class)
+        })
+    }
+
+    /// Cross-seed mean of `best_yield` at `class` (NaN with no
+    /// completions).
+    pub fn mean_at(&self, class: BudgetClass) -> f64 {
+        let ys: Vec<f64> = self
+            .completed
             .iter()
-            .copied()
-            .filter(|s| !self.completed.iter().any(|(done, _)| done == s))
-    }
-
-    /// Cross-seed mean of `best_yield` (NaN with no completions).
-    pub fn mean(&self) -> f64 {
-        let n = self.completed.len();
-        if n == 0 {
+            .filter(|c| c.budget == class)
+            .map(|c| c.best_yield)
+            .collect();
+        if ys.is_empty() {
             return f64::NAN;
         }
-        self.completed.iter().map(|(_, y)| y).sum::<f64>() / n as f64
+        ys.iter().sum::<f64>() / ys.len() as f64
     }
 
-    /// Unbiased cross-seed variance of `best_yield` (0 below two
-    /// completions).
-    pub fn variance(&self) -> f64 {
-        let n = self.completed.len();
-        if n < 2 {
+    /// Unbiased cross-seed variance of `best_yield` at `class` (0 below
+    /// two completions).
+    pub fn variance_at(&self, class: BudgetClass) -> f64 {
+        let ys: Vec<f64> = self
+            .completed
+            .iter()
+            .filter(|c| c.budget == class)
+            .map(|c| c.best_yield)
+            .collect();
+        if ys.len() < 2 {
             return 0.0;
         }
-        let mean = self.mean();
-        self.completed
-            .iter()
-            .map(|(_, y)| (y - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (ys.len() - 1) as f64
     }
 
-    /// 95 % CI half-width of the cross-seed mean yield, the same
+    /// 95 % CI half-width of the cross-seed mean yield at `class`, the same
     /// `Z_95 · std / √n` the aggregate records report. Infinite below two
     /// completions — a group can never gate on a single observation.
-    pub fn ci_half_width(&self) -> f64 {
-        let n = self.completed.len();
+    pub fn ci_half_width_at(&self, class: BudgetClass) -> f64 {
+        let n = self.used_at(class);
         if n < 2 {
             return f64::INFINITY;
         }
-        moheco_sampling::Z_95 * self.variance().sqrt() / (n as f64).sqrt()
+        moheco_sampling::Z_95 * self.variance_at(class).sqrt() / (n as f64).sqrt()
+    }
+
+    /// Mean simulations one completed cell at `class` cost, floored at one
+    /// — the replication cost the cost-aware allocation pays per extra
+    /// seed. One when no cell at `class` has completed yet.
+    pub fn mean_cost_at(&self, class: BudgetClass) -> f64 {
+        let costs: Vec<f64> = self
+            .completed
+            .iter()
+            .filter(|c| c.budget == class)
+            .map(|c| c.simulations)
+            .collect();
+        if costs.is_empty() {
+            return 1.0;
+        }
+        (costs.iter().sum::<f64>() / costs.len() as f64).max(1.0)
+    }
+
+    /// Seeds completed at the top rung so far.
+    pub fn used(&self) -> usize {
+        self.used_at(self.top_class())
+    }
+
+    /// Pool seeds not yet completed at the top rung, in pool order.
+    pub fn unused(&self) -> impl Iterator<Item = u64> + '_ {
+        self.unused_at(self.top_class())
+    }
+
+    /// Cross-seed mean of `best_yield` at the top rung (NaN with no
+    /// completions).
+    pub fn mean(&self) -> f64 {
+        self.mean_at(self.top_class())
+    }
+
+    /// Unbiased cross-seed variance of `best_yield` at the top rung (0
+    /// below two completions).
+    pub fn variance(&self) -> f64 {
+        self.variance_at(self.top_class())
+    }
+
+    /// 95 % CI half-width of the cross-seed mean yield at the top rung.
+    pub fn ci_half_width(&self) -> f64 {
+        self.ci_half_width_at(self.top_class())
+    }
+
+    /// The rung the group has escalated to: starting from the cheapest
+    /// class, a group climbs one rung whenever the current rung's floor is
+    /// met but its CI half-width still exceeds the gate. Monotone under
+    /// new completions — the statistics of a rung below the current level
+    /// freeze once the group climbs past it, so a level can never revisit
+    /// a lower rung.
+    pub fn level(&self, min_seeds: usize, gate_half_width: f64) -> usize {
+        let floor = min_seeds.min(self.seed_pool.len());
+        let mut level = 0;
+        while level + 1 < self.ladder.len() {
+            let class = self.ladder[level];
+            if self.used_at(class) >= floor && self.ci_half_width_at(class) > gate_half_width {
+                level += 1;
+            } else {
+                break;
+            }
+        }
+        level
+    }
+
+    /// The budget class the group's verdict rests on: the most expensive
+    /// class with a completed cell, or the cheapest rung when nothing has
+    /// completed. Aggregates and outcome accounting both use this rule, so
+    /// they agree on which rows count — and it is a pure function of the
+    /// completion log, so a resumed campaign re-derives it identically.
+    pub fn final_class(&self) -> BudgetClass {
+        self.completed
+            .iter()
+            .map(|c| c.budget)
+            .max_by_key(|b| b.rung())
+            .unwrap_or(self.ladder[0])
     }
 }
 
@@ -124,14 +247,16 @@ pub struct CampaignState {
 impl CampaignState {
     /// The initial (empty-observation) state of a spec's grid.
     pub fn new(spec: &JobSpec) -> Self {
+        let ladder = spec.budget_ladder();
         let groups = spec
             .scenarios
             .iter()
             .flat_map(|scenario| {
-                spec.algos.iter().map(move |algo| GroupState {
+                spec.algos.iter().map(|algo| GroupState {
                     scenario: scenario.clone(),
                     algo: algo.label().to_string(),
                     seed_pool: spec.seeds.clone(),
+                    ladder: ladder.clone(),
                     completed: Vec::new(),
                 })
             })
@@ -139,15 +264,25 @@ impl CampaignState {
         Self { groups }
     }
 
-    /// Records one completed cell. Cells outside the grid are ignored.
-    pub fn record(&mut self, cell: &Cell, best_yield: f64) {
+    /// Records one completed cell. Cells outside the grid are ignored;
+    /// duplicate `(seed, budget)` completions of a group are ignored.
+    pub fn record(&mut self, cell: &Cell, best_yield: f64, simulations: f64) {
         if let Some(group) = self
             .groups
             .iter_mut()
             .find(|g| g.scenario == cell.scenario && g.algo == cell.algo)
         {
-            if !group.completed.iter().any(|(s, _)| *s == cell.seed) {
-                group.completed.push((cell.seed, best_yield));
+            if !group
+                .completed
+                .iter()
+                .any(|c| c.seed == cell.seed && c.budget == cell.budget)
+            {
+                group.completed.push(CompletedCell {
+                    seed: cell.seed,
+                    budget: cell.budget,
+                    best_yield,
+                    simulations,
+                });
             }
         }
     }
@@ -159,13 +294,14 @@ impl CampaignState {
 /// # Contract
 ///
 /// Implementations must be **pure functions of the state** (no interior
-/// mutability, no clocks, no RNG): [`drive_schedule`] relies on this to
-/// replay a killed campaign's decisions from its row log. Each non-empty
-/// round must contain at least one cell from [`GroupState::unused`] of some
-/// group — otherwise the driver could loop forever — and must never repeat
-/// a completed cell.
+/// mutability, no clocks, no RNG): [`crate::drive_schedule`] relies on this
+/// to replay a killed campaign's decisions from its row log. Each non-empty
+/// round must contain at least one cell not yet completed in some group —
+/// otherwise the driver could loop forever — and must never repeat a
+/// completed cell.
 pub trait CampaignScheduler {
-    /// The stable label (`fixed`, `ocba`) used in events and metrics.
+    /// The stable label (`fixed`, `ocba`, `ocba-shrink`) used in events and
+    /// metrics.
     fn label(&self) -> &'static str;
 
     /// The next round of cells, in execution order.
@@ -173,7 +309,8 @@ pub trait CampaignScheduler {
 }
 
 /// The historical fixed rectangle: one round with every remaining cell in
-/// grid order. Bit-identical to the pre-scheduler triple-nested loop.
+/// grid order, at the spec's budget class. Bit-identical to the
+/// pre-scheduler triple-nested loop.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FixedGrid;
 
@@ -191,6 +328,7 @@ impl CampaignScheduler for FixedGrid {
                     scenario: g.scenario.clone(),
                     algo: g.algo.clone(),
                     seed,
+                    budget: g.top_class(),
                 })
             })
             .collect()
@@ -209,15 +347,27 @@ impl CampaignScheduler for FixedGrid {
 /// size), and asks [`allocate_arm_increment`] to split a delta of one
 /// replication per open group. Converged or exhausted groups receive
 /// nothing; the campaign ends when no group is open.
+///
+/// With [`OcbaSchedule::shrink`] set the floor additionally starts at the
+/// cheapest rung of each group's budget ladder and escalates one rung at a
+/// time ([`GroupState::level`]), and the top-rung allocation switches to
+/// the cost-aware [`allocate_arm_units`] with each group's observed mean
+/// simulations per cell as its replication cost.
 #[derive(Debug, Clone, Copy)]
 pub struct OcbaSchedule {
-    /// Minimum seeds per group before the gate may stop it.
+    /// Minimum seeds per group (per rung, under `shrink`) before the gate
+    /// may stop or escalate it.
     pub min_seeds: usize,
     /// CI half-width below which a group is considered converged. The
     /// default is [`YIELD_TOLERANCE`] — once the cross-seed mean is pinned
     /// tighter than the baseline gate's own tolerance, more seeds cannot
     /// change the verdict.
     pub gate_half_width: f64,
+    /// Whether the scheduler may shrink the per-cell budget class: floors
+    /// start at the cheapest ladder rung and escalate only while the gate
+    /// has not cleared. Off by default — the classic `ocba` schedule runs
+    /// every cell at the spec's budget class.
+    pub shrink: bool,
 }
 
 impl Default for OcbaSchedule {
@@ -225,6 +375,7 @@ impl Default for OcbaSchedule {
         Self {
             min_seeds: 3,
             gate_half_width: YIELD_TOLERANCE,
+            shrink: false,
         }
     }
 }
@@ -235,14 +386,22 @@ impl OcbaSchedule {
     fn is_open(&self, group: &GroupState) -> bool {
         group.used() < group.seed_pool.len() && group.ci_half_width() > self.gate_half_width
     }
-}
 
-impl CampaignScheduler for OcbaSchedule {
-    fn label(&self) -> &'static str {
-        "ocba"
+    /// Whether a `shrink` group still wants top-rung seeds: it has
+    /// escalated to the top rung, met the floor there, has unused seeds
+    /// left, and the top-rung CI has not cleared the gate.
+    fn is_open_at_top(&self, group: &GroupState) -> bool {
+        let top = group.top_class();
+        let floor = self.min_seeds.min(group.seed_pool.len());
+        group.level(self.min_seeds, self.gate_half_width) + 1 == group.ladder.len()
+            && group.used_at(top) >= floor
+            && group.used_at(top) < group.seed_pool.len()
+            && group.ci_half_width_at(top) > self.gate_half_width
     }
 
-    fn next_cells(&self, state: &CampaignState) -> Vec<Cell> {
+    /// The classic (budget-class-preserving) policy. Kept verbatim so the
+    /// `ocba` schedule stays bit-identical to its historical rows.
+    fn next_cells_classic(&self, state: &CampaignState) -> Vec<Cell> {
         // Phase A: the floor round. Any group below its floor gets topped
         // up first — statistics on fewer than `min_seeds` seeds are too
         // weak to allocate on (or to gate on).
@@ -254,6 +413,7 @@ impl CampaignScheduler for OcbaSchedule {
                     scenario: group.scenario.clone(),
                     algo: group.algo.clone(),
                     seed,
+                    budget: group.top_class(),
                 }));
             }
         }
@@ -287,18 +447,144 @@ impl CampaignScheduler for OcbaSchedule {
                     scenario: group.scenario.clone(),
                     algo: group.algo.clone(),
                     seed,
+                    budget: group.top_class(),
                 })
             })
             .collect()
     }
+
+    /// The budget-class-shrinking policy behind the `ocba-shrink` schedule.
+    fn next_cells_shrink(&self, state: &CampaignState) -> Vec<Cell> {
+        // Phase A: the floor round, at each group's current ladder rung.
+        // A group below its floor at the rung it has escalated to gets
+        // topped up there first — so every verdict (gate or escalate)
+        // rests on at least `min_seeds` observations at that rung.
+        let mut floor_cells = Vec::new();
+        for group in &state.groups {
+            let floor = self.min_seeds.min(group.seed_pool.len());
+            let class = group.ladder[group.level(self.min_seeds, self.gate_half_width)];
+            let used = group.used_at(class);
+            if used < floor {
+                floor_cells.extend(group.unused_at(class).take(floor - used).map(|seed| Cell {
+                    scenario: group.scenario.clone(),
+                    algo: group.algo.clone(),
+                    seed,
+                    budget: class,
+                }));
+            }
+        }
+        if !floor_cells.is_empty() {
+            return floor_cells;
+        }
+
+        // Phase B: cost-aware OCBA over the groups open at their top rung.
+        // Each group's replication cost is its observed mean simulations
+        // per top-rung cell, and the spendable units per round are one
+        // replication's worth per open group — so expensive groups must
+        // out-argue cheap ones with variance to keep buying seeds.
+        let open: Vec<&GroupState> = state
+            .groups
+            .iter()
+            .filter(|g| self.is_open_at_top(g))
+            .collect();
+        if open.is_empty() {
+            return Vec::new();
+        }
+        let arms: Vec<Arm> = open
+            .iter()
+            .map(|g| {
+                let top = g.top_class();
+                Arm::new(g.mean_at(top), g.variance_at(top), g.used_at(top))
+                    .with_cap(g.seed_pool.len())
+                    .with_cost(g.mean_cost_at(top))
+            })
+            .collect();
+        let units: f64 = arms.iter().map(|a| a.cost).sum();
+        let grants = allocate_arm_units(&arms, units)
+            // Unreachable for the same reason as the classic path; the
+            // uniform fallback keeps the progress guarantee.
+            .unwrap_or_else(|_| vec![1; open.len()]);
+        let mut cells: Vec<Cell> = open
+            .iter()
+            .zip(&grants)
+            .flat_map(|(group, &n)| {
+                group.unused_at(group.top_class()).take(n).map(|seed| Cell {
+                    scenario: group.scenario.clone(),
+                    algo: group.algo.clone(),
+                    seed,
+                    budget: group.top_class(),
+                })
+            })
+            .collect();
+        if cells.is_empty() {
+            // The unit allocation granted every whole replication to arms
+            // that turned out to have no room. Force one seed into the
+            // first open group (it has unused top-rung seeds by
+            // definition) so a non-empty open set always makes progress.
+            let group = open[0];
+            if let Some(seed) = group.unused_at(group.top_class()).next() {
+                cells.push(Cell {
+                    scenario: group.scenario.clone(),
+                    algo: group.algo.clone(),
+                    seed,
+                    budget: group.top_class(),
+                });
+            }
+        }
+        cells
+    }
+}
+
+impl CampaignScheduler for OcbaSchedule {
+    fn label(&self) -> &'static str {
+        if self.shrink {
+            "ocba-shrink"
+        } else {
+            "ocba"
+        }
+    }
+
+    fn next_cells(&self, state: &CampaignState) -> Vec<Cell> {
+        if self.shrink {
+            self.next_cells_shrink(state)
+        } else {
+            self.next_cells_classic(state)
+        }
+    }
 }
 
 /// The scheduler implementation of a [`ScheduleKind`].
-pub fn scheduler_for(kind: ScheduleKind) -> Box<dyn CampaignScheduler> {
+pub fn scheduler_for(kind: ScheduleKind) -> Box<dyn CampaignScheduler + Send + Sync> {
     match kind {
         ScheduleKind::Fixed => Box::new(FixedGrid),
         ScheduleKind::Ocba => Box::new(OcbaSchedule::default()),
+        ScheduleKind::OcbaShrink => Box::new(OcbaSchedule {
+            shrink: true,
+            ..OcbaSchedule::default()
+        }),
     }
+}
+
+/// What one group of a completed schedule spent and saved.
+#[derive(Debug, Clone)]
+pub struct GroupOutcome {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// The budget class the group's verdict rests on
+    /// ([`GroupState::final_class`]).
+    pub final_budget: BudgetClass,
+    /// Seeds completed at the final budget class.
+    pub seeds_used: usize,
+    /// Pool seeds left unspent at the final budget class.
+    pub seeds_saved: usize,
+    /// Ladder rungs the group climbed past the cheapest class (0 for a
+    /// single-rung ladder or a group gated at the bottom).
+    pub escalations: usize,
+    /// Simulations the group spent in total, **including** pilot cells at
+    /// rungs below the final class — the honest price of the schedule.
+    pub simulations: u64,
 }
 
 /// What a completed schedule did, for reports and metrics.
@@ -317,13 +603,20 @@ pub struct ScheduleOutcome {
     /// Groups stopped before exhausting their seed pool (0 under
     /// [`FixedGrid`], which always runs the full rectangle).
     pub groups_gated: usize,
-    /// Seeds left unspent across all groups — the campaign-level budget the
-    /// scheduler saved.
+    /// Seeds left unspent across all groups (at each group's final budget
+    /// class) — the campaign-level budget the scheduler saved.
     pub seeds_saved: usize,
+    /// Ladder rungs climbed across all groups (0 except under
+    /// `ocba-shrink`).
+    pub escalations: usize,
+    /// Simulations spent across all groups, pilot cells included.
+    pub simulations_total: u64,
+    /// Per-group accounting, in grid order.
+    pub groups: Vec<GroupOutcome>,
 }
 
 impl ScheduleOutcome {
-    fn new(label: &'static str) -> Self {
+    pub(crate) fn new(label: &'static str) -> Self {
         Self {
             label,
             rounds: 0,
@@ -332,13 +625,47 @@ impl ScheduleOutcome {
             resumed: 0,
             groups_gated: 0,
             seeds_saved: 0,
+            escalations: 0,
+            simulations_total: 0,
+            groups: Vec::new(),
         }
+    }
+
+    /// Fills the end-of-campaign accounting from the final scheduler
+    /// state.
+    pub(crate) fn finalize(&mut self, state: &CampaignState) {
+        self.groups = state
+            .groups
+            .iter()
+            .map(|g| {
+                let final_budget = g.final_class();
+                let seeds_used = g.used_at(final_budget);
+                let simulations: f64 = g.completed.iter().map(|c| c.simulations).sum();
+                GroupOutcome {
+                    scenario: g.scenario.clone(),
+                    algo: g.algo.clone(),
+                    final_budget,
+                    seeds_used,
+                    seeds_saved: g.seed_pool.len() - seeds_used,
+                    escalations: g
+                        .ladder
+                        .iter()
+                        .position(|c| *c == final_budget)
+                        .unwrap_or(0),
+                    simulations: simulations.round() as u64,
+                }
+            })
+            .collect();
+        self.groups_gated = self.groups.iter().filter(|g| g.seeds_saved > 0).count();
+        self.seeds_saved = self.groups.iter().map(|g| g.seeds_saved).sum();
+        self.escalations = self.groups.iter().map(|g| g.escalations).sum();
+        self.simulations_total = self.groups.iter().map(|g| g.simulations).sum();
     }
 
     /// Renders the `moheco_schedule_*` metric families in Prometheus text
     /// exposition format, labelled by scheduler.
     pub fn render_prometheus(&self, out: &mut String) {
-        let families: [(&str, &str, f64); 6] = [
+        let families: [(&str, &str, f64); 8] = [
             (
                 "moheco_schedule_rounds_total",
                 "Allocation rounds taken by the campaign scheduler.",
@@ -369,103 +696,22 @@ impl ScheduleOutcome {
                 "Seeds left unspent across all groups.",
                 self.seeds_saved as f64,
             ),
+            (
+                "moheco_schedule_escalations_total",
+                "Budget-class ladder rungs climbed across all groups.",
+                self.escalations as f64,
+            ),
+            (
+                "moheco_schedule_simulations_total",
+                "Simulations spent across all groups, pilot cells included.",
+                self.simulations_total as f64,
+            ),
         ];
         for (name, help, value) in families {
             push_header(out, name, "counter", help);
             push_sample(out, name, &[("schedule", self.label)], value);
         }
     }
-}
-
-/// How [`drive_schedule`] resolved one scheduled cell, for the caller's
-/// per-cell accounting (progress lines, cost records, quota enforcement).
-pub enum CellOutcome<'a> {
-    /// The cell's row was already on disk and was consumed, not re-run.
-    Resumed {
-        /// `best_yield` of the on-disk row.
-        best_yield: f64,
-    },
-    /// The cell executed in this invocation; its row has been appended.
-    Executed(&'a ScenarioResult),
-}
-
-/// Runs `spec`'s campaign under its scheduler: asks for rounds of cells,
-/// consumes each from disk when its row is already there, executes it via
-/// `execute` otherwise, and feeds every completion back into the scheduler
-/// state (the replay protocol described in the module docs).
-///
-/// Each allocation round runs inside a `campaign/schedule` span and emits a
-/// live `campaign_schedule` event; the spans attribute no simulations (the
-/// allocation itself never simulates), so campaign phase breakdowns still
-/// reconcile exactly with the engine counters.
-///
-/// `execute` runs one cell and returns its result; `on_cell` observes every
-/// scheduled cell (resumed or executed), in schedule order.
-///
-/// # Errors
-///
-/// Propagates `execute`/`on_cell` errors and writer I/O errors verbatim.
-pub fn drive_schedule(
-    spec: &JobSpec,
-    writer: &mut CellWriter,
-    tracer: &Tracer,
-    mut execute: impl FnMut(&Cell) -> Result<ScenarioResult, String>,
-    mut on_cell: impl FnMut(&Cell, CellOutcome) -> Result<(), String>,
-) -> Result<ScheduleOutcome, String> {
-    let scheduler = scheduler_for(spec.schedule);
-    let mut state = CampaignState::new(spec);
-    let mut outcome = ScheduleOutcome::new(scheduler.label());
-    loop {
-        let round = {
-            let _span = Span::enter(tracer, "campaign/schedule");
-            scheduler.next_cells(&state)
-        };
-        if round.is_empty() {
-            break;
-        }
-        outcome.rounds += 1;
-        outcome.scheduled += round.len();
-        tracer.emit(
-            "campaign_schedule",
-            &[
-                ("schedule", scheduler.label().to_string()),
-                ("round", outcome.rounds.to_string()),
-                ("cells", round.len().to_string()),
-            ],
-        );
-        for cell in &round {
-            if writer.is_done(&cell.scenario, &cell.algo, cell.seed) {
-                let best_yield = writer
-                    .best_yield(&cell.scenario, &cell.algo, cell.seed)
-                    .ok_or_else(|| {
-                        format!(
-                            "{}/{}/seed {}: on-disk row has no best_yield — cannot resume",
-                            cell.scenario, cell.algo, cell.seed
-                        )
-                    })?;
-                outcome.resumed += 1;
-                state.record(cell, best_yield);
-                on_cell(cell, CellOutcome::Resumed { best_yield })?;
-            } else {
-                let result = execute(cell)?;
-                writer.append(&result)?;
-                outcome.executed += 1;
-                state.record(cell, result.best_yield);
-                on_cell(cell, CellOutcome::Executed(&result))?;
-            }
-        }
-    }
-    outcome.groups_gated = state
-        .groups
-        .iter()
-        .filter(|g| g.used() < g.seed_pool.len())
-        .count();
-    outcome.seeds_saved = state
-        .groups
-        .iter()
-        .map(|g| g.seed_pool.len() - g.used())
-        .sum();
-    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -483,10 +729,21 @@ mod tests {
         }
     }
 
+    fn shrink_spec() -> JobSpec {
+        JobSpec {
+            scenarios: vec!["a".into(), "b".into()],
+            algos: vec![Algo::TwoStage, Algo::De],
+            budget: BudgetClass::Small,
+            seeds: (1..=8).collect(),
+            schedule: ScheduleKind::OcbaShrink,
+            ..JobSpec::default()
+        }
+    }
+
     fn record_all(state: &mut CampaignState, cells: &[Cell], yield_of: impl Fn(&Cell) -> f64) {
         for cell in cells {
             let y = yield_of(cell);
-            state.record(cell, y);
+            state.record(cell, y, 100.0);
         }
     }
 
@@ -496,7 +753,7 @@ mod tests {
         let mut state = CampaignState::new(&spec);
         let round = FixedGrid.next_cells(&state);
         assert_eq!(round.len(), 12);
-        // Scenario outer, algo middle, seed inner.
+        // Scenario outer, algo middle, seed inner, all at the spec budget.
         assert_eq!(
             (
                 round[0].scenario.as_str(),
@@ -521,6 +778,7 @@ mod tests {
             ),
             ("b", "two-stage", 1)
         );
+        assert!(round.iter().all(|c| c.budget == BudgetClass::Tiny));
         record_all(&mut state, &round, |_| 0.5);
         assert!(FixedGrid.next_cells(&state).is_empty(), "second round ends");
     }
@@ -634,7 +892,7 @@ mod tests {
             }
             for cell in round {
                 let y = yield_of(&cell);
-                state.record(&cell, y);
+                state.record(&cell, y, 100.0);
                 log.push((cell, y));
             }
         }
@@ -642,7 +900,148 @@ mod tests {
         // Replay the full log into a fresh state: same decision.
         let mut replayed = CampaignState::new(&spec);
         for (cell, y) in &log {
-            replayed.record(cell, *y);
+            replayed.record(cell, *y, 100.0);
+        }
+        assert_eq!(sched.next_cells(&replayed), reference);
+    }
+
+    #[test]
+    fn shrink_floor_starts_at_the_cheapest_rung() {
+        let spec = shrink_spec();
+        let sched = OcbaSchedule {
+            shrink: true,
+            ..OcbaSchedule::default()
+        };
+        let state = CampaignState::new(&spec);
+        for group in &state.groups {
+            assert_eq!(group.ladder, vec![BudgetClass::Tiny, BudgetClass::Small]);
+        }
+        let round = sched.next_cells(&state);
+        assert_eq!(round.len(), 12, "4 groups x 3 floor seeds");
+        assert!(
+            round.iter().all(|c| c.budget == BudgetClass::Tiny),
+            "every pilot runs at the cheapest rung: {round:?}"
+        );
+    }
+
+    #[test]
+    fn shrink_escalates_only_unconverged_groups() {
+        let spec = shrink_spec();
+        let sched = OcbaSchedule {
+            shrink: true,
+            ..OcbaSchedule::default()
+        };
+        let mut state = CampaignState::new(&spec);
+        // Group a/two-stage is noisy at every rung; everything else is
+        // pinned by its tiny pilots. Tiny cells cost 10 simulations, small
+        // ones 50.
+        let yield_of = |c: &Cell| {
+            let wiggle = if c.scenario == "a" && c.algo == "two-stage" {
+                0.3
+            } else {
+                0.001
+            };
+            0.5 + wiggle * (c.seed as f64 - 2.0)
+        };
+        let sims_of = |c: &Cell| match c.budget {
+            BudgetClass::Tiny => 10.0,
+            _ => 50.0,
+        };
+        let pilots = sched.next_cells(&state);
+        for cell in &pilots {
+            state.record(cell, yield_of(cell), sims_of(cell));
+        }
+        let escalation = sched.next_cells(&state);
+        assert!(
+            escalation.iter().all(|c| c.scenario == "a"
+                && c.algo == "two-stage"
+                && c.budget == BudgetClass::Small),
+            "only the noisy group escalates, straight to small: {escalation:?}"
+        );
+        assert_eq!(escalation.len(), 3, "the escalated rung re-pays its floor");
+        // Run dry: the noisy group exhausts its pool at small; the
+        // converged groups never leave tiny.
+        let mut guard = 0;
+        loop {
+            let round = sched.next_cells(&state);
+            if round.is_empty() {
+                break;
+            }
+            for cell in &round {
+                assert_eq!(
+                    (cell.scenario.as_str(), cell.algo.as_str()),
+                    ("a", "two-stage"),
+                    "converged groups must not be fed again"
+                );
+                state.record(cell, yield_of(cell), sims_of(cell));
+            }
+            guard += 1;
+            assert!(guard < 100, "scheduler must terminate");
+        }
+        for group in &state.groups {
+            if group.scenario == "a" && group.algo == "two-stage" {
+                assert_eq!(group.final_class(), BudgetClass::Small);
+                assert_eq!(group.used_at(BudgetClass::Small), 8);
+                assert_eq!(group.used_at(BudgetClass::Tiny), 3, "pilots are kept");
+            } else {
+                assert_eq!(group.final_class(), BudgetClass::Tiny);
+                assert_eq!(group.used_at(BudgetClass::Small), 0, "never paid for small");
+                assert_eq!(group.used_at(BudgetClass::Tiny), 3);
+            }
+        }
+        // The outcome accounting sees the whole bill, pilots included.
+        let mut outcome = ScheduleOutcome::new(sched.label());
+        outcome.finalize(&state);
+        assert_eq!(outcome.escalations, 1, "one group climbed one rung");
+        assert_eq!(
+            outcome.simulations_total,
+            3 * 10 + 8 * 50 + 3 * 3 * 10,
+            "noisy pilots + noisy small pool + converged pilots"
+        );
+        assert_eq!(outcome.seeds_saved, 3 * 5, "converged groups each save 5");
+        assert_eq!(outcome.groups_gated, 3);
+        let noisy = outcome
+            .groups
+            .iter()
+            .find(|g| g.scenario == "a" && g.algo == "two-stage")
+            .unwrap();
+        assert_eq!(noisy.final_budget, BudgetClass::Small);
+        assert_eq!(noisy.seeds_used, 8);
+        assert_eq!(noisy.seeds_saved, 0);
+        assert_eq!(noisy.escalations, 1);
+        assert_eq!(noisy.simulations, 3 * 10 + 8 * 50);
+    }
+
+    #[test]
+    fn shrink_decisions_replay_from_the_completion_log() {
+        // Same replay argument as the classic schedule, with budget
+        // classes in the log: a resumed ocba-shrink campaign re-derives
+        // the identical next round from its consumed rows.
+        let spec = shrink_spec();
+        let sched = OcbaSchedule {
+            shrink: true,
+            ..OcbaSchedule::default()
+        };
+        let yield_of =
+            |c: &Cell| 0.4 + 0.07 * ((c.seed * 13 + c.algo.len() as u64 * 31) % 7) as f64;
+        let sims_of = |c: &Cell| 10.0 * (c.budget.rung() + 1) as f64;
+        let mut log: Vec<(Cell, f64, f64)> = Vec::new();
+        let mut state = CampaignState::new(&spec);
+        for _ in 0..4 {
+            let round = sched.next_cells(&state);
+            if round.is_empty() {
+                break;
+            }
+            for cell in round {
+                let (y, s) = (yield_of(&cell), sims_of(&cell));
+                state.record(&cell, y, s);
+                log.push((cell, y, s));
+            }
+        }
+        let reference = sched.next_cells(&state);
+        let mut replayed = CampaignState::new(&spec);
+        for (cell, y, s) in &log {
+            replayed.record(cell, *y, *s);
         }
         assert_eq!(sched.next_cells(&replayed), reference);
     }
@@ -657,6 +1056,9 @@ mod tests {
             resumed: 5,
             groups_gated: 3,
             seeds_saved: 9,
+            escalations: 2,
+            simulations_total: 1234,
+            groups: Vec::new(),
         };
         let mut out = String::new();
         outcome.render_prometheus(&mut out);
@@ -667,10 +1069,13 @@ mod tests {
             "moheco_schedule_cells_resumed_total",
             "moheco_schedule_groups_gated_total",
             "moheco_schedule_seeds_saved_total",
+            "moheco_schedule_escalations_total",
+            "moheco_schedule_simulations_total",
         ] {
             assert!(out.contains(family), "missing {family}:\n{out}");
         }
         assert!(out.contains("schedule=\"ocba\""), "{out}");
         assert!(out.contains("moheco_schedule_seeds_saved_total{schedule=\"ocba\"} 9"));
+        assert!(out.contains("moheco_schedule_simulations_total{schedule=\"ocba\"} 1234"));
     }
 }

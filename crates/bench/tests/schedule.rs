@@ -128,6 +128,86 @@ fn killed_ocba_campaign_resumes_byte_identically() {
 }
 
 #[test]
+fn killed_ocba_shrink_campaign_resumes_byte_identically() {
+    // The budget-class-shrinking schedule replays from the same row log as
+    // the classic one — with the budget column now part of the replayed
+    // observation. A killed campaign must re-derive the identical ladder
+    // decisions (including escalations) and append byte-identical rows.
+    let spec = JobSpec {
+        budget: BudgetClass::Small,
+        schedule: ScheduleKind::OcbaShrink,
+        ..ocba_spec()
+    };
+    let full_path = temp_path("shrink-full");
+    let full_report = run_campaign(&spec, &full_path, |_| {}).expect("uninterrupted");
+    let full_bytes = std::fs::read(&full_path).expect("full file");
+    let full_rows = full_bytes.iter().filter(|&&b| b == b'\n').count();
+    assert!(
+        full_rows >= 4,
+        "need several rows to truncate mid-campaign, got {full_rows}"
+    );
+    assert_eq!(full_report.schedule.label, "ocba-shrink");
+    // Every row starts at the cheap rung; escalations (if any) add
+    // full-budget rows for the same (scenario, algo, seed) cells.
+    let text = String::from_utf8(full_bytes.clone()).expect("utf8");
+    let budgets: Vec<String> = text
+        .lines()
+        .map(|l| {
+            parse_flat_json(l)
+                .expect("row")
+                .str("budget")
+                .expect("budget column")
+                .to_string()
+        })
+        .collect();
+    assert!(budgets.iter().any(|b| b == "tiny"), "pilot rows exist");
+    let small_rows = budgets.iter().filter(|b| *b == "small").count();
+    if full_report.schedule.escalations > 0 {
+        assert!(
+            small_rows > 0,
+            "escalated groups must have full-budget rows"
+        );
+    } else {
+        assert_eq!(small_rows, 0, "no escalation means no full-budget rows");
+    }
+
+    // Kill it mid-row-write and resume.
+    let killed_path = temp_path("shrink-killed");
+    let mut keep: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+    keep.push_str("{\"schema_version\": 5, \"scenario\": \"quadratic_fea"); // torn write
+    std::fs::write(&killed_path, &keep).expect("partial file");
+    std::fs::copy(
+        full_path.with_extension("jsonl.spec"),
+        killed_path.with_extension("jsonl.spec"),
+    )
+    .expect("spec sidecar survives a kill");
+    let resumed_report = run_campaign(&spec, &killed_path, |_| {}).expect("resume");
+    assert_eq!(resumed_report.resumed, 4);
+    assert_eq!(resumed_report.executed, full_rows - 4);
+    assert_eq!(resumed_report.schedule.rounds, full_report.schedule.rounds);
+    assert_eq!(
+        resumed_report.schedule.escalations,
+        full_report.schedule.escalations
+    );
+    assert_eq!(
+        resumed_report.schedule.simulations_total,
+        full_report.schedule.simulations_total
+    );
+    let resumed_bytes = std::fs::read(&killed_path).expect("resumed file");
+    assert_eq!(
+        resumed_bytes, full_bytes,
+        "resumed ocba-shrink campaign JSONL differs from the uninterrupted run"
+    );
+    let full_aggregates: Vec<String> = full_report.aggregates.iter().map(|a| a.to_json()).collect();
+    let resumed_aggregates: Vec<String> = resumed_report
+        .aggregates
+        .iter()
+        .map(|a| a.to_json())
+        .collect();
+    assert_eq!(resumed_aggregates, full_aggregates);
+}
+
+#[test]
 fn ocba_campaign_honors_the_min_seeds_floor() {
     let path = temp_path("floor");
     let spec = ocba_spec();

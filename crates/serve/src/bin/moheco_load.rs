@@ -27,6 +27,14 @@ use std::time::{Duration, Instant};
 struct TenantOutcome {
     rows: usize,
     row_latencies_ms: Vec<f64>,
+    // Per-scheduler buckets: fixed and adaptive jobs have structurally
+    // different row cadences (the rectangle streams steadily; OCBA rounds
+    // burst), so pooling their latencies into one p50/p99 hides both.
+    fixed_jobs: usize,
+    fixed_row_latencies_ms: Vec<f64>,
+    ocba_jobs: usize,
+    ocba_row_latencies_ms: Vec<f64>,
+    ocba_seeds_saved: usize,
     rejected_429: usize,
     resubmits: usize,
     determinism_violations: usize,
@@ -77,12 +85,52 @@ fn json_str_field(body: &str, key: &str) -> Option<String> {
     Some(body[start..end].to_string())
 }
 
+/// Pulls `"key": 123` (a bare number) out of a flat JSON body.
+fn json_num_field(body: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = body.find(&marker)? + marker.len();
+    let end = body[start..]
+        .find([',', '}', '\n'])
+        .map(|i| i + start)
+        .unwrap_or(body.len());
+    body[start..end].trim().parse().ok()
+}
+
+/// The 64-bit finalizer from splitmix64 — a cheap, deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The delay before retrying a 429'd submission: exponential backoff from
+/// 25ms, doubling per attempt and capped at 2s, plus jitter of up to half
+/// the base delay hashed from `(tenant, job_index, attempt)`. The jitter
+/// desynchronizes tenants that got rejected in the same instant (so they
+/// don't stampede the queue in lockstep forever) while staying fully
+/// deterministic: a re-run of the same load shape backs off identically.
+fn backoff_delay(tenant: &str, job_index: usize, attempt: u32) -> Duration {
+    const BASE_MS: u64 = 25;
+    const CAP_MS: u64 = 2_000;
+    let base = BASE_MS.saturating_mul(1 << attempt.min(16)).min(CAP_MS);
+    let mut hash = 0xcbf2_9ce4_8422_2325;
+    for byte in tenant.bytes() {
+        hash = splitmix64(hash ^ u64::from(byte));
+    }
+    hash = splitmix64(hash ^ job_index as u64);
+    hash = splitmix64(hash ^ u64::from(attempt));
+    Duration::from_millis(base + hash % (base / 2).max(1))
+}
+
 fn submit_with_retry(
     addr: SocketAddr,
     tenant: &str,
+    job_index: usize,
     body: &str,
     outcome: &mut TenantOutcome,
 ) -> Result<(u16, String), String> {
+    let mut attempt = 0u32;
     loop {
         let response = request(
             addr,
@@ -93,7 +141,8 @@ fn submit_with_retry(
         )?;
         if response.status == 429 {
             outcome.rejected_429 += 1;
-            std::thread::sleep(Duration::from_millis(50));
+            std::thread::sleep(backoff_delay(tenant, job_index, attempt));
+            attempt += 1;
             continue;
         }
         if response.status != 202 && response.status != 200 {
@@ -119,9 +168,10 @@ fn run_tenant(
     let mut outcome = TenantOutcome::default();
     for job_index in 0..jobs {
         let spec = job_spec(budget, job_index, seeds_per_job);
+        let adaptive = spec.schedule == ScheduleKind::Ocba;
         let body = spec.to_json();
         let submitted_at = Instant::now();
-        let (_, id) = submit_with_retry(addr, &tenant, &body, &mut outcome)?;
+        let (_, id) = submit_with_retry(addr, &tenant, job_index, &body, &mut outcome)?;
 
         // Stream the rows live, timing each one against the submission.
         let mut latencies = Vec::new();
@@ -142,6 +192,13 @@ fn run_tenant(
             return Err(format!("stream for {id} got {}", first.status));
         }
         outcome.rows += latencies.len();
+        if adaptive {
+            outcome.ocba_jobs += 1;
+            outcome.ocba_row_latencies_ms.extend(latencies.iter());
+        } else {
+            outcome.fixed_jobs += 1;
+            outcome.fixed_row_latencies_ms.extend(latencies.iter());
+        }
         outcome.row_latencies_ms.append(&mut latencies);
 
         let status = request(addr, "GET", &format!("/jobs/{id}"), &[], b"")?;
@@ -149,6 +206,10 @@ fn run_tenant(
             outcome.failures += 1;
             eprintln!("job {id} did not complete: {}", status.text().trim());
             continue;
+        }
+        if adaptive {
+            outcome.ocba_seeds_saved +=
+                json_num_field(&status.text(), "seeds_saved").unwrap_or(0.0) as usize;
         }
 
         // Determinism: a finished job's stream is a pure file read — any
@@ -163,7 +224,8 @@ fn run_tenant(
         // Resume: the identical spec must collapse onto the same completed
         // job (200, not 202) and stream the same bytes.
         outcome.resubmits += 1;
-        let (resubmit_status, resubmit_id) = submit_with_retry(addr, &tenant, &body, &mut outcome)?;
+        let (resubmit_status, resubmit_id) =
+            submit_with_retry(addr, &tenant, job_index, &body, &mut outcome)?;
         let replay = request(
             addr,
             "GET",
@@ -245,6 +307,15 @@ fn run(args: &CliArgs) -> Result<usize, String> {
         let outcome = handle.join().map_err(|_| "tenant thread panicked")??;
         total.rows += outcome.rows;
         total.row_latencies_ms.extend(outcome.row_latencies_ms);
+        total.fixed_jobs += outcome.fixed_jobs;
+        total
+            .fixed_row_latencies_ms
+            .extend(outcome.fixed_row_latencies_ms);
+        total.ocba_jobs += outcome.ocba_jobs;
+        total
+            .ocba_row_latencies_ms
+            .extend(outcome.ocba_row_latencies_ms);
+        total.ocba_seeds_saved += outcome.ocba_seeds_saved;
         total.rejected_429 += outcome.rejected_429;
         total.resubmits += outcome.resubmits;
         total.determinism_violations += outcome.determinism_violations;
@@ -256,16 +327,30 @@ fn run(args: &CliArgs) -> Result<usize, String> {
     let metrics = request(addr, "GET", "/metrics", &[], b"")?;
     let fairness = quota_fairness(&metrics.text());
 
-    total
-        .row_latencies_ms
-        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let sort = |latencies: &mut Vec<f64>| {
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    };
+    sort(&mut total.row_latencies_ms);
+    sort(&mut total.fixed_row_latencies_ms);
+    sort(&mut total.ocba_row_latencies_ms);
     let jobs = tenants * jobs_per_tenant;
+    // Schema v2: the pooled fields stay (dashboards keep working), and each
+    // scheduler kind gets its own latency bucket plus the adaptive savings.
     let report = format!(
-        "{{\n  \"schema_version\": 1,\n  \"jobs\": {jobs},\n  \"tenants\": {tenants},\n  \"rows\": {},\n  \"jobs_per_sec\": {:.3},\n  \"row_latency_p50_ms\": {:.3},\n  \"row_latency_p99_ms\": {:.3},\n  \"rejected_429\": {},\n  \"resubmits\": {},\n  \"failures\": {},\n  \"determinism_violations\": {},\n  \"resume_violations\": {},\n  \"quota_fairness\": {:.3},\n  \"wall_time_ms\": {:.1}\n}}\n",
+        "{{\n  \"schema_version\": 2,\n  \"jobs\": {jobs},\n  \"tenants\": {tenants},\n  \"rows\": {},\n  \"jobs_per_sec\": {:.3},\n  \"row_latency_p50_ms\": {:.3},\n  \"row_latency_p99_ms\": {:.3},\n  \"fixed_jobs\": {},\n  \"fixed_rows\": {},\n  \"fixed_row_latency_p50_ms\": {:.3},\n  \"fixed_row_latency_p99_ms\": {:.3},\n  \"ocba_jobs\": {},\n  \"ocba_rows\": {},\n  \"ocba_row_latency_p50_ms\": {:.3},\n  \"ocba_row_latency_p99_ms\": {:.3},\n  \"ocba_seeds_saved\": {},\n  \"rejected_429\": {},\n  \"resubmits\": {},\n  \"failures\": {},\n  \"determinism_violations\": {},\n  \"resume_violations\": {},\n  \"quota_fairness\": {:.3},\n  \"wall_time_ms\": {:.1}\n}}\n",
         total.rows,
         jobs as f64 / (wall_ms / 1e3).max(1e-9),
         percentile(&total.row_latencies_ms, 50.0),
         percentile(&total.row_latencies_ms, 99.0),
+        total.fixed_jobs,
+        total.fixed_row_latencies_ms.len(),
+        percentile(&total.fixed_row_latencies_ms, 50.0),
+        percentile(&total.fixed_row_latencies_ms, 99.0),
+        total.ocba_jobs,
+        total.ocba_row_latencies_ms.len(),
+        percentile(&total.ocba_row_latencies_ms, 50.0),
+        percentile(&total.ocba_row_latencies_ms, 99.0),
+        total.ocba_seeds_saved,
         total.rejected_429,
         total.resubmits,
         total.failures,

@@ -10,14 +10,15 @@
 
 use crate::pool::EnginePool;
 use moheco_bench::jobspec::JobSpec;
-use moheco_bench::schedule::{drive_schedule, Cell, CellOutcome};
-use moheco_bench::{Algo, CellWriter, RunSpec};
+use moheco_bench::results::ScenarioResult;
+use moheco_bench::{Algo, Cell, CellOutcome, CellWriter, ExecutionCore, RunSpec, ScheduleOutcome};
 use moheco_obs::Tracer;
 use moheco_runtime::EngineStatsSnapshot;
 use moheco_scenarios::Scenario;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,12 +53,19 @@ pub struct JobRecord {
     pub tenant: String,
     /// The spec as submitted.
     pub spec: JobSpec,
+    /// The spec's scheduler label (`fixed`, `ocba`, `ocba-shrink`) — kept
+    /// on the record so status consumers can bucket latency and savings by
+    /// schedule kind without re-parsing the spec.
+    pub schedule: &'static str,
     /// Lifecycle state.
     pub state: JobState,
     /// Cells whose rows were already on disk when the job started.
     pub resumed: usize,
     /// Cells executed by this server process.
     pub executed: usize,
+    /// Seed replications the adaptive schedule skipped (0 for `fixed`, and
+    /// until the job completes).
+    pub seeds_saved: usize,
     /// Engine counters accumulated over the executed cells.
     pub stats: EngineStatsSnapshot,
 }
@@ -73,12 +81,14 @@ impl JobRecord {
             _ => String::new(),
         };
         format!(
-            "{{\"job\": \"{id}\", \"tenant\": \"{}\", \"state\": \"{}\", \"cells\": {}, \"resumed\": {}, \"executed\": {}, \"simulations\": {}{error}}}\n",
+            "{{\"job\": \"{id}\", \"tenant\": \"{}\", \"state\": \"{}\", \"schedule\": \"{}\", \"cells\": {}, \"resumed\": {}, \"executed\": {}, \"seeds_saved\": {}, \"simulations\": {}{error}}}\n",
             self.tenant,
             self.state.label(),
+            self.schedule,
             self.spec.cells(),
             self.resumed,
             self.executed,
+            self.seeds_saved,
             self.stats.simulations_run,
         )
     }
@@ -164,14 +174,17 @@ impl Registry {
             inner.rejected += 1;
             return Submit::QueueFull;
         }
+        let schedule = spec.schedule.label();
         inner.jobs.insert(
             id.clone(),
             JobRecord {
                 tenant: tenant.to_string(),
                 spec,
+                schedule,
                 state: JobState::Queued,
                 resumed: 0,
                 executed: 0,
+                seeds_saved: 0,
                 stats: EngineStatsSnapshot::default(),
             },
         );
@@ -188,13 +201,35 @@ impl Registry {
             if inner.shutdown {
                 return None;
             }
-            if let Some(id) = inner.queue.pop_front() {
-                inner.running += 1;
-                let job = inner.jobs.get_mut(&id).expect("queued job is registered");
-                job.state = JobState::Running;
-                return Some((id.clone(), job.tenant.clone(), job.spec.clone()));
+            if let Some(job) = take_next(&mut inner) {
+                return Some(job);
             }
             inner = self.wake.wait(inner).expect("registry lock");
+        }
+    }
+
+    /// Waits up to `timeout` for a queued job. [`NextJob::Idle`] tells the
+    /// worker nothing is queued right now — the moment to lend a hand to
+    /// another worker's in-flight job instead of sleeping.
+    pub fn next_job_timeout(&self, timeout: Duration) -> NextJob {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("registry lock");
+        loop {
+            if inner.shutdown {
+                return NextJob::Shutdown;
+            }
+            if let Some((id, tenant, spec)) = take_next(&mut inner) {
+                return NextJob::Job(id, tenant, spec);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return NextJob::Idle;
+            }
+            inner = self
+                .wake
+                .wait_timeout(inner, deadline - now)
+                .expect("registry lock")
+                .0;
         }
     }
 
@@ -212,6 +247,14 @@ impl Registry {
         let mut inner = self.inner.lock().expect("registry lock");
         if let Some(job) = inner.jobs.get_mut(id) {
             job.resumed = resumed;
+        }
+    }
+
+    /// Records the finished schedule's savings accounting against the job.
+    pub fn record_outcome(&self, id: &str, outcome: &ScheduleOutcome) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(job) = inner.jobs.get_mut(id) {
+            job.seeds_saved = outcome.seeds_saved;
         }
     }
 
@@ -282,6 +325,26 @@ impl Registry {
     }
 }
 
+/// Pops the queue head and marks it running. Call with the registry lock.
+fn take_next(inner: &mut Inner) -> Option<(String, String, JobSpec)> {
+    let id = inner.queue.pop_front()?;
+    inner.running += 1;
+    let job = inner.jobs.get_mut(&id).expect("queued job is registered");
+    job.state = JobState::Running;
+    Some((id.clone(), job.tenant.clone(), job.spec.clone()))
+}
+
+/// Outcome of a bounded wait for queue work ([`Registry::next_job_timeout`]).
+#[derive(Debug)]
+pub enum NextJob {
+    /// A job was dequeued and marked running: `(id, tenant, spec)`.
+    Job(String, String, JobSpec),
+    /// Nothing was queued within the timeout.
+    Idle,
+    /// The server is stopping; the worker should exit.
+    Shutdown,
+}
+
 /// The JSONL file of a job: `<data_dir>/<tenant>/job-<id>.jsonl` (its
 /// `.spec` fingerprint sidecar sits next to it). One place computes this so
 /// the executor, the streamers and the tests agree.
@@ -289,59 +352,105 @@ pub fn job_path(data_dir: &Path, tenant: &str, id: &str) -> PathBuf {
     data_dir.join(tenant).join(format!("job-{id}.jsonl"))
 }
 
-/// Executes one job's grid against the shared pool, streaming rows through
-/// the campaign [`CellWriter`] (same fingerprint check, same torn-tail
+type ExecuteFn = Box<dyn Fn(&Cell) -> Result<ScenarioResult, String> + Send + Sync>;
+type CommitFn = Box<dyn FnMut(&Cell, CellOutcome<'_>) -> Result<(), String> + Send>;
+
+/// One job opened for execution: the shared scheduler-driven
+/// [`ExecutionCore`] wired to the engine pool and the registry.
+///
+/// The worker that dequeued the job calls [`ActiveJob::drive`]; any idle
+/// worker may call [`ActiveJob::help`] on the same job concurrently — the
+/// core hands each of them cells from one `next_cells` allocation loop and
+/// commits completions in schedule order, so the job's JSONL stays
+/// byte-identical to a single-worker run (under `reuse: reset`; see the
+/// core's docs for the shared-cache caveat). Rows stream through the
+/// campaign [`CellWriter`] — same fingerprint check, same torn-tail
 /// truncation, same append-per-cell commit point — which is exactly why a
-/// killed-and-resumed HTTP job reproduces byte-identical JSONL).
-pub fn execute_job(
-    registry: &Registry,
-    pool: &EnginePool,
-    data_dir: &Path,
-    id: &str,
-    tenant: &str,
-    spec: &JobSpec,
-) -> Result<(), String> {
-    spec.validate()?;
-    let scenarios = spec.resolve_scenarios()?;
-    let by_name: HashMap<&str, &Arc<dyn Scenario>> =
-        scenarios.iter().map(|s| (s.name(), s)).collect();
-    let algo_by_label: HashMap<&str, Algo> = spec.algos.iter().map(|a| (a.label(), *a)).collect();
-    let mut writer = CellWriter::open(&job_path(data_dir, tenant, id), spec)?;
-    registry.record_resumed(id, writer.resumed_rows());
-    // The job's cell order and seed counts come from the spec's scheduler —
-    // the same replay-deterministic driver the CLI campaign runner uses, so
-    // a killed-and-resumed adaptive job re-derives its own schedule from the
-    // rows already on disk.
-    let execute = |cell: &Cell| -> Result<_, String> {
-        let scenario = by_name
-            .get(cell.scenario.as_str())
-            .ok_or_else(|| format!("scheduler produced unknown scenario {:?}", cell.scenario))?;
-        let algo = *algo_by_label
-            .get(cell.algo.as_str())
-            .ok_or_else(|| format!("scheduler produced unknown algo {:?}", cell.algo))?;
-        let result = {
-            let lease = pool.checkout(tenant, scenario.name(), spec, cell.seed);
-            RunSpec::new(scenario.as_ref(), algo)
-                .budget(spec.budget)
-                .seed(cell.seed)
-                .engine(lease.engine.clone())
-                .engine_label(spec.engine.label())
-                .prescreen(spec.prescreen)
-                .execute()
-            // lease drops here, before quota enforcement — never
-            // hold one slot while locking others.
+/// killed-and-resumed HTTP job reproduces byte-identical JSONL.
+pub struct ActiveJob {
+    core: ExecutionCore<ExecuteFn, CommitFn>,
+}
+
+impl ActiveJob {
+    /// Opens the job's row file (resuming from whatever rows it holds) and
+    /// builds the execution core over it. Engine-pool leases keep their
+    /// one-cell-per-slot discipline: `execute` checks a lease out per cell
+    /// and drops it before tenant-quota enforcement.
+    pub fn open(
+        registry: &Arc<Registry>,
+        pool: &Arc<EnginePool>,
+        data_dir: &Path,
+        id: &str,
+        tenant: &str,
+        spec: &JobSpec,
+    ) -> Result<Self, String> {
+        spec.validate()?;
+        let scenarios = spec.resolve_scenarios()?;
+        let by_name: HashMap<String, Arc<dyn Scenario>> = scenarios
+            .iter()
+            .map(|s| (s.name().to_string(), s.clone()))
+            .collect();
+        let algo_by_label: HashMap<String, Algo> = spec
+            .algos
+            .iter()
+            .map(|a| (a.label().to_string(), *a))
+            .collect();
+        let writer = CellWriter::open(&job_path(data_dir, tenant, id), spec)?;
+        registry.record_resumed(id, writer.resumed_rows());
+        let execute: ExecuteFn = {
+            let pool = pool.clone();
+            let tenant = tenant.to_string();
+            let spec = spec.clone();
+            Box::new(move |cell: &Cell| {
+                let scenario = by_name.get(cell.scenario.as_str()).ok_or_else(|| {
+                    format!("scheduler produced unknown scenario {:?}", cell.scenario)
+                })?;
+                let algo = *algo_by_label
+                    .get(cell.algo.as_str())
+                    .ok_or_else(|| format!("scheduler produced unknown algo {:?}", cell.algo))?;
+                let result = {
+                    let lease = pool.checkout(&tenant, scenario.name(), &spec, cell.seed);
+                    RunSpec::new(scenario.as_ref(), algo)
+                        .budget(cell.budget)
+                        .seed(cell.seed)
+                        .engine(lease.engine.clone())
+                        .engine_label(spec.engine.label())
+                        .prescreen(spec.prescreen)
+                        .execute()
+                    // lease drops here, before quota enforcement — never
+                    // hold one slot while locking others.
+                };
+                pool.enforce_tenant_quota(&tenant);
+                Ok(result)
+            })
         };
-        pool.enforce_tenant_quota(tenant);
-        Ok(result)
-    };
-    let on_cell = |_cell: &Cell, outcome: CellOutcome| -> Result<(), String> {
-        if let CellOutcome::Executed(result) = outcome {
-            registry.record_cell(id, &result.engine_stats);
-        }
-        Ok(())
-    };
-    drive_schedule(spec, &mut writer, &Tracer::disabled(), execute, on_cell)?;
-    Ok(())
+        let commit: CommitFn = {
+            let registry = registry.clone();
+            let id = id.to_string();
+            Box::new(move |_cell: &Cell, outcome: CellOutcome<'_>| {
+                if let CellOutcome::Executed(result) = outcome {
+                    registry.record_cell(&id, &result.engine_stats);
+                }
+                Ok(())
+            })
+        };
+        Ok(Self {
+            core: ExecutionCore::new(spec, writer, Tracer::disabled(), execute, commit)?,
+        })
+    }
+
+    /// Drives the job to completion (the dequeuing worker's call). Safe to
+    /// call while helpers run cells; the first error wins.
+    pub fn drive(&self) -> Result<ScheduleOutcome, String> {
+        self.core.drive()
+    }
+
+    /// Executes at most one of the job's claimable cells (an idle worker's
+    /// call), waiting up to `patience` for one to appear. Returns whether a
+    /// cell was executed; errors surface through [`ActiveJob::drive`] too.
+    pub fn help(&self, patience: Duration) -> Result<bool, String> {
+        self.core.help(patience)
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,8 @@ pub mod pool;
 pub mod server;
 
 pub use client::{request, request_observed, Response};
-pub use jobs::{execute_job, job_path, JobRecord, JobState, Registry, ServiceCounters, Submit};
+pub use jobs::{
+    job_path, ActiveJob, JobRecord, JobState, NextJob, Registry, ServiceCounters, Submit,
+};
 pub use pool::{EngineLease, EnginePool};
 pub use server::{Server, ServerConfig};

@@ -13,6 +13,12 @@
 //! to exactly one job cell at a time: [`EnginePool::checkout`] blocks until
 //! the slot is free and returns an RAII [`EngineLease`] that prepares the
 //! engine (reseed + reset per the reuse mode) and releases the slot on drop.
+//! Under the shared execution core, several workers may execute cells of
+//! the *same* job concurrently; cells of one `(job, scenario)` pair map to
+//! the same slot and therefore serialize on its lease, while cells of
+//! different scenarios proceed in parallel. That serialization is a
+//! throughput cost only — result bytes are pinned by the core's in-order
+//! commit, not by which worker held a lease when.
 //!
 //! Per-tenant cache quotas sit *on top of* each engine's own
 //! `max_cached_blocks`: after a cell completes (and its lease is dropped),

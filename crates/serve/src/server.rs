@@ -13,7 +13,7 @@
 //! | `GET /healthz` | `ok` |
 
 use crate::http::{read_request, write_response, ChunkedWriter, Request};
-use crate::jobs::{execute_job, job_path, Registry, Submit};
+use crate::jobs::{job_path, ActiveJob, NextJob, Registry, Submit};
 use crate::pool::EnginePool;
 use moheco_bench::jobspec::JobSpec;
 use moheco_obs::prometheus::{push_header, push_sample};
@@ -23,13 +23,21 @@ use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How long a streamer sleeps between polls of a still-running job's file.
 const STREAM_POLL: Duration = Duration::from_millis(10);
+
+/// How long an idle worker waits on the job queue before looking for an
+/// in-flight job to help with.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// How long a helping worker waits on another job's round barrier for a
+/// claimable cell before checking the queue again.
+const HELP_PATIENCE: Duration = Duration::from_millis(50);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -62,10 +70,17 @@ impl Default for ServerConfig {
 }
 
 struct Shared {
-    registry: Registry,
-    pool: EnginePool,
+    registry: Arc<Registry>,
+    pool: Arc<EnginePool>,
     data_dir: PathBuf,
     stopping: AtomicBool,
+    /// Jobs currently being driven by a worker — what idle workers scan for
+    /// something to help with. Entries are pushed before the driving worker
+    /// starts and removed when it finishes; the lock is only ever held to
+    /// clone an `Arc` out, never while touching a job's execution core.
+    active: Mutex<Vec<(String, Arc<ActiveJob>)>>,
+    /// Round-robin cursor so idle workers spread across active jobs.
+    help_cursor: AtomicUsize,
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] leaks the
@@ -84,10 +99,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            registry: Registry::new(config.queue_depth),
-            pool: EnginePool::new(config.tenant_quota_blocks),
+            registry: Arc::new(Registry::new(config.queue_depth)),
+            pool: Arc::new(EnginePool::new(config.tenant_quota_blocks)),
             data_dir: config.data_dir,
             stopping: AtomicBool::new(false),
+            active: Mutex::new(Vec::new()),
+            help_cursor: AtomicUsize::new(0),
         });
         let accept_handle = {
             let shared = shared.clone();
@@ -159,29 +176,86 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// The worker policy: drain the job queue, and whenever the queue is empty
+/// lend a hand to another worker's in-flight job. N workers over one
+/// adaptive job all pull cells from that job's single `next_cells`
+/// allocation loop — the execution core commits completions in schedule
+/// order, so the extra workers change wall time, never bytes (under
+/// `reuse: reset`).
 fn worker_loop(shared: Arc<Shared>) {
-    while let Some((id, tenant, spec)) = shared.registry.next_job() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute_job(
-                &shared.registry,
-                &shared.pool,
-                &shared.data_dir,
-                &id,
-                &tenant,
-                &spec,
-            )
-        }));
-        let outcome = match outcome {
-            Ok(result) => result,
-            Err(panic) => Err(match panic.downcast_ref::<&str>() {
-                Some(msg) => format!("worker panicked: {msg}"),
-                None => match panic.downcast_ref::<String>() {
-                    Some(msg) => format!("worker panicked: {msg}"),
-                    None => "worker panicked".to_string(),
-                },
-            }),
-        };
-        shared.registry.finish(&id, outcome);
+    loop {
+        match shared.registry.next_job_timeout(IDLE_POLL) {
+            NextJob::Shutdown => return,
+            NextJob::Job(id, tenant, spec) => run_job(&shared, &id, &tenant, &spec),
+            NextJob::Idle => {
+                let job = {
+                    let active = shared.active.lock().expect("active jobs lock");
+                    if active.is_empty() {
+                        None
+                    } else {
+                        let pick = shared.help_cursor.fetch_add(1, Ordering::Relaxed);
+                        Some(active[pick % active.len()].1.clone())
+                    }
+                    // The active-map lock drops here, before the core is
+                    // touched — helping never blocks submissions.
+                };
+                if let Some(job) = job {
+                    // Errors surface through the driving worker's `drive`.
+                    let _ = job.help(HELP_PATIENCE);
+                }
+            }
+        }
+    }
+}
+
+/// Opens and drives one dequeued job, registering it as active so idle
+/// workers can help, and recording the terminal state however it ends —
+/// open failure, execution error, panic, or success.
+fn run_job(shared: &Arc<Shared>, id: &str, tenant: &str, spec: &JobSpec) {
+    let opened = catch_unwind(AssertUnwindSafe(|| {
+        ActiveJob::open(
+            &shared.registry,
+            &shared.pool,
+            &shared.data_dir,
+            id,
+            tenant,
+            spec,
+        )
+    }));
+    let job = match opened {
+        Ok(Ok(job)) => Arc::new(job),
+        Ok(Err(e)) => return shared.registry.finish(id, Err(e)),
+        Err(panic) => return shared.registry.finish(id, Err(panic_message(panic))),
+    };
+    shared
+        .active
+        .lock()
+        .expect("active jobs lock")
+        .push((id.to_string(), job.clone()));
+    let driven = catch_unwind(AssertUnwindSafe(|| job.drive()));
+    shared
+        .active
+        .lock()
+        .expect("active jobs lock")
+        .retain(|(active_id, _)| active_id != id);
+    let outcome = match driven {
+        Ok(Ok(schedule)) => {
+            shared.registry.record_outcome(id, &schedule);
+            Ok(())
+        }
+        Ok(Err(e)) => Err(e),
+        Err(panic) => Err(panic_message(panic)),
+    };
+    shared.registry.finish(id, outcome);
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    match panic.downcast_ref::<&str>() {
+        Some(msg) => format!("worker panicked: {msg}"),
+        None => match panic.downcast_ref::<String>() {
+            Some(msg) => format!("worker panicked: {msg}"),
+            None => "worker panicked".to_string(),
+        },
     }
 }
 

@@ -13,7 +13,7 @@
 //!   small one.
 
 use moheco_bench::jobspec::{EngineReuse, JobSpec};
-use moheco_bench::{run_campaign, Algo, BudgetClass};
+use moheco_bench::{run_campaign, Algo, BudgetClass, ScheduleKind};
 use moheco_serve::client::request;
 use moheco_serve::{job_path, Server, ServerConfig};
 use std::net::SocketAddr;
@@ -188,7 +188,7 @@ fn killed_job_resumes_byte_identically_over_http() {
     std::fs::create_dir_all(path_b.parent().expect("tenant dir")).expect("mkdir");
     let text = String::from_utf8(full_bytes.clone()).expect("utf8 rows");
     let mut torn: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
-    torn.push_str("{\"schema_version\": 4, \"scenario\": \"margin_w");
+    torn.push_str("{\"schema_version\": 5, \"scenario\": \"margin_w");
     std::fs::write(&path_b, &torn).expect("torn file");
     std::fs::copy(
         path_a.with_extension("jsonl.spec"),
@@ -224,6 +224,132 @@ fn killed_job_resumes_byte_identically_over_http() {
 /// [`temp_dir`] without the wipe — for re-opening a dir another server made.
 fn temp_dir_existing(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("moheco-service-suite-{name}"))
+}
+
+/// An adaptive spec whose schedule takes several rounds: two scenario
+/// groups, six seeds each, gated by cross-seed CI.
+fn ocba_spec() -> JobSpec {
+    JobSpec {
+        scenarios: vec![
+            "margin_wall".to_string(),
+            "quadratic_feasibility".to_string(),
+        ],
+        algos: vec![Algo::TwoStage],
+        budget: BudgetClass::Tiny,
+        seeds: (1..=6).collect(),
+        schedule: ScheduleKind::Ocba,
+        reuse: EngineReuse::Reset,
+        ..JobSpec::default()
+    }
+}
+
+#[test]
+fn killed_ocba_job_resumes_byte_identically_over_http() {
+    // An adaptive job's row log IS its scheduler's replay journal, so this
+    // is the sharpest resume test the service can face: kill the job
+    // mid-row, resubmit to a fresh server, and demand that the scheduler
+    // re-derive the identical allocation sequence from the consumed rows.
+    let spec = ocba_spec();
+
+    // Reference pass: the full job on server A — and the acceptance bar
+    // that a single-worker service run is byte-identical to the offline
+    // campaign runner on the same spec.
+    let server_a = server("ocba-torture-a", 1, 4, 0);
+    let (status, id) = submit(server_a.addr(), "acme", &spec);
+    assert_eq!(status, 202);
+    let full_bytes = stream(server_a.addr(), &id);
+    let status_a = wait_for_state(server_a.addr(), &id, "completed");
+    assert!(
+        status_a.contains("\"schedule\": \"ocba\""),
+        "status must carry the scheduler kind: {status_a}"
+    );
+    let path_a = job_path(&temp_dir_existing("ocba-torture-a"), "acme", &id);
+    server_a.shutdown();
+
+    let reference_path = temp_dir("ocba-torture-ref").join("campaign.jsonl");
+    let reference = run_campaign(&spec, &reference_path, |_| {}).expect("reference campaign");
+    assert_eq!(
+        full_bytes,
+        std::fs::read(&reference_path).expect("reference rows"),
+        "single-worker service rows differ from the offline campaign"
+    );
+    assert!(
+        status_a.contains(&format!(
+            "\"seeds_saved\": {}",
+            reference.schedule.seeds_saved
+        )),
+        "status seeds_saved must match the offline schedule: {status_a}"
+    );
+
+    // Kill it mid-row: four complete rows plus a torn tail, plus the
+    // intact `.spec` sidecar, in a fresh server's data dir.
+    let full_rows = full_bytes.iter().filter(|&&b| b == b'\n').count();
+    assert!(full_rows > 4, "need rows beyond the torn prefix");
+    let dir_b = temp_dir("ocba-torture-b");
+    let path_b = job_path(&dir_b, "acme", &id);
+    std::fs::create_dir_all(path_b.parent().expect("tenant dir")).expect("mkdir");
+    let text = String::from_utf8(full_bytes.clone()).expect("utf8 rows");
+    let mut torn: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+    torn.push_str("{\"schema_version\": 5, \"scenario\": \"quadratic_fea");
+    std::fs::write(&path_b, &torn).expect("torn file");
+    std::fs::copy(
+        path_a.with_extension("jsonl.spec"),
+        path_b.with_extension("jsonl.spec"),
+    )
+    .expect("sidecar survives the kill");
+
+    let server_b = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 4,
+        data_dir: dir_b,
+        tenant_quota_blocks: 0,
+    })
+    .expect("server B");
+    let (status, resumed_id) = submit(server_b.addr(), "acme", &spec);
+    assert_eq!((status, resumed_id.as_str()), (202, id.as_str()));
+    let resumed_bytes = stream(server_b.addr(), &id);
+    assert_eq!(
+        resumed_bytes, full_bytes,
+        "resumed adaptive job streamed different JSONL than the uninterrupted run"
+    );
+    let final_status = wait_for_state(server_b.addr(), &id, "completed");
+    assert!(
+        final_status.contains("\"resumed\": 4"),
+        "four complete rows should have been skipped: {final_status}"
+    );
+    server_b.shutdown();
+}
+
+#[test]
+fn multi_worker_ocba_job_streams_single_worker_bytes() {
+    // Three workers over one adaptive job: one drives, the idle two pull
+    // cells from the same allocation loop. Because the core commits
+    // completions in schedule order and reset-mode cells are pure functions
+    // of their identity, the extra workers must change nothing in the
+    // stream — and the savings accounting must match the offline run.
+    let spec = ocba_spec();
+    let reference_path = temp_dir("multiworker-ref").join("campaign.jsonl");
+    let reference = run_campaign(&spec, &reference_path, |_| {}).expect("reference campaign");
+    let reference_bytes = std::fs::read(&reference_path).expect("reference rows");
+
+    let server = server("multiworker", 3, 4, 0);
+    let (status, id) = submit(server.addr(), "acme", &spec);
+    assert_eq!(status, 202);
+    let rows = stream(server.addr(), &id);
+    assert_eq!(
+        rows, reference_bytes,
+        "multi-worker service rows differ from the single-worker bytes"
+    );
+    let final_status = wait_for_state(server.addr(), &id, "completed");
+    assert!(
+        final_status.contains(&format!(
+            "\"seeds_saved\": {}",
+            reference.schedule.seeds_saved
+        )),
+        "multi-worker seeds_saved must match the offline schedule: {final_status}"
+    );
+    server.shutdown();
 }
 
 #[test]
